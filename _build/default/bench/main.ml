@@ -1,0 +1,136 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (Section 5) and runs Bechamel wall-clock microbenchmarks of
+    the core components.
+
+    Usage:
+      dune exec bench/main.exe              # everything (E1-E9)
+      dune exec bench/main.exe fig4         # one experiment
+      dune exec bench/main.exe fig4 fig5 table1
+      dune exec bench/main.exe bechamel     # wall-clock microbenches only
+    Experiments: fig4 fig5 fig6 fig7 table1 running-example bechamel *)
+
+let ppf = Format.std_formatter
+
+let measurements = lazy (Report.Experiments.measure_all ())
+
+let run_fig4 () = Report.Experiments.fig4 (Lazy.force measurements) ppf
+let run_fig5 () = Report.Experiments.fig5 (Lazy.force measurements) ppf
+let run_fig7 () = Report.Experiments.fig7 (Lazy.force measurements) ppf
+let run_fig6 () = Report.Experiments.fig6 () ppf
+let run_table1 () = Report.Experiments.table1 () ppf
+let run_example () = Report.Experiments.running_example () ppf
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock microbenchmarks                                  *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let workload name =
+    Option.get (Workloads.by_name name)
+  in
+  let interp_test name bm_name =
+    Test.make ~name (Staged.stage (fun () ->
+        let bm = workload bm_name in
+        let p = Workloads.program bm in
+        ignore
+          (Runtime.Interp.run ~sched:(Workloads.scheduler bm) p)))
+  in
+  let record_test name bm_name variant =
+    Test.make ~name (Staged.stage (fun () ->
+        let bm = workload bm_name in
+        let p = Workloads.program bm in
+        ignore (Light_core.Light.record ~variant ~sched:(Workloads.scheduler bm) p)))
+  in
+  let solve_test name bug_name =
+    Test.make ~name (Staged.stage (fun () ->
+        let b = Option.get (Bugs.Defs.by_name bug_name) in
+        let p = Bugs.Defs.program_of b ~scale:4 () in
+        match Bugs.Harness.find_trigger ~tries:10 p with
+        | Some tr ->
+          let r =
+            Light_core.Light.record ~variant:Light_core.Light.v_both
+              ~sched:(tr.make_sched ()) p
+          in
+          ignore (Light_core.Replayer.solve r.log)
+        | None -> ()))
+  in
+  let replay_test name bug_name =
+    Test.make ~name (Staged.stage (fun () ->
+        let b = Option.get (Bugs.Defs.by_name bug_name) in
+        let p = Bugs.Defs.program_of b () in
+        match Bugs.Harness.find_trigger ~tries:10 p with
+        | Some tr ->
+          let r =
+            Light_core.Light.record ~variant:Light_core.Light.v_both
+              ~sched:(tr.make_sched ()) p
+          in
+          ignore (Light_core.Light.replay r)
+        | None -> ()))
+  in
+  [
+    (* E1/E2 substrate: plain interpretation vs recording *)
+    interp_test "interp/cache4j-base" "cache4j";
+    record_test "record/cache4j-light-basic" "cache4j" Light_core.Light.v_basic;
+    record_test "record/cache4j-light-o1o2" "cache4j" Light_core.Light.v_both;
+    interp_test "interp/avrora-base" "dacapo-avrora";
+    record_test "record/avrora-light-o1o2" "dacapo-avrora" Light_core.Light.v_both;
+    (* E6: constraint generation + IDL solving + full replay *)
+    solve_test "solve/cache4j-bug" "Cache4j";
+    solve_test "solve/lucene651-bug" "Lucene-651";
+    replay_test "replay/tomcat53498-bug" "Tomcat-53498";
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
+  let tests = bechamel_tests () in
+  Format.printf "Bechamel wall-clock microbenchmarks (monotonic clock)@.";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+              Toolkit.Instance.monotonic_clock raw
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> Format.printf "  %-32s %12.0f ns/run@." name est
+          | _ -> Format.printf "  %-32s (no estimate)@." name)
+        results)
+    tests;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+
+let all_experiments =
+  [
+    ("fig4", run_fig4);
+    ("fig5", run_fig5);
+    ("fig6", run_fig6);
+    ("fig7", run_fig7);
+    ("table1", run_table1);
+    ("running-example", run_example);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let t0 = Unix.gettimeofday () in
+  (match args with
+  | [] ->
+    List.iter (fun (_, f) -> f ()) all_experiments;
+    run_bechamel ()
+  | names ->
+    List.iter
+      (fun n ->
+        match List.assoc_opt n all_experiments with
+        | Some f -> f ()
+        | None when n = "bechamel" -> run_bechamel ()
+        | None ->
+          Format.printf "unknown experiment %s (have: %s bechamel)@." n
+            (String.concat " " (List.map fst all_experiments)))
+      names);
+  Format.printf "total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,212 @@
+(** The [light] command-line tool: parse, analyze, run, record, solve and
+    replay concurrent programs written in the subject language (.cl files).
+
+    Typical session:
+    {v
+      light run prog.cl --seed 3
+      light analyze prog.cl
+      light record prog.cl --seed 3 -o prog.log
+      light replay prog.cl prog.log
+      light bugs                # reproduce the 8-bug suite (Figure 6)
+      light weave prog.cl       # show the instrumented source
+    v} *)
+
+open Cmdliner
+
+let read_program path =
+  let p = Lang.Parser.parse_file path in
+  match Lang.Check.validate p with
+  | [] -> Ok p
+  | errs ->
+    Error (String.concat "\n" (List.map Lang.Check.error_to_string errs))
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+
+let sched_of ~seed ~stickiness =
+  if stickiness <= 1 then Runtime.Sched.random ~seed
+  else Runtime.Sched.sticky ~seed ~stickiness
+
+let print_outcome (o : Runtime.Interp.outcome) =
+  List.iter
+    (fun (tid, lines) ->
+      List.iter (fun l -> Printf.printf "[thread %d] %s\n" tid l) lines)
+    o.outputs;
+  List.iter
+    (fun (c : Runtime.Interp.crash) ->
+      Printf.printf "!! thread %d crashed at line %d (D=%d): %s\n" c.tid c.line c.c c.msg)
+    o.crashes;
+  (match o.status with
+  | Runtime.Interp.AllFinished -> ()
+  | Deadlock ts ->
+    Printf.printf "!! deadlock: threads %s blocked\n"
+      (String.concat "," (List.map string_of_int ts))
+  | GateStuck _ -> print_endline "!! replay gate stuck (schedule infeasible)"
+  | StepLimit -> print_endline "!! step limit exceeded");
+  Printf.printf "(%d steps, %d threads)\n" o.steps (List.length o.counters)
+
+(* ---- common args ---- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.cl" ~doc:"Subject program")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler random seed")
+
+let stick_arg =
+  Arg.(value & opt int 8 & info [ "stickiness" ] ~doc:"Scheduler run-length (1 = uniform random)")
+
+let variant_conv =
+  Arg.enum
+    [ ("basic", Light_core.Light.v_basic); ("o1", Light_core.Light.v_o1);
+      ("both", Light_core.Light.v_both) ]
+
+let variant_arg =
+  Arg.(value & opt variant_conv Light_core.Light.v_both
+       & info [ "variant" ] ~doc:"Recorder variant: basic | o1 | both")
+
+(* ---- subcommands ---- *)
+
+let run_cmd =
+  let run file seed stickiness trace =
+    let p = or_die (read_program file) in
+    let plan = (Instrument.Transformer.transform p).plan in
+    let o =
+      Runtime.Interp.run ~plan ~collect_trace:trace ~sched:(sched_of ~seed ~stickiness) p
+    in
+    print_outcome o;
+    if trace then
+      List.iter
+        (fun a -> Format.printf "%a@." Runtime.Event.pp_access a)
+        o.trace
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the shared-access trace") in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a program under a seeded scheduler")
+    Term.(const run $ file_arg $ seed_arg $ stick_arg $ trace)
+
+let analyze_cmd =
+  let run file =
+    let p = or_die (read_program file) in
+    let a = Analysis.Analyze.analyze p in
+    print_endline (Analysis.Analyze.summary a);
+    Analysis.Analyze.TM.iter
+      (fun _ (tc : Analysis.Analyze.target_class) ->
+        Printf.printf "  %-12s shared=%b%s (%d sites)\n"
+          (Analysis.Sites.target_to_string tc.target)
+          tc.shared
+          (match tc.guarded_by with Some l -> " guarded-by=" ^ l | None -> "")
+          (List.length tc.sites))
+      a.targets;
+    List.iter
+      (fun (r : Analysis.Analyze.race_pair) ->
+        Printf.printf "  race on %s: line %d <-> line %d\n"
+          (Analysis.Sites.target_to_string r.on) r.t1.line r.t2.line)
+      a.races
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Static analysis: shared targets, guards, races")
+    Term.(const run $ file_arg)
+
+let record_cmd =
+  let run file seed stickiness variant out =
+    let p = or_die (read_program file) in
+    let r = Light_core.Light.record ~variant ~sched:(sched_of ~seed ~stickiness) p in
+    print_outcome r.outcome;
+    Printf.printf "recorded %d deps + %d ranges = %d longs (overhead %.0f%%)\n"
+      (List.length r.log.deps) (List.length r.log.ranges) r.space_longs
+      (100. *. r.overhead);
+    match out with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Light_core.Log.to_string r.log));
+      Printf.printf "log written to %s\n" path
+    | None -> ()
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Write the log here")
+  in
+  Cmd.v (Cmd.info "record" ~doc:"Record a run with the Light recorder")
+    Term.(const run $ file_arg $ seed_arg $ stick_arg $ variant_arg $ out)
+
+let replay_cmd =
+  let run file logfile =
+    let p = or_die (read_program file) in
+    let log =
+      Light_core.Log.of_string (In_channel.with_open_text logfile In_channel.input_all)
+    in
+    let report = Light_core.Replayer.solve log in
+    (match report.schedule with
+    | None -> or_die (Error "constraint system unsatisfiable")
+    | Some sch ->
+      Printf.printf "solved %d vars, %d clauses in %.3fs (%d decisions, %d backtracks)\n"
+        report.n_vars report.n_clauses report.solve_time_s report.solver_stats.decisions
+        report.solver_stats.backtracks;
+      let plan = (Instrument.Transformer.transform p).plan in
+      let o = Light_core.Replayer.replay p ~plan sch in
+      print_outcome o)
+  in
+  let log_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"LOG" ~doc:"Recorded log file")
+  in
+  Cmd.v (Cmd.info "replay" ~doc:"Compute a schedule from a log and replay it")
+    Term.(const run $ file_arg $ log_arg)
+
+let roundtrip_cmd =
+  let run file seed stickiness variant =
+    let p = or_die (read_program file) in
+    match
+      Light_core.Light.record_and_replay ~variant ~sched:(sched_of ~seed ~stickiness) p
+    with
+    | Error e -> or_die (Error e)
+    | Ok (r, rr) ->
+      Printf.printf "original:\n";
+      print_outcome r.outcome;
+      Printf.printf "replay:\n";
+      print_outcome rr.replay_outcome;
+      if rr.faithful = [] then print_endline "REPLAY FAITHFUL (Theorem 1 observables match)"
+      else begin
+        print_endline "REPLAY MISMATCH:";
+        List.iter (fun m -> print_endline ("  " ^ m)) rr.faithful
+      end
+  in
+  Cmd.v (Cmd.info "roundtrip" ~doc:"Record, solve, replay and verify determinism")
+    Term.(const run $ file_arg $ seed_arg $ stick_arg $ variant_arg)
+
+let weave_cmd =
+  let run file =
+    let p = or_die (read_program file) in
+    let tr = Instrument.Transformer.transform p in
+    Printf.printf "%d/%d sites instrumented, %d lock-guarded (O2)\n\n"
+      tr.instrumented_sites tr.total_access_sites tr.guarded_sites;
+    Format.printf "%a@." Lang.Pp.pp_program (Instrument.Transformer.weave tr p)
+  in
+  Cmd.v (Cmd.info "weave" ~doc:"Show the instrumented source view")
+    Term.(const run $ file_arg)
+
+let bugs_cmd =
+  let run tries =
+    Report.Experiments.fig6 ~tries () Format.std_formatter
+  in
+  let tries = Arg.(value & opt int 60 & info [ "tries" ] ~doc:"Trigger search budget") in
+  Cmd.v (Cmd.info "bugs" ~doc:"Reproduce the 8-bug suite (Figure 6)")
+    Term.(const run $ tries)
+
+let bench_cmd =
+  let run () =
+    let ms = Report.Experiments.measure_all () in
+    Report.Experiments.fig4 ms Format.std_formatter;
+    Report.Experiments.fig5 ms Format.std_formatter;
+    Report.Experiments.fig7 ms Format.std_formatter
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Run the 24-benchmark overhead comparison (Figures 4/5/7)")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "light" ~version:"1.0"
+       ~doc:"Light: replay via tightly bounded recording (PLDI 2015)")
+    [ run_cmd; analyze_cmd; record_cmd; replay_cmd; roundtrip_cmd; weave_cmd; bugs_cmd; bench_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/cache4j_debug.ml: Bugs List Option Printf Runtime

@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Lang Light_core List Printf Runtime

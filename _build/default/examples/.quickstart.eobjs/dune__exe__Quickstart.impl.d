@@ -1,0 +1,1 @@
+examples/quickstart.ml: Lang Light_core List Printf Runtime

@@ -1,0 +1,1 @@
+examples/solver_demo.ml: Array Dlsolver Idl List Printf String

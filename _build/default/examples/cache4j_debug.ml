@@ -1,0 +1,45 @@
+(** The paper's motivating scenario (Sections 1-2): a Cache4j crash that
+    manifests only under a rare interleaving.  We search for a failing
+    schedule, record it with Light, and replay the crash deterministically —
+    then show why the two alternative approaches miss it.
+
+    Run with: dune exec examples/cache4j_debug.exe *)
+
+let () =
+  let bug = Option.get (Bugs.Defs.by_name "Cache4j") in
+  Printf.printf "bug: %s — %s\n  (%s)\n\n" bug.name bug.kind bug.summary;
+  let program = Bugs.Defs.program_of bug () in
+
+  (* profiling: hunt for a schedule that triggers the failure *)
+  match Bugs.Harness.find_trigger ~tries:60 program with
+  | None -> print_endline "no triggering schedule found (raise ~tries)"
+  | Some trigger ->
+    Printf.printf "triggering schedule found: %s\n" trigger.descr;
+    List.iter
+      (fun (c : Runtime.Interp.crash) ->
+        Printf.printf "  thread %d crashes at line %d: %s\n" c.tid c.line c.msg)
+      trigger.outcome.crashes;
+
+    (* Light: record that run and replay the crash *)
+    let light = Bugs.Harness.try_light bug trigger in
+    Printf.printf "\nLight:   %s (%s)\n"
+      (if light.reproduced then "crash REPRODUCED deterministically" else "failed")
+      light.detail;
+
+    (* Clap: records only branches; must synthesize the schedule from values *)
+    let clap = Bugs.Harness.try_clap bug trigger in
+    Printf.printf "Clap:    %s (%s)\n"
+      (if clap.reproduced then "reproduced" else "failed")
+      clap.detail;
+
+    (* Chimera: patches the racing methods with locks first *)
+    let chimera = Bugs.Harness.try_chimera bug trigger in
+    Printf.printf "Chimera: %s (%s)\n"
+      (if chimera.reproduced then "reproduced" else "failed")
+      chimera.detail;
+
+    print_newline ();
+    print_endline
+      "Cache4j's race is inside two rarely-parallel methods, so Chimera's patch\n\
+       serializes it away — exactly the failure mode Section 5.3 reports.  Light's\n\
+       flow-dependence recording reproduces it with a formal guarantee (Theorem 1)."

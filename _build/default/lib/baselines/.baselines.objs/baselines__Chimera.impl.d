@@ -1,0 +1,1 @@
+lib/baselines/chimera.ml: Analysis Array Ast Event Hashtbl Interp Lang List Loc Metrics Option Printf Runtime Value

@@ -1,0 +1,1 @@
+lib/baselines/clap.ml: Array Ast Hashtbl Interp Lang List Metrics Printf Runtime Sched String Value

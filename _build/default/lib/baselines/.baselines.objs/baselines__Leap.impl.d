@@ -1,0 +1,1 @@
+lib/baselines/leap.ml: Array Event Hashtbl Interp List Loc Metrics Option Runtime Value

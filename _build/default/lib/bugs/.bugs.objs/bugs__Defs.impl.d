@@ -1,0 +1,1 @@
+lib/bugs/defs.ml: Lang List Printf String

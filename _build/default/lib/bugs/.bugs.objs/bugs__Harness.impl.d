@@ -1,0 +1,1 @@
+lib/bugs/harness.ml: Baselines Defs Instrument Interp Lang Light_core List Plan Printf Runtime Sched String

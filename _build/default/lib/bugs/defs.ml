@@ -1,0 +1,590 @@
+(** The eight real-world bug models of Section 5.3 (Figure 6).
+
+    Each model reproduces the cited bug's interaction pattern in the subject
+    language, at kernel scale, with the properties the paper's H2 comparison
+    turns on:
+
+    - the three bugs Chimera misses (Cache4j, Tomcat-37458, Tomcat-50885)
+      are {e statement-level data races inside methods that rarely run in
+      parallel}: Chimera's patch wraps the racing methods in a mutual
+      exclusion lock, and the buggy interleaving becomes impossible;
+    - the five bugs Clap misses (Ftpserver, Lucene-481, Lucene-651,
+      Tomcat-53498, Weblech) are {e atomicity violations across properly
+      locked regions} whose state lives in hash maps / behind opaque
+      computations — no data race for Chimera to serialize, but value
+      reasoning outside the solver-supported fragment for Clap;
+    - all eight arise from the use of an illegal value (Definition 3.2):
+      null dereference, divide-by-zero, out-of-bounds index, assertion
+      violation.
+
+    [source scale] embeds background load proportional to [scale], so Table 1
+    measurements can reproduce the paper's relative log sizes; reproduction
+    tests use [scale = 1]. *)
+
+type bug = {
+  name : string;        (** paper's benchmark name *)
+  bug_id : string;      (** Apache database id as cited *)
+  kind : string;        (** exception class the bug raises *)
+  summary : string;
+  clap_supported : bool;   (** within the solver fragment (expected) *)
+  chimera_hidden : bool;   (** patch serializes the bug away (expected) *)
+  table1_scale : int;      (** background-load factor used for Table 1 *)
+  source : int -> string;
+}
+
+let cache4j : bug =
+  {
+    name = "Cache4j";
+    bug_id = "Cache4j (running example)";
+    kind = "ArithmeticException";
+    summary =
+      "put() resets _createTime non-atomically; a concurrent get() observes \
+       the transient 0 and divides by it when computing the object's age";
+    clap_supported = true;
+    chimera_hidden = true;
+    table1_scale = 60;
+    source =
+      (fun scale ->
+        Printf.sprintf
+          {|
+class CacheObject { createTime; value; }
+global cache; global now; global stats;
+
+fn put(v) {
+  // resetCacheObject: the non-atomic two-step update (the race)
+  cache.createTime = 0;
+  cache.value = v;
+  cache.createTime = now + v;
+}
+
+fn get() {
+  t = cache.createTime;
+  age = 1000 / t;          // ArithmeticException when caught mid-reset
+  return age;
+}
+
+fn putter(n) {
+  i = 0;
+  while (i < n) { put(i + 1); i = i + 1; }
+}
+
+fn getter(n) {
+  i = 0;
+  while (i < n) { g = get(); stats.value = stats.value + g; i = i + 1; }
+}
+
+main {
+  cache = new CacheObject;
+  stats = new CacheObject;
+  stats.value = 0;
+  now = 5;
+  cache.createTime = 1;
+  cache.value = 0;
+  spawn p = putter(%d);
+  spawn g = getter(%d);
+  join p;
+  join g;
+  print stats.value;
+}
+|}
+          (4 * scale) (4 * scale));
+  }
+
+let ftpserver : bug =
+  {
+    name = "Ftpserver";
+    bug_id = "FTPSERVER (connection close race)";
+    kind = "NullPointerException";
+    summary =
+      "a handler checks the session's output stream under the lock, the \
+       closer nulls it in its own locked region, and the handler's second \
+       locked region dereferences the stale stream";
+    clap_supported = false;  (* session state lives in a HashMap *)
+    chimera_hidden = false;  (* fully locked: no race to patch *)
+    table1_scale = 4;
+    source =
+      (fun scale ->
+        Printf.sprintf
+          {|
+class Conn { out; user; }
+class Stream { n; }
+global sessions;   // user -> Conn
+global lk;
+
+fn close_session(u) {
+  sync (lk) {
+    c = sessions{u};
+    c.out = null;      // close the stream
+  }
+}
+
+fn handler(u, rounds) {
+  i = 0;
+  while (i < rounds) {
+    ok = false;
+    sync (lk) {
+      c = sessions{u};
+      o = c.out;
+      if (o != null) { ok = true; }
+    }
+    if (ok) {
+      // atomicity violation window: close_session may run here
+      sync (lk) {
+        c2 = sessions{u};
+        o2 = c2.out;
+        o2.n = o2.n + 1;   // NullPointerException
+      }
+    }
+    i = i + 1;
+  }
+}
+
+main {
+  sessions = newmap;
+  lk = new Conn;
+  c0 = new Conn;
+  s0 = new Stream;
+  s0.n = 0;
+  c0.out = s0;
+  sync (lk) { sessions{7} = c0; }
+  spawn h = handler(7, %d);
+  spawn k = close_session(7);
+  join h;
+  join k;
+  print 1;
+}
+|}
+          (2 * scale));
+  }
+
+let lucene481 : bug =
+  {
+    name = "Lucene-481";
+    bug_id = "LUCENE-481";
+    kind = "AssertionError";
+    summary =
+      "IndexReader close races with a searcher: the reader's file table \
+       (a hash map keyed by hashed segment names) is cleared between the \
+       searcher's existence check and its read";
+    clap_supported = false;  (* hash-keyed map + #hash computation *)
+    chimera_hidden = false;
+    table1_scale = 220;
+    source =
+      (fun scale ->
+        Printf.sprintf
+          {|
+class Reader { open_; refs; }
+global files;    // segment-hash -> doc count
+global rdr;
+global lk;
+
+fn close_reader() {
+  sync (lk) {
+    rdr.open_ = 0;
+    k = #hash("seg0");
+    files{k} = null;      // release the segment table entry
+  }
+}
+
+fn search(rounds) {
+  i = 0;
+  while (i < rounds) {
+    k = #hash("seg0");
+    avail = false;
+    sync (lk) {
+      st = rdr.open_;
+      if (st == 1) { avail = true; }
+    }
+    if (avail) {
+      sync (lk) {
+        d = files{k};
+        assert d != null;   // AssertionError: file table gone
+        rdr.refs = rdr.refs + 1;
+      }
+    }
+    i = i + 1;
+  }
+}
+
+main {
+  rdr = new Reader;
+  rdr.open_ = 1;
+  rdr.refs = 0;
+  lk = new Reader;
+  files = newmap;
+  k0 = #hash("seg0");
+  files{k0} = 10;
+  spawn s = search(%d);
+  spawn c = close_reader();
+  join s;
+  join c;
+  print rdr.refs;
+}
+|}
+          (3 * scale));
+  }
+
+let lucene651 : bug =
+  {
+    name = "Lucene-651";
+    bug_id = "LUCENE-651";
+    kind = "NullPointerException";
+    summary =
+      "two caches (per-field and per-reader, both hash maps) are updated in \
+       separate locked regions; evicting one between a writer's two updates \
+       leaves a dangling entry that a reader dereferences";
+    clap_supported = false;
+    chimera_hidden = false;
+    table1_scale = 520;
+    source =
+      (fun scale ->
+        Printf.sprintf
+          {|
+class Entry { v; }
+global cacheA;   // field -> Entry
+global cacheB;   // reader -> Entry (mirror)
+global lk;
+
+fn writer(rounds) {
+  i = 0;
+  while (i < rounds) {
+    e = new Entry;
+    e.v = i;
+    sync (lk) { cacheA{i %% 3} = e; }
+    // window: evictor may clear cacheB here
+    sync (lk) { cacheB{i %% 3} = e; }
+    i = i + 1;
+  }
+}
+
+fn evictor(rounds) {
+  i = 0;
+  while (i < rounds) {
+    sync (lk) { cacheB{i %% 3} = null; }
+    i = i + 1;
+  }
+}
+
+fn reader(rounds) {
+  i = 0;
+  while (i < rounds) {
+    okA = false;
+    sync (lk) {
+      a = cacheA{i %% 3};
+      if (a != null) { okA = true; }
+    }
+    if (okA) {
+      sync (lk) {
+        b = cacheB{i %% 3};
+        x = b.v;            // NullPointerException: mirror evicted
+      }
+    }
+    i = i + 1;
+  }
+}
+
+main {
+  cacheA = newmap;
+  cacheB = newmap;
+  lk = new Entry;
+  spawn w = writer(%d);
+  spawn e = evictor(%d);
+  spawn r = reader(%d);
+  join w;
+  join e;
+  join r;
+  print 1;
+}
+|}
+          (3 * scale) (2 * scale) (3 * scale));
+  }
+
+let tomcat37458 : bug =
+  {
+    name = "Tomcat-37458";
+    bug_id = "Tomcat bug 37458";
+    kind = "NullPointerException";
+    summary =
+      "session invalidation races with access: invalidate() nulls the \
+       attribute table before clearing the valid flag, so a concurrent \
+       getAttribute() passes the validity check and reads null";
+    clap_supported = true;
+    chimera_hidden = true;
+    table1_scale = 4;
+    source =
+      (fun scale ->
+        Printf.sprintf
+          {|
+class Session { valid; data; }
+global sess;
+global sink;
+
+fn invalidate() {
+  sess.data = null;     // wrong order: data cleared first
+  sess.valid = 0;
+}
+
+fn access(rounds) {
+  i = 0;
+  while (i < rounds) {
+    v = sess.valid;
+    if (v == 1) {
+      d = sess.data;
+      x = d.valid;        // NullPointerException in the window
+      sink.valid = x;
+    }
+    i = i + 1;
+  }
+}
+
+main {
+  sess = new Session;
+  sink = new Session;
+  aux = new Session;
+  aux.valid = 9;
+  sess.valid = 1;
+  sess.data = aux;
+  spawn a = access(%d);
+  spawn b = invalidate();
+  join a;
+  join b;
+  print 1;
+}
+|}
+          (3 * scale));
+  }
+
+let tomcat50885 : bug =
+  {
+    name = "Tomcat-50885";
+    bug_id = "Tomcat bug 50885";
+    kind = "ArrayIndexOutOfBoundsException";
+    summary =
+      "a connection-pool counter is decremented without synchronization by \
+       two rarely-parallel maintenance methods; the double decrement drives \
+       the free-slot index negative";
+    clap_supported = true;
+    chimera_hidden = true;
+    table1_scale = 130;
+    source =
+      (fun scale ->
+        Printf.sprintf
+          {|
+class Pool { n; }
+global pool;
+global slots;
+global sink;
+
+fn release(rounds) {
+  // racy check-then-decrement (no lock): safe when serialized, but two
+  // interleaved releases both pass the check and double-decrement
+  i = 0;
+  while (i < rounds) {
+    k = pool.n;
+    if (k > 0) {
+      pool.n = pool.n - 1;
+      j = pool.n;
+      x = slots[j];          // AIOOBE when double-decremented to -1
+      sink.n = sink.n + x;
+    }
+    i = i + 1;
+  }
+}
+
+main {
+  pool = new Pool;
+  sink = new Pool;
+  sink.n = 0;
+  slots = new[4];
+  pool.n = 1;
+  spawn r1 = release(%d);
+  spawn r2 = release(%d);
+  join r1;
+  join r2;
+  print pool.n;
+}
+|}
+          scale scale);
+  }
+
+let tomcat53498 : bug =
+  {
+    name = "Tomcat-53498";
+    bug_id = "Tomcat bug 53498";
+    kind = "NullPointerException";
+    summary =
+      "a registry's get-or-create is split across two locked regions; a \
+       concurrent shutdown clears the registry map between them, and the \
+       creator's published entry vanishes before use";
+    clap_supported = false;
+    chimera_hidden = false;
+    table1_scale = 9;
+    source =
+      (fun scale ->
+        Printf.sprintf
+          {|
+class Box { v; }
+global registry;   // name -> Box
+global lk;
+
+fn get_or_create(key, rounds) {
+  i = 0;
+  while (i < rounds) {
+    have = false;
+    sync (lk) {
+      h = maphas(registry, key);
+      if (h) { have = true; }
+    }
+    if (!have) {
+      b = new Box;
+      b.v = key;
+      sync (lk) { registry{key} = b; }
+    }
+    // use it; shutdown may have cleared the map in between
+    sync (lk) {
+      e = registry{key};
+      u = e.v;             // NullPointerException
+    }
+    i = i + 1;
+  }
+}
+
+fn shutdown() {
+  sync (lk) {
+    registry{1} = null;
+    registry{2} = null;
+  }
+}
+
+main {
+  registry = newmap;
+  lk = new Box;
+  spawn a = get_or_create(1, %d);
+  spawn b = get_or_create(2, %d);
+  spawn s = shutdown();
+  join a;
+  join b;
+  join s;
+  print 1;
+}
+|}
+          (2 * scale) (2 * scale));
+  }
+
+let weblech : bug =
+  {
+    name = "Weblech";
+    bug_id = "Weblech (crawler queue race)";
+    kind = "NullPointerException";
+    summary =
+      "the crawler's download queue and visited set (hash maps keyed by \
+       url strings) are updated in separate locked regions; a concurrent \
+       drain empties the queue between a worker's poll check and its take";
+    clap_supported = false;
+    chimera_hidden = false;
+    table1_scale = 1;
+    source =
+      (fun scale ->
+        Printf.sprintf
+          {|
+class Url { s; }
+global queue;     // depth -> url string
+global visited;   // url -> flag
+global lk;
+
+fn worker(rounds) {
+  i = 0;
+  while (i < rounds) {
+    url = "";
+    nonempty = false;
+    sync (lk) {
+      h = maphas(queue, 0);
+      if (h) { nonempty = true; }
+    }
+    if (nonempty) {
+      sync (lk) {
+        u = queue{0};
+        s = #strcat(u.s, "/page");   // NullPointerException on drained queue
+        visited{s} = 1;
+      }
+    }
+    i = i + 1;
+  }
+}
+
+fn drainer() {
+  sync (lk) { queue{0} = null; }
+}
+
+main {
+  queue = newmap;
+  visited = newmap;
+  lk = new Url;
+  u0 = new Url;
+  u0.s = "http://root";
+  queue{0} = u0;
+  spawn w = worker(%d);
+  spawn d = drainer();
+  join w;
+  join d;
+  print 1;
+}
+|}
+          (2 * scale));
+  }
+
+let all : bug list =
+  [ cache4j; ftpserver; lucene481; lucene651; tomcat37458; tomcat50885; tomcat53498; weblech ]
+
+let by_name (n : string) : bug option =
+  List.find_opt (fun b -> String.lowercase_ascii b.name = String.lowercase_ascii n) all
+
+(* Table-1 background load: the paper's bugs occur inside full application
+   runs, so the recorded logs are dominated by ordinary (non-buggy) shared
+   traffic.  [inject_background] adds two worker threads hammering a wide
+   shared array; the per-bug [table1_scale] reproduces the paper's relative
+   log sizes.  The array is wide (128 slots) so per-location dependence
+   chains stay short and constraint generation stays tractable, as in any
+   realistic heap. *)
+let inject_background (src : string) ~(iters : int) : string =
+  let decls =
+    Printf.sprintf
+      {|
+global $bgarr;
+fn $bgload(id) {
+  arr = $bgarr;
+  i = 0;
+  while (i < %d) {
+    v = arr[(id * 31 + i * 7) %% 128];
+    arr[(id * 17 + i * 11) %% 128] = v + id;
+    i = i + 1;
+  }
+}
+|}
+      iters
+  in
+  let prefix = "\n$bgarr = new[128];\nspawn $bg1 = $bgload(1);\nspawn $bg2 = $bgload(2);\n" in
+  let suffix = "join $bg1;\njoin $bg2;\n" in
+  match String.index_opt src 'm' with
+  | _ ->
+    let marker = "main {" in
+    let rec find i =
+      if i + String.length marker > String.length src then None
+      else if String.sub src i (String.length marker) = marker then Some i
+      else find (i + 1)
+    in
+    (match find 0, String.rindex_opt src '}' with
+    | Some mi, Some last ->
+      let insert_at = mi + String.length marker in
+      decls
+      ^ String.sub src 0 insert_at
+      ^ prefix
+      ^ String.sub src insert_at (last - insert_at)
+      ^ suffix
+      ^ String.sub src last (String.length src - last)
+    | _ -> src)
+
+let program_of (b : bug) ?(scale = 1) ?(background = false) () : Lang.Ast.program =
+  let src = b.source scale in
+  let src = if background then inject_background src ~iters:(scale * 4) else src in
+  Lang.Check.validate_exn (Lang.Parser.parse_program src)

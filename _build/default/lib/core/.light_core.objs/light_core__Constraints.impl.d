@@ -1,0 +1,1 @@
+lib/core/constraints.ml: Array Dlsolver Hashtbl List Loc Log Option Runtime

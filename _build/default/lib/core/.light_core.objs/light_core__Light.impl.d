@@ -1,0 +1,1 @@
+lib/core/light.ml: Instrument Interp Lang Log Metrics Plan Recorder Replayer Runtime Sched

@@ -1,0 +1,1 @@
+lib/core/log.ml: Buffer Char Fmt List Loc Option Printf Runtime Scanf String Value

@@ -1,0 +1,1 @@
+lib/core/recorder.ml: Event Hashtbl Interp List Loc Log Metrics Plan Runtime

@@ -1,0 +1,1 @@
+lib/core/recorder.mli: Event Interp Log Metrics Plan Runtime

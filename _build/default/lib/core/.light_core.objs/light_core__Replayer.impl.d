@@ -1,0 +1,1 @@
+lib/core/replayer.ml: Array Constraints Dlsolver Event Hashtbl Interp Lang List Loc Log Option Plan Runtime Sched Unix Value

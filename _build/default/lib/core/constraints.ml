@@ -1,0 +1,253 @@
+(** Offline constraint generation (Section 4.2, Equation 1).
+
+    Every recorded artifact is normalized to an {e interval} of same-thread
+    accesses to one location:
+
+    - a dep [w -> [rf..rl]] yields a read interval [[rf..rl]] with source
+      [w], plus a singleton write interval for [w] when [w] is not already
+      interior to a recorded interval of its thread;
+    - an O1 range yields an interval [[lo..hi]] with its [w_in] source;
+      referenced sources again materialize as singleton write intervals.
+
+    The constraint system over the order variables [O(tid,c)]:
+
+    + {b thread order}: for the referenced events of each thread, sorted by
+      counter, [O(e_i) < O(e_{i+1})] — the intra-thread order the paper
+      derives for free from thread-local counters;
+    + {b dependence}: [O(src) < O(start I)] for each sourced interval;
+    + {b initial-value reads}: an interval reading the virtual initialization
+      write must end before the start of every write-bearing interval on the
+      location (Java default initialization makes this a flow dependence on
+      the allocation; the paper leaves it implicit);
+    + {b noninterference}: Equation 1's disjunction, generalized from single
+      dependences to intervals.  The {e protected zone} of an interval [I]
+      that reads is [(zstart(I) .. end I]] where [zstart(I)] is its source
+      write when it has one (the reads at the start of [I] obtain their value
+      from that write, so no other write may land after it and before the
+      last read), and [start I] otherwise (its reads see its own writes).
+      For every write-bearing interval [J]:
+      [O(end I) < O(start J) \/ O(end J) < O(zstart I)].
+      When [zstart(I)] is itself an event of [J] it is necessarily [J]'s
+      last write and no constraint is needed beyond the hard source edge.
+
+    Literals are ordered by the recording observation stamps so the original
+    schedule acts as an implicit witness for the DPLL search. *)
+
+open Runtime
+
+type interval = {
+  iv_loc : Loc.t;
+  start_e : Log.evt;
+  end_e : Log.evt;
+  writes : bool;
+  reads : bool;
+  src : Log.evt option option;
+      (** [None]: no incoming dependence; [Some None]: virtual init write;
+          [Some (Some w)]: recorded write *)
+  obs : int;
+}
+
+type t = {
+  problem : Dlsolver.Idl.problem;
+  vars : (Log.evt, int) Hashtbl.t;
+  evts : Log.evt array;          (** var index -> event *)
+  intervals : interval list;
+  n_hard : int;
+  n_clauses : int;
+}
+
+module LMap = Loc.Map
+
+let intervals_of_log (log : Log.t) : interval list =
+  let base =
+    List.map
+      (fun (d : Log.dep) ->
+        {
+          iv_loc = d.loc;
+          start_e = d.rf;
+          end_e = (fst d.rf, d.rl_c);
+          writes = false;
+          reads = true;
+          src = Some d.w;
+          obs = d.dep_obs;
+        })
+      log.deps
+    @ List.map
+        (fun (r : Log.range) ->
+          {
+            iv_loc = r.loc;
+            start_e = (r.rt, r.lo);
+            end_e = (r.rt, r.hi);
+            writes = r.has_write;
+            reads = true;  (* only runs containing reads are recorded *)
+            src = (if r.prefix_reads then Some r.w_in else None);
+            obs = r.rng_obs;
+          })
+        log.ranges
+  in
+  (* group by location to materialize referenced writes *)
+  let by_loc =
+    List.fold_left
+      (fun m iv ->
+        LMap.update iv.iv_loc
+          (fun prev -> Some (iv :: Option.value ~default:[] prev))
+          m)
+      LMap.empty base
+  in
+  let singletons =
+    LMap.fold
+      (fun loc ivs acc ->
+        let covered (t, c) =
+          List.exists
+            (fun iv ->
+              fst iv.start_e = t && snd iv.start_e <= c && c <= snd iv.end_e
+              && Loc.equal iv.iv_loc loc)
+            ivs
+        in
+        let srcs =
+          List.filter_map (fun iv -> match iv.src with Some (Some w) -> Some (w, iv.obs) | _ -> None) ivs
+        in
+        let seen = Hashtbl.create 8 in
+        List.fold_left
+          (fun acc (w, obs) ->
+            if Hashtbl.mem seen w || covered w then acc
+            else begin
+              Hashtbl.add seen w ();
+              {
+                iv_loc = loc;
+                start_e = w;
+                end_e = w;
+                writes = true;
+                reads = false;
+                src = None;
+                (* heuristic stamp: the write happened just before its reader *)
+                obs = obs - 1;
+                }
+              :: acc
+            end)
+          acc srcs)
+      by_loc []
+  in
+  base @ singletons
+
+let generate (log : Log.t) : t =
+  let intervals = intervals_of_log log in
+  (* variable per referenced event *)
+  let vars : (Log.evt, int) Hashtbl.t = Hashtbl.create 1024 in
+  let evts_rev = ref [] in
+  let var (e : Log.evt) : int =
+    match Hashtbl.find_opt vars e with
+    | Some v -> v
+    | None ->
+      let v = Hashtbl.length vars in
+      Hashtbl.add vars e v;
+      evts_rev := e :: !evts_rev;
+      v
+  in
+  List.iter
+    (fun iv ->
+      ignore (var iv.start_e);
+      ignore (var iv.end_e);
+      match iv.src with Some (Some w) -> ignore (var w) | _ -> ())
+    intervals;
+  let hard = ref [] in
+  let add_hard a b = hard := Dlsolver.Idl.lt a b :: !hard in
+  (* thread order *)
+  let by_tid : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (t, c) _ ->
+      match Hashtbl.find_opt by_tid t with
+      | Some l -> l := c :: !l
+      | None -> Hashtbl.add by_tid t (ref [ c ]))
+    vars;
+  Hashtbl.iter
+    (fun t cs ->
+      let sorted = List.sort_uniq compare !cs in
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+          add_hard (var (t, a)) (var (t, b));
+          chain rest
+        | _ -> ()
+      in
+      chain sorted)
+    by_tid;
+  (* dependence edges and init constraints *)
+  let by_loc =
+    List.fold_left
+      (fun m iv ->
+        LMap.update iv.iv_loc (fun p -> Some (iv :: Option.value ~default:[] p)) m)
+      LMap.empty intervals
+  in
+  LMap.iter
+    (fun _ ivs ->
+      List.iter
+        (fun iv ->
+          match iv.src with
+          | Some (Some w) -> add_hard (var w) (var iv.start_e)
+          | Some None | None -> ())
+        ivs)
+    by_loc;
+  (* noninterference: protect each reading interval's zone from every
+     write-bearing interval *)
+  let clauses = ref [] in
+  let inside (t, c) (j : interval) =
+    fst j.start_e = t && snd j.start_e <= c && c <= snd j.end_e
+  in
+  LMap.iter
+    (fun _ ivs ->
+      let sorted = List.sort (fun a b -> compare a.obs b.obs) ivs in
+      List.iter
+        (fun i ->
+          if i.reads then
+            List.iter
+              (fun j ->
+                if j != i && j.writes then
+                  match i.src with
+                  | Some None ->
+                    (* initial-value reads precede every write on the loc *)
+                    add_hard (var i.end_e) (var j.start_e)
+                  | Some (Some w) ->
+                    if not (inside w j) then begin
+                      (* the first literal matches the original order when i
+                         was observed before j *)
+                      let lits =
+                        if i.obs <= j.obs then
+                          [| Dlsolver.Idl.lt (var i.end_e) (var j.start_e);
+                             Dlsolver.Idl.lt (var j.end_e) (var w) |]
+                        else
+                          [| Dlsolver.Idl.lt (var j.end_e) (var w);
+                             Dlsolver.Idl.lt (var i.end_e) (var j.start_e) |]
+                      in
+                      clauses := (max i.obs j.obs, lits) :: !clauses
+                    end
+                  | None ->
+                    if fst i.start_e <> fst j.start_e then begin
+                      let lits =
+                        if i.obs <= j.obs then
+                          [| Dlsolver.Idl.lt (var i.end_e) (var j.start_e);
+                             Dlsolver.Idl.lt (var j.end_e) (var i.start_e) |]
+                        else
+                          [| Dlsolver.Idl.lt (var j.end_e) (var i.start_e);
+                             Dlsolver.Idl.lt (var i.end_e) (var j.start_e) |]
+                      in
+                      clauses := (max i.obs j.obs, lits) :: !clauses
+                    end
+              )
+              sorted)
+        sorted)
+    by_loc;
+  let clause_arr =
+    List.sort (fun (o1, _) (o2, _) -> compare o1 o2) !clauses
+    |> List.map snd |> Array.of_list
+  in
+  let problem =
+    { Dlsolver.Idl.nvars = Hashtbl.length vars; hard = List.rev !hard; clauses = clause_arr }
+  in
+  {
+    problem;
+    vars;
+    evts = Array.of_list (List.rev !evts_rev);
+    intervals;
+    n_hard = List.length problem.hard;
+    n_clauses = Array.length clause_arr;
+  }

@@ -1,0 +1,82 @@
+(** Light: record/replay via tightly bounded recording — the public API.
+
+    Typical use:
+    {[
+      let p = Lang.Parser.parse_file "prog.cl" in
+      let rec_ = Light.record ~sched:(Runtime.Sched.random ~seed:7) p in
+      match Light.replay rec_ with
+      | Ok rr -> assert (rr.faithful = [])
+      | Error msg -> prerr_endline msg
+    ]} *)
+
+open Runtime
+
+type variant = Recorder.variant = { o1 : bool; o2 : bool }
+
+let v_basic = Recorder.v_basic
+let v_o1 = Recorder.v_o1
+let v_both = Recorder.v_both
+
+type recording = {
+  program : Lang.Ast.program;
+  plan : Plan.t;
+  variant : variant;
+  log : Log.t;
+  outcome : Interp.outcome;  (** the original run's observables *)
+  space_longs : int;         (** recorded data in long-integer units *)
+  overhead : float;          (** recording overhead fraction (0.44 = 44%) *)
+  meter : Metrics.Cost.meter;
+  instrumented_sites : int;
+}
+
+(** Run the transformer and execute the program under the Light recorder. *)
+let record ?(variant = Recorder.v_both) ?(sched = Sched.random ~seed:1)
+    ?(max_steps = 5_000_000) ?(seed = 0) ?(weights = Metrics.Cost.default_weights)
+    (program : Lang.Ast.program) : recording =
+  let tr = Instrument.Transformer.transform ~enable_o2:variant.o2 program in
+  let plan = tr.plan in
+  let recorder = Recorder.create ~variant ~weights plan in
+  let outcome =
+    Interp.run ~hooks:(Recorder.hooks recorder) ~plan ~max_steps ~seed ~sched program
+  in
+  let log = Recorder.finalize recorder ~outcome in
+  {
+    program;
+    plan;
+    variant;
+    log;
+    outcome;
+    space_longs = Log.space_longs log;
+    overhead = Metrics.Cost.overhead (Recorder.meter recorder) ~steps:outcome.steps;
+    meter = Recorder.meter recorder;
+    instrumented_sites = tr.instrumented_sites;
+  }
+
+type replay_result = {
+  replay_outcome : Interp.outcome;
+  faithful : Interp.mismatch list;  (** empty = Theorem 1 observables match *)
+  report : Replayer.solve_report;
+}
+
+(** Compute a replay schedule offline and execute the replay run. *)
+let replay ?max_steps (r : recording) : (replay_result, string) result =
+  let report = Replayer.solve r.log in
+  match report.schedule with
+  | None -> Error "constraint system unsatisfiable or solver aborted"
+  | Some sch ->
+    let replay_outcome = Replayer.replay ?max_steps r.program ~plan:r.plan sch in
+    Ok
+      {
+        replay_outcome;
+        faithful = Interp.replay_matches ~original:r.outcome ~replay:replay_outcome;
+        report;
+      }
+
+(** Record under [sched], replay, and report whether the Theorem-1
+    observables (per-thread read values, outputs, crashes) were reproduced. *)
+let record_and_replay ?variant ?sched ?max_steps ?seed (program : Lang.Ast.program) :
+    (recording * replay_result, string) result =
+  let r = record ?variant ?sched ?max_steps ?seed program in
+  match replay ?max_steps r with
+  | Ok rr -> Ok (r, rr)
+  | Error e -> Error e

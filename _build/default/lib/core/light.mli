@@ -1,0 +1,77 @@
+(** Light: record/replay via tightly bounded recording — the public API.
+
+    A {e recording} runs the program once under a nondeterministic
+    scheduler with the Light recorder installed (Algorithm 1 plus the O1/O2
+    optimizations, per the chosen {!variant}), capturing flow dependences,
+    nondeterministic system-call values, and the Theorem-1 observables of
+    the run.  {!replay} generates the Equation-1 constraint system, solves
+    it with the difference-logic engine, re-executes the program under the
+    solved schedule, and checks the determinism oracle.
+
+    {[
+      let p = Lang.Parser.parse_file "prog.cl" in
+      let r = Light.record ~sched:(Runtime.Sched.random ~seed:7) p in
+      match Light.replay r with
+      | Ok rr when rr.faithful = [] -> print_endline "deterministic replay"
+      | Ok rr -> List.iter print_endline rr.faithful
+      | Error e -> prerr_endline e
+    ]} *)
+
+open Runtime
+
+type variant = Recorder.variant = { o1 : bool; o2 : bool }
+
+(** Algorithm 1 only (with its prec compression). *)
+val v_basic : variant
+
+(** Plus Lemma 4.3: non-interleaved sequence records. *)
+val v_o1 : variant
+
+(** Plus Lemma 4.2: lock-guarded subsumption (the default). *)
+val v_both : variant
+
+type recording = {
+  program : Lang.Ast.program;
+  plan : Plan.t;             (** instrumentation plan used (and reused by replay) *)
+  variant : variant;
+  log : Log.t;               (** the recorded flow dependences *)
+  outcome : Interp.outcome;  (** the original run's observables *)
+  space_longs : int;         (** recorded data in the paper's long-integer unit *)
+  overhead : float;          (** modeled recording overhead (0.44 = 44%) *)
+  meter : Metrics.Cost.meter;
+  instrumented_sites : int;
+}
+
+val record :
+  ?variant:variant ->
+  ?sched:Sched.t ->
+  ?max_steps:int ->
+  ?seed:int ->
+  ?weights:Metrics.Cost.weights ->
+  Lang.Ast.program ->
+  recording
+(** Run the transformer and execute the program under the Light recorder.
+    [sched] defaults to a seeded random scheduler; [seed] feeds the
+    program-visible nondeterminism ([@rand] etc.). *)
+
+type replay_result = {
+  replay_outcome : Interp.outcome;
+  faithful : Interp.mismatch list;
+      (** empty iff the Theorem-1 observables (per-thread shared-read
+          values, outputs, crash signatures) match the original run *)
+  report : Replayer.solve_report;  (** solver statistics and timings *)
+}
+
+val replay : ?max_steps:int -> recording -> (replay_result, string) result
+(** Generate constraints, solve offline, and execute the replay run.
+    [Error _] only if the constraint system is unsatisfiable or the solver
+    aborts — which Lemma 4.1 rules out for logs this library records. *)
+
+val record_and_replay :
+  ?variant:variant ->
+  ?sched:Sched.t ->
+  ?max_steps:int ->
+  ?seed:int ->
+  Lang.Ast.program ->
+  (recording * replay_result, string) result
+(** [record] followed by [replay]. *)

@@ -1,0 +1,213 @@
+(** The Light recording: what survives the original run.
+
+    An access is identified by [(tid, c)] — thread id and the thread-local
+    counter value [D(t)] (Section 2.3).  Two record kinds exist:
+
+    - {!dep}: a flow dependence [w -> r] (Definition 3.1), compressed over
+      the common write-then-many-reads-by-one-thread idiom via the [prec]
+      map of Algorithm 1 (lines 7/9): [rl_c] is the counter of the *last*
+      read of the same write by the reading thread, so the offline phase can
+      materialize the implicit dependences.  [w = None] denotes a read of
+      the location's initial (allocation-time) value, modeled as a flow
+      dependence on a virtual initialization write that precedes every other
+      write to the location.
+
+    - {!range}: an O1 record (Lemma 4.3): a maximal sequence of consecutive
+      accesses to one location by one thread with no interleaving access to
+      that location.  Only the endpoints are recorded; interior dependences
+      are re-inferred from thread-local order.  [w_in] feeds the reads that
+      precede the range's first own write (if any).
+
+    Space is accounted in the paper's unit (long integers), with records
+    grouped per location as Leap's vectors are (location id amortized):
+    dep = w + rf (2) + 1 when the span is non-trivial;
+    range = lo + hi + w_in (3);
+    syscall = 2.  [obs] fields are global observation stamps used only as a
+    solver heuristic (clause ordering); a real deployment would get the same
+    effect from Z3's internal heuristics, so they are not charged. *)
+
+open Runtime
+
+type evt = int * int  (** (tid, counter) *)
+
+let evt_compare : evt -> evt -> int = compare
+let pp_evt fmt ((t, c) : evt) = Fmt.pf fmt "(%d,%d)" t c
+
+type dep = {
+  loc : Loc.t;
+  w : evt option;  (** [None]: virtual initialization write *)
+  rf : evt;        (** first read of this write by the reading thread *)
+  rl_c : int;      (** counter of the last such read (>= snd rf) *)
+  dep_obs : int;
+}
+
+type range = {
+  loc : Loc.t;
+  rt : int;        (** thread owning the run *)
+  lo : int;        (** counter of the first access *)
+  hi : int;        (** counter of the last access *)
+  w_in : evt option;  (** write feeding the prefix reads; [None] = initial value *)
+  prefix_reads : bool;  (** the run begins with reads (before any own write) *)
+  has_write : bool;
+  rng_obs : int;
+}
+
+type t = {
+  deps : dep list;
+  ranges : range list;
+  syscalls : (int * int * string * Value.t) list;  (** tid, idx, name, value *)
+  counters : (int * int) list;  (** final D(t) per thread *)
+  o1 : bool;
+  o2 : bool;
+}
+
+let empty = { deps = []; ranges = []; syscalls = []; counters = []; o1 = false; o2 = false }
+
+(* ------------------------------------------------------------------ *)
+(* Space accounting (long-integer units, Section 5.2)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Records are stored grouped by location (as Leap's per-location vectors
+   are), so the location id is amortized and not counted per record —
+   consistent with counting Leap at one long per access. *)
+let dep_longs (d : dep) : int = 2 + if d.rl_c > snd d.rf then 1 else 0
+let range_longs (_ : range) : int = 3
+
+let space_longs (l : t) : int =
+  List.fold_left (fun acc d -> acc + dep_longs d) 0 l.deps
+  + List.fold_left (fun acc r -> acc + range_longs r) 0 l.ranges
+  + (2 * List.length l.syscalls)
+
+let num_records (l : t) : int = List.length l.deps + List.length l.ranges
+
+(* ------------------------------------------------------------------ *)
+(* Serialization (line-oriented text; used by the CLI)                  *)
+(* ------------------------------------------------------------------ *)
+
+let evt_str = function None -> "-" | Some (t, c) -> Printf.sprintf "%d:%d" t c
+
+let evt_of_string s : evt option =
+  if s = "-" then None
+  else match String.split_on_char ':' s with
+    | [ a; b ] -> Some (int_of_string a, int_of_string b)
+    | _ -> failwith ("bad event: " ^ s)
+
+(* field names may contain arbitrary map-key strings; percent-encode the
+   characters that would break the line format *)
+let enc_field (f : string) : string =
+  let buf = Buffer.create (String.length f) in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '%' || c = '\n' then Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      else Buffer.add_char buf c)
+    f;
+  Buffer.contents buf
+
+let dec_field (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    if s.[!i] = '%' && !i + 2 < n then begin
+      Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
+      i := !i + 3
+    end
+    else (Buffer.add_char buf s.[!i]; incr i)
+  done;
+  Buffer.contents buf
+
+let loc_str (l : Loc.t) = Printf.sprintf "%d/%s" l.obj (enc_field l.field)
+
+let loc_of_string s : Loc.t =
+  match String.index_opt s '/' with
+  | Some i ->
+    { obj = int_of_string (String.sub s 0 i);
+      field = dec_field (String.sub s (i + 1) (String.length s - i - 1)) }
+  | None -> failwith ("bad location: " ^ s)
+
+let value_str (v : Value.t) =
+  match v with
+  | VInt n -> "i" ^ string_of_int n
+  | VBool b -> "b" ^ string_of_bool b
+  | VNull -> "n"
+  | VRef o -> "r" ^ string_of_int o
+  | VStr s -> "s" ^ enc_field s
+  | VThread t -> "t" ^ string_of_int t
+
+let value_of_string s : Value.t =
+  if s = "n" then VNull
+  else
+    let body = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'i' -> VInt (int_of_string body)
+    | 'b' -> VBool (bool_of_string body)
+    | 'r' -> VRef (int_of_string body)
+    | 's' -> VStr (dec_field body)
+    | 't' -> VThread (int_of_string body)
+    | _ -> failwith ("bad value: " ^ s)
+
+let to_string (l : t) : string =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "light-log v1 o1=%b o2=%b" l.o1 l.o2;
+  List.iter (fun (t, c) -> line "T %d %d" t c) l.counters;
+  List.iter
+    (fun (d : dep) ->
+      line "D %s %s %s %d %d" (loc_str d.loc) (evt_str d.w) (evt_str (Some d.rf)) d.rl_c
+        d.dep_obs)
+    l.deps;
+  List.iter
+    (fun (r : range) ->
+      line "R %s %d %d %d %s %b %b %d" (loc_str r.loc) r.rt r.lo r.hi (evt_str r.w_in)
+        r.prefix_reads r.has_write r.rng_obs)
+    l.ranges;
+  List.iter (fun (t, i, n, v) -> line "S %d %d %s %s" t i n (value_str v)) l.syscalls;
+  Buffer.contents buf
+
+let of_string (s : string) : t =
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  match lines with
+  | [] -> failwith "empty log"
+  | header :: rest ->
+    let o1 = ref false and o2 = ref false in
+    Scanf.sscanf header "light-log v1 o1=%B o2=%B" (fun a b -> o1 := a; o2 := b);
+    let deps = ref [] and ranges = ref [] and sys = ref [] and counters = ref [] in
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | "T" :: t :: c :: [] -> counters := (int_of_string t, int_of_string c) :: !counters
+        | "D" :: loc :: w :: rf :: rl :: obs :: [] ->
+          deps :=
+            {
+              loc = loc_of_string loc;
+              w = evt_of_string w;
+              rf = Option.get (evt_of_string rf);
+              rl_c = int_of_string rl;
+              dep_obs = int_of_string obs;
+            }
+            :: !deps
+        | "R" :: loc :: rt :: lo :: hi :: w_in :: pr :: hw :: obs :: [] ->
+          ranges :=
+            {
+              loc = loc_of_string loc;
+              rt = int_of_string rt;
+              lo = int_of_string lo;
+              hi = int_of_string hi;
+              w_in = evt_of_string w_in;
+              prefix_reads = bool_of_string pr;
+              has_write = bool_of_string hw;
+              rng_obs = int_of_string obs;
+            }
+            :: !ranges
+        | "S" :: t :: i :: n :: v :: [] ->
+          sys := (int_of_string t, int_of_string i, n, value_of_string v) :: !sys
+        | _ -> failwith ("bad log line: " ^ line))
+      rest;
+    {
+      deps = List.rev !deps;
+      ranges = List.rev !ranges;
+      syscalls = List.rev !sys;
+      counters = List.rev !counters;
+      o1 = !o1;
+      o2 = !o2;
+    }

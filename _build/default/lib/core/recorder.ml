@@ -1,0 +1,297 @@
+(** The Light recording algorithm (Algorithm 1) with its optimizations.
+
+    The recorder is installed as interpreter hooks.  Per shared access
+    (including the ghost accesses modeling sync primitives, Section 4.3):
+
+    - writes atomically update the last-write map [lw] (lock-striped atomic
+      section + volatile store, cost-charged);
+    - reads atomically obtain the last write via the optimistic
+      validate-retry of Section 2.3 and record the flow dependence in a
+      {e thread-local} buffer — no synchronization on the recording path;
+    - the [prec] map (lines 7/9) compresses a write followed by several
+      reads from one thread into a single dep with a span;
+    - O1 (Lemma 4.3) tracks, per location, the current run of consecutive
+      same-thread accesses and records only its endpoints;
+    - O2 (Lemma 4.2) skips recording entirely at sites the static analysis
+      proves consistently lock-guarded (counters still tick so that
+      [(tid, c)] identities align across variants and runs).
+
+    Retries of the optimistic loop are modeled by the stripe-contention
+    signal: a validate that races a concurrent writer pays one retry. *)
+
+open Runtime
+
+type variant = { o1 : bool; o2 : bool }
+
+let v_basic = { o1 = false; o2 = false }
+let v_o1 = { o1 = true; o2 = false }
+let v_both = { o1 = true; o2 = true }
+
+let variant_name v =
+  match v.o1, v.o2 with
+  | false, false -> "basic"
+  | true, false -> "O1"
+  | false, true -> "O2"
+  | true, true -> "O1+O2"
+
+(* open dep being extended by the prec optimization *)
+type open_dep = { od_w : Log.evt option; od_rf : Log.evt; mutable od_rl : int }
+
+(* open O1 run.  The shape fields classify the run so that closing can pick
+   the cheapest sound encoding:
+   - reads only                     -> prec-compressed dep on [w_in]
+   - writes only                    -> dropped (blind, or referenced later)
+   - reads then writes  [R+ W+]     -> dep (w_in -> prefix-read span)
+   - writes then reads  [W+ R+]     -> dep (last own write -> trailing span)
+   - anything else (a read strictly between writes, or reads on both sides)
+                                    -> a range record *)
+type open_run = {
+  or_t : int;
+  or_lo : int;
+  mutable or_hi : int;
+  or_w_in : Log.evt option;
+  or_prefix_reads : bool;
+  mutable or_has_write : bool;
+  mutable or_has_read : bool;
+  mutable or_middle_read : bool;        (* a read between two own writes *)
+  mutable or_last_prefix_read : int;    (* last read before any own write, or 0 *)
+  mutable or_last_write : int;          (* counter of the last own write, or 0 *)
+  mutable or_first_read_after_w : int;  (* first read after the last own write, or 0 *)
+}
+
+type t = {
+  variant : variant;
+  plan : Plan.t;
+  meter : Metrics.Cost.meter;
+  stripes : Metrics.Cost.stripes;
+  lw : Log.evt Loc.Tbl.t;  (* last write per location *)
+  (* V_basic path: prec per (thread, loc) *)
+  prec : (int, open_dep Loc.Tbl.t) Hashtbl.t;
+  (* O1 path: current run per location *)
+  runs : open_run Loc.Tbl.t;
+  mutable deps : Log.dep list;     (* merged thread-local buffers *)
+  mutable ranges : Log.range list;
+  mutable obs : int;
+  mutable accesses : int;
+  mutable skipped_guarded : int;
+}
+
+let create ?(variant = v_both) ?(weights = Metrics.Cost.default_weights) (plan : Plan.t) : t =
+  {
+    variant;
+    plan;
+    meter = Metrics.Cost.meter ~weights ();
+    stripes = Metrics.Cost.stripes ();
+    lw = Loc.Tbl.create 1024;
+    prec = Hashtbl.create 16;
+    runs = Loc.Tbl.create 1024;
+    deps = [];
+    ranges = [];
+    obs = 0;
+    accesses = 0;
+    skipped_guarded = 0;
+  }
+
+let next_obs (r : t) = r.obs <- r.obs + 1; r.obs
+
+let emit_dep (r : t) (loc : Loc.t) (od : open_dep) : unit =
+  Metrics.Cost.charge r.meter DepAppend;
+  r.deps <-
+    { Log.loc; w = od.od_w; rf = od.od_rf; rl_c = od.od_rl; dep_obs = next_obs r } :: r.deps
+
+let prec_of (r : t) (tid : int) : open_dep Loc.Tbl.t =
+  match Hashtbl.find_opt r.prec tid with
+  | Some h -> h
+  | None ->
+    let h = Loc.Tbl.create 64 in
+    Hashtbl.add r.prec tid h;
+    h
+
+let emit_range (r : t) (loc : Loc.t) (run : open_run) : unit =
+  (* Pure-write runs are not recorded: their last write is referenced by the
+     next reader's [w_in] if it matters; earlier writes are blind.  Any run
+     containing a read must be recorded — its reads need the interval's
+     noninterference protection even when they read the run's own writes.
+     Read-only runs route through the prec/dep machinery of Algorithm 1:
+     a read interval [rf..rl] with source [w_in] has exactly the same
+     constraint semantics as a writeless range, and consecutive runs reading
+     the same write (common when several threads interleave reads) compress
+     into one record. *)
+  if run.or_has_read then
+    if not run.or_has_write then begin
+      let prec = prec_of r run.or_t in
+      match Loc.Tbl.find_opt prec loc with
+      | Some od when od.od_w = run.or_w_in ->
+        Metrics.Cost.charge r.meter PrecHit;
+        od.od_rl <- run.or_hi
+      | prev ->
+        (match prev with
+        | Some od -> emit_dep r loc od
+        | None -> ());
+        Loc.Tbl.replace prec loc
+          { od_w = run.or_w_in; od_rf = (run.or_t, run.or_lo); od_rl = run.or_hi }
+    end
+    else if
+      (not run.or_middle_read)
+      && not (run.or_last_prefix_read > 0 && run.or_first_read_after_w > 0)
+    then begin
+      (* one-sided run: a single dep carries the same constraints as the
+         range, one long cheaper.  [R+ W+]: the prefix reads see w_in and the
+         trailing writes behave like V_basic writes (last one referenced by
+         future readers, earlier ones blind).  [W+ R+]: the trailing reads
+         see the run's last own write. *)
+      let prec = prec_of r run.or_t in
+      (match Loc.Tbl.find_opt prec loc with
+      | Some od ->
+        emit_dep r loc od;
+        Loc.Tbl.remove prec loc
+      | None -> ());
+      Metrics.Cost.charge r.meter DepAppend;
+      let w, rf, rl =
+        if run.or_first_read_after_w > 0 then
+          (Some (run.or_t, run.or_last_write), run.or_first_read_after_w, run.or_hi)
+        else (run.or_w_in, run.or_lo, run.or_last_prefix_read)
+      in
+      r.deps <-
+        { Log.loc; w; rf = (run.or_t, rf); rl_c = rl; dep_obs = next_obs r } :: r.deps
+    end
+    else begin
+      (* write-containing run: the prec entry for this (thread, loc) must be
+         flushed first so records stay disjoint in counter space *)
+      let prec = prec_of r run.or_t in
+      (match Loc.Tbl.find_opt prec loc with
+      | Some od ->
+        emit_dep r loc od;
+        Loc.Tbl.remove prec loc
+      | None -> ());
+      Metrics.Cost.charge r.meter DepAppend;
+      r.ranges <-
+        {
+          Log.loc;
+          rt = run.or_t;
+          lo = run.or_lo;
+          hi = run.or_hi;
+          w_in = run.or_w_in;
+          prefix_reads = run.or_prefix_reads;
+          has_write = run.or_has_write;
+          rng_obs = next_obs r;
+        }
+        :: r.ranges
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Access handling                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let on_access (r : t) (a : Event.access) : unit =
+  let open Metrics.Cost in
+  r.accesses <- r.accesses + 1;
+  let guarded = a.ghost = NotGhost && r.variant.o2 && r.plan.guarded_site a.site in
+  if guarded then begin
+    (* O2: the guarding lock's ghost deps subsume this access; the woven
+       code keeps only an inlined counter increment — no recording, no lw
+       update (every site on this location is guarded, so lw is never
+       consulted for it either) *)
+    charge r.meter GuardedTick;
+    r.skipped_guarded <- r.skipped_guarded + 1
+  end
+  else begin
+    charge r.meter CounterTick;
+    let e : Log.evt = (a.tid, a.c) in
+    if r.variant.o1 then begin
+      (* O1 run tracking: extending the thread's own run is a thread-local
+         fast path; breaking another thread's run takes the striped atomic *)
+      (match Loc.Tbl.find_opt r.runs a.loc with
+      | Some run when run.or_t = a.tid ->
+        charge r.meter RunExtend;
+        run.or_hi <- snd e;
+        (match a.kind with
+        | Write ->
+          if run.or_first_read_after_w > 0 then run.or_middle_read <- true;
+          run.or_has_write <- true;
+          run.or_last_write <- snd e;
+          run.or_first_read_after_w <- 0
+        | Read ->
+          run.or_has_read <- true;
+          if not run.or_has_write then run.or_last_prefix_read <- snd e
+          else if run.or_first_read_after_w = 0 then run.or_first_read_after_w <- snd e)
+      | prev ->
+        let level = touch r.stripes a.loc ~tid:a.tid in
+        charge r.meter (RunSwitch { level });
+        (match prev with
+        | Some run -> emit_range r a.loc run
+        | None -> ());
+        let w_in = if a.kind = Read then Loc.Tbl.find_opt r.lw a.loc else None in
+        Loc.Tbl.replace r.runs a.loc
+          {
+            or_t = a.tid;
+            or_lo = snd e;
+            or_hi = snd e;
+            or_w_in = w_in;
+            or_prefix_reads = a.kind = Read;
+            or_has_write = a.kind = Write;
+            or_has_read = a.kind = Read;
+            or_middle_read = false;
+            or_last_prefix_read = (if a.kind = Read then snd e else 0);
+            or_last_write = (if a.kind = Write then snd e else 0);
+            or_first_read_after_w = 0;
+          });
+      if a.kind = Write then Loc.Tbl.replace r.lw a.loc e
+    end
+    else begin
+      (* Algorithm 1 verbatim *)
+      match a.kind with
+      | Write ->
+        let level = touch r.stripes a.loc ~tid:a.tid in
+        charge r.meter (LwUpdate { level });
+        Loc.Tbl.replace r.lw a.loc e
+      | Read ->
+        let level = touch r.stripes a.loc ~tid:a.tid in
+        charge r.meter (ValidateRead { level });
+        let cw = Loc.Tbl.find_opt r.lw a.loc in
+        let prec = prec_of r a.tid in
+        (match Loc.Tbl.find_opt prec a.loc with
+        | Some od when od.od_w = cw ->
+          (* same write as the previous read: extend the span (line 7) *)
+          charge r.meter PrecHit;
+          od.od_rl <- snd e
+        | prev ->
+          (match prev with
+          | Some od -> emit_dep r a.loc od
+          | None -> ());
+          Loc.Tbl.replace prec a.loc { od_w = cw; od_rf = e; od_rl = snd e })
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Finalization                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let finalize (r : t) ~(outcome : Interp.outcome) : Log.t =
+  (* flush open runs first: read-only runs drain into the prec map, which is
+     flushed afterwards *)
+  Loc.Tbl.iter (fun loc run -> emit_range r loc run) r.runs;
+  Loc.Tbl.reset r.runs;
+  Hashtbl.iter (fun _ tbl -> Loc.Tbl.iter (fun loc od -> emit_dep r loc od) tbl) r.prec;
+  Hashtbl.reset r.prec;
+  {
+    Log.deps = List.rev r.deps;
+    ranges = List.rev r.ranges;
+    syscalls = outcome.syscalls;
+    counters = outcome.counters;
+    o1 = r.variant.o1;
+    o2 = r.variant.o2;
+  }
+
+(** Interpreter hooks for a recording run. *)
+let hooks (r : t) : Interp.hooks =
+  {
+    Interp.default_hooks with
+    observe =
+      (fun ev ->
+        match ev with
+        | Event.Access (a, _) -> on_access r a
+        | _ -> ());
+  }
+
+let meter (r : t) : Metrics.Cost.meter = r.meter

@@ -1,0 +1,37 @@
+(** The Light recording algorithm (Algorithm 1) with its optimizations,
+    installed as interpreter hooks.
+
+    Per shared access (including the ghost accesses that model sync
+    primitives, Section 4.3): writes atomically update the last-write map;
+    reads obtain it through the optimistic validate of Section 2.3 and
+    record the flow dependence in a thread-local buffer.  The [prec] map
+    (Algorithm 1, lines 7/9) compresses a write followed by several reads
+    from one thread; O1 (Lemma 4.3) records only the endpoints of
+    non-interleaved same-thread runs; O2 (Lemma 4.2) skips recording at
+    sites the static analysis proves consistently lock-guarded. *)
+
+open Runtime
+
+type variant = { o1 : bool; o2 : bool }
+
+val v_basic : variant
+val v_o1 : variant
+val v_both : variant
+val variant_name : variant -> string
+
+type t
+
+val create : ?variant:variant -> ?weights:Metrics.Cost.weights -> Plan.t -> t
+
+val hooks : t -> Interp.hooks
+(** Interpreter hooks for a recording run. *)
+
+val finalize : t -> outcome:Interp.outcome -> Log.t
+(** Flush open records and assemble the log (merging the thread-local
+    buffers, attaching syscall values and final counters). *)
+
+val on_access : t -> Event.access -> unit
+(** Exposed for white-box tests; [hooks] routes accesses here. *)
+
+val meter : t -> Metrics.Cost.meter
+(** The cost accumulator charged by this recorder's hooks. *)

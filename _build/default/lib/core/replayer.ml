@@ -1,0 +1,207 @@
+(** The replayer: turns a solved constraint system into interpreter hooks
+    that steer the replay run (Section 4.2).
+
+    The IDL model assigns integers to the constrained events; sorting yields
+    a total rank order over them.  The replay gate then:
+
+    - lets a {e constrained} access (tid, c) proceed only when every
+      lower-ranked constrained event has executed (exact-rank turn-taking);
+    - lets an {e unconstrained} access proceed once all constrained events
+      up to its thread-order predecessor have executed — interior accesses
+      of a recorded interval thereby execute inside their endpoints, which
+      together with the noninterference clauses preserves every inferred
+      flow dependence;
+    - suppresses blind writes: a write that is neither constrained, nor
+      interior to a recorded interval of its thread, nor at a lock-guarded
+      site, took part in no flow dependence, and executing it could corrupt
+      a read (ghost writes are never suppressed — they carry the lock
+      semantics);
+    - substitutes recorded syscall values and steers [notify] wakeups to the
+      recorded waiter. *)
+
+open Runtime
+
+type schedule = {
+  rank_of : (Log.evt, int) Hashtbl.t;
+  order : Log.evt array;  (** rank -> event *)
+  (* per thread: sorted array of constrained counters, for predecessor search *)
+  thread_cs : (int, int array) Hashtbl.t;
+  (* per thread: recorded intervals (loc, lo, hi) *)
+  thread_intervals : (int, (Loc.t * int * int) list) Hashtbl.t;
+  syscall_values : (int * int, Value.t) Hashtbl.t;
+  notify_pairs : (Log.evt, int) Hashtbl.t;  (** notify write event -> waiter tid *)
+}
+
+type solve_report = {
+  schedule : schedule option;
+  solver_stats : Dlsolver.Idl.stats;
+  n_vars : int;
+  n_hard : int;
+  n_clauses : int;
+  solve_time_s : float;
+}
+
+let build_schedule (log : Log.t) (cs : Constraints.t) (model : int array) : schedule =
+  let n = Array.length cs.evts in
+  let order =
+    Array.init n (fun i -> i)
+    |> Array.to_list
+    |> List.sort (fun i j ->
+           match compare model.(i) model.(j) with
+           | 0 -> compare cs.evts.(i) cs.evts.(j)
+           | c -> c)
+    |> List.map (fun i -> cs.evts.(i))
+    |> Array.of_list
+  in
+  let rank_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun rank e -> Hashtbl.replace rank_of e rank) order;
+  let thread_cs = Hashtbl.create 16 in
+  let tmp : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (t, c) ->
+      match Hashtbl.find_opt tmp t with
+      | Some l -> l := c :: !l
+      | None -> Hashtbl.add tmp t (ref [ c ]))
+    order;
+  Hashtbl.iter
+    (fun t cs -> Hashtbl.replace thread_cs t (Array.of_list (List.sort_uniq compare !cs)))
+    tmp;
+  let thread_intervals = Hashtbl.create 16 in
+  List.iter
+    (fun (iv : Constraints.interval) ->
+      let t = fst iv.start_e in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt thread_intervals t) in
+      Hashtbl.replace thread_intervals t
+        ((iv.iv_loc, snd iv.start_e, snd iv.end_e) :: prev))
+    cs.intervals;
+  let syscall_values = Hashtbl.create 64 in
+  List.iter (fun (t, i, _, v) -> Hashtbl.replace syscall_values (t, i) v) log.syscalls;
+  (* notify -> waiter pairing from condition-ghost records *)
+  let notify_pairs = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Log.dep) ->
+      if d.loc.field = "$cond" then
+        match d.w with Some w -> Hashtbl.replace notify_pairs w (fst d.rf) | None -> ())
+    log.deps;
+  List.iter
+    (fun (r : Log.range) ->
+      if r.loc.field = "$cond" then
+        match r.w_in with Some w -> Hashtbl.replace notify_pairs w r.rt | None -> ())
+    log.ranges;
+  { rank_of; order; thread_cs; thread_intervals; syscall_values; notify_pairs }
+
+(** Generate constraints, solve, and build the schedule. *)
+let solve (log : Log.t) : solve_report =
+  let cs = Constraints.generate log in
+  let t0 = Unix.gettimeofday () in
+  let result = Dlsolver.Idl.solve cs.problem in
+  let dt = Unix.gettimeofday () -. t0 in
+  let mk stats schedule =
+    {
+      schedule;
+      solver_stats = stats;
+      n_vars = cs.problem.nvars;
+      n_hard = cs.n_hard;
+      n_clauses = cs.n_clauses;
+      solve_time_s = dt;
+    }
+  in
+  match result with
+  | Sat (model, stats) -> mk stats (Some (build_schedule log cs model))
+  | Unsat stats | Aborted stats -> mk stats None
+
+(* ------------------------------------------------------------------ *)
+(* Replay-run driver                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type driver = {
+  hooks : Interp.hooks;
+  progress : unit -> int;  (** executed constrained events *)
+}
+
+let in_interval (sch : schedule) (t : int) (loc : Loc.t) (c : int) : bool =
+  match Hashtbl.find_opt sch.thread_intervals t with
+  | None -> false
+  | Some ivs ->
+    List.exists (fun (l, lo, hi) -> lo <= c && c <= hi && Loc.equal l loc) ivs
+
+(* rank of the last constrained event of thread t with counter < c *)
+let pred_rank (sch : schedule) (t : int) (c : int) : int option =
+  match Hashtbl.find_opt sch.thread_cs t with
+  | None -> None
+  | Some arr ->
+    (* binary search: greatest index with arr.(i) < c *)
+    let lo = ref 0 and hi = ref (Array.length arr - 1) and best = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if arr.(mid) < c then (best := mid; lo := mid + 1) else hi := mid - 1
+    done;
+    if !best < 0 then None else Hashtbl.find_opt sch.rank_of (t, arr.(!best))
+
+let driver (sch : schedule) ~(plan : Plan.t) : driver =
+  let next_rank = ref 0 in
+  let executed = Hashtbl.create 1024 in
+  let advance () =
+    while
+      !next_rank < Array.length sch.order && Hashtbl.mem executed sch.order.(!next_rank)
+    do
+      incr next_rank
+    done
+  in
+  (* positions for wakeup choice *)
+  let last_notify : Log.evt option ref = ref None in
+  let gate (pre : Event.pre) : bool =
+    let e = (pre.tid, pre.c) in
+    match Hashtbl.find_opt sch.rank_of e with
+    | Some k -> k = !next_rank
+    | None -> (
+      match pred_rank sch pre.tid pre.c with
+      | None -> true
+      | Some kp -> !next_rank > kp)
+  in
+  let observe (ev : Event.t) : unit =
+    match ev with
+    | Event.Access (a, _) ->
+      let e = (a.tid, a.c) in
+      if Hashtbl.mem sch.rank_of e then begin
+        Hashtbl.replace executed e ();
+        advance ()
+      end;
+      if a.ghost = Event.NotifyWrite then last_notify := Some e
+    | _ -> ()
+  in
+  let suppress_write (pre : Event.pre) : bool =
+    pre.ghost = Event.NotGhost
+    && (not (Hashtbl.mem sch.rank_of (pre.tid, pre.c)))
+    && (not (in_interval sch pre.tid pre.loc pre.c))
+    && not (plan.guarded_site pre.site)
+  in
+  let syscall_override ~tid ~idx ~name:_ =
+    Hashtbl.find_opt sch.syscall_values (tid, idx)
+  in
+  let choose_wakeup ~lock:_ ~waiters =
+    match !last_notify with
+    | Some n -> (
+      match Hashtbl.find_opt sch.notify_pairs n with
+      | Some w when List.mem w waiters -> w
+      | _ -> List.hd waiters)
+    | None -> List.hd waiters
+  in
+  {
+    hooks =
+      {
+        Interp.gate;
+        observe;
+        syscall_override;
+        choose_wakeup = Some choose_wakeup;
+        suppress_write;
+        on_branch = (fun ~tid:_ ~taken:_ -> ());
+      };
+    progress = (fun () -> Hashtbl.length executed);
+  }
+
+(** Execute the replay run. *)
+let replay ?(max_steps = 10_000_000) (program : Lang.Ast.program) ~(plan : Plan.t)
+    (sch : schedule) : Interp.outcome =
+  let d = driver sch ~plan in
+  Interp.run ~hooks:d.hooks ~plan ~max_steps ~sched:Sched.round_robin program

@@ -1,0 +1,1 @@
+lib/instrument/transformer.ml: Analysis Ast Hashtbl Lang List Runtime

@@ -1,0 +1,1 @@
+lib/lang/check.ml: Ast Hashtbl List Printf String

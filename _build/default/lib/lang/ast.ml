@@ -1,0 +1,117 @@
+(** Abstract syntax for the concurrent subject language.
+
+    The language mirrors the execution model of Section 3.1 of the paper:
+    threads, a thread-local environment, and a global heap of objects with
+    named fields.  Statements are in "simple format" (at most one heap access
+    per statement, cf. the paper's three-address-code assumption); the parser
+    desugars nested heap reads into this form. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Not | Neg
+
+(** Pure expressions: no heap access.  Heap reads/writes only occur in
+    dedicated statement forms, so that every statement performs at most one
+    shared-memory access. *)
+type expr =
+  | Int of int
+  | Bool of bool
+  | Null
+  | Str of string
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+(** Statements carry a unique site id [sid] (assigned by the parser) used by
+    the static analyses and the instrumentation plan, plus the source line. *)
+type stmt = { sid : int; line : int; node : stmt_node }
+
+and stmt_node =
+  | Assign of string * expr               (* x = e                  *)
+  | Load of string * expr * string        (* x = e.f                *)
+  | Store of expr * string * expr         (* e.f = e'               *)
+  | LoadIdx of string * expr * expr       (* x = a[i]               *)
+  | StoreIdx of expr * expr * expr        (* a[i] = e               *)
+  | GlobalLoad of string * string         (* x = g                  *)
+  | GlobalStore of string * expr          (* g = e                  *)
+  | New of string * string                (* x = new C              *)
+  | NewArray of string * expr             (* x = new[n]             *)
+  | NewMap of string                      (* x = newmap             *)
+  | MapGet of string * expr * expr        (* x = m{k}               *)
+  | MapPut of expr * expr * expr          (* m{k} = v               *)
+  | MapHas of string * expr * expr        (* x = maphas(m, k)       *)
+  | If of expr * block * block
+  | While of expr * block
+  | Call of string option * string * expr list
+  | Return of expr option
+  | Spawn of string * string * expr list  (* spawn t = f(args)      *)
+  | Join of expr                          (* join t                 *)
+  | Sync of expr * block                  (* sync (m) { ... }       *)
+  | Lock of expr
+  | Unlock of expr
+  | Wait of expr
+  | Notify of expr
+  | NotifyAll of expr
+  | Assert of expr
+  | Print of expr
+  | Syscall of string * string * expr list (* x = @name(args): nondeterministic *)
+  | Opaque of string * string * expr list  (* x = #name(args): deterministic but
+                                              opaque to symbolic solvers *)
+  | Yield
+  | Nop
+
+and block = stmt list
+
+type fndef = { fname : string; params : string list; body : block }
+
+type program = {
+  classes : (string * string list) list;  (** class name, declared fields *)
+  globals : string list;
+  fns : fndef list;
+  main : block;
+}
+
+let find_fn (p : program) (name : string) : fndef option =
+  List.find_opt (fun f -> f.fname = name) p.fns
+
+let class_fields (p : program) (cls : string) : string list option =
+  List.assoc_opt cls p.classes
+
+(** Fold over every statement in a program, entering nested blocks. *)
+let fold_stmts (f : 'a -> stmt -> 'a) (init : 'a) (p : program) : 'a =
+  let rec go acc (s : stmt) =
+    let acc = f acc s in
+    match s.node with
+    | If (_, b1, b2) -> go_block (go_block acc b1) b2
+    | While (_, b) | Sync (_, b) -> go_block acc b
+    | _ -> acc
+  and go_block acc b = List.fold_left go acc b in
+  let acc = go_block init p.main in
+  List.fold_left (fun acc fd -> go_block acc fd.body) acc p.fns
+
+let iter_stmts (f : stmt -> unit) (p : program) : unit =
+  fold_stmts (fun () s -> f s) () p
+
+(** Iterate every statement in a block, entering nested blocks. *)
+let iter_stmts_block (b : block) (f : stmt -> unit) : unit =
+  let rec go (s : stmt) =
+    f s;
+    match s.node with
+    | If (_, b1, b2) -> List.iter go b1; List.iter go b2
+    | While (_, b) | Sync (_, b) -> List.iter go b
+    | _ -> ()
+  in
+  List.iter go b
+
+let max_sid (p : program) : int = fold_stmts (fun m s -> max m s.sid) 0 p
+
+(** Variables read by a pure expression. *)
+let rec expr_vars (e : expr) : string list =
+  match e with
+  | Int _ | Bool _ | Null | Str _ -> []
+  | Var x -> [ x ]
+  | Binop (_, a, b) -> expr_vars a @ expr_vars b
+  | Unop (_, a) -> expr_vars a

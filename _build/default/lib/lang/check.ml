@@ -1,0 +1,89 @@
+(** Static validation of programs: everything that can be rejected before
+    running.  Dynamic properties (null dereference, lock discipline, arity of
+    heap objects) are checked by the interpreter. *)
+
+open Ast
+
+type error = { line : int; msg : string }
+
+let err line fmt = Printf.ksprintf (fun msg -> { line; msg }) fmt
+
+let known_syscalls = [ "time"; "rand"; "read_input"; "nanotime" ]
+
+let known_opaques =
+  [ "hash"; "strlen"; "strcat"; "str_index"; "to_str"; "crc"; "mix"; "floor_sqrt" ]
+
+let validate (p : program) : error list =
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  (* duplicate declarations *)
+  let dup kind names =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun n ->
+        if Hashtbl.mem seen n then add (err 0 "duplicate %s declaration: %s" kind n)
+        else Hashtbl.add seen n ())
+      names
+  in
+  dup "class" (List.map fst p.classes);
+  dup "global" p.globals;
+  dup "function" (List.map (fun f -> f.fname) p.fns);
+  List.iter (fun (c, fields) -> dup (Printf.sprintf "field in class %s" c) fields) p.classes;
+  (* per-statement checks *)
+  let check_stmt (s : stmt) =
+    match s.node with
+    | New (_, cls) ->
+      if class_fields p cls = None then add (err s.line "unknown class %s" cls)
+    | Call (_, f, args) | Spawn (_, f, args) -> (
+      match find_fn p f with
+      | None -> add (err s.line "call to undefined function %s" f)
+      | Some fd ->
+        if List.length fd.params <> List.length args then
+          add
+            (err s.line "function %s expects %d argument(s), got %d" f
+               (List.length fd.params) (List.length args)))
+    | Syscall (_, name, _) ->
+      if not (List.mem name known_syscalls) then
+        add (err s.line "unknown system call @%s" name)
+    | Opaque (_, name, _) ->
+      (* names starting with "__" are woven instrumentation pseudo-hooks *)
+      if
+        (not (List.mem name known_opaques))
+        && not (String.length name >= 2 && String.sub name 0 2 = "__")
+      then add (err s.line "unknown opaque operation #%s" name)
+    | GlobalLoad (_, g) | GlobalStore (g, _) ->
+      if not (List.mem g p.globals) then add (err s.line "undeclared global %s" g)
+    | _ -> ()
+  in
+  iter_stmts check_stmt p;
+  (* return outside of a function body is meaningless in main *)
+  let rec check_main_block b =
+    List.iter
+      (fun s ->
+        match s.node with
+        | Return _ -> add (err s.line "return statement in main block")
+        | If (_, b1, b2) -> check_main_block b1; check_main_block b2
+        | While (_, b) | Sync (_, b) -> check_main_block b
+        | _ -> ())
+      b
+  in
+  check_main_block p.main;
+  (* locals shadowing globals would make name resolution ambiguous *)
+  List.iter
+    (fun fd ->
+      List.iter
+        (fun prm ->
+          if List.mem prm p.globals then
+            add (err 0 "parameter %s of %s shadows a global" prm fd.fname))
+        fd.params)
+    p.fns;
+  List.rev !errors
+
+exception Invalid of error list
+
+(** [validate_exn p] raises {!Invalid} when [p] has static errors. *)
+let validate_exn (p : program) : program =
+  match validate p with [] -> p | errs -> raise (Invalid errs)
+
+let error_to_string (e : error) : string =
+  if e.line > 0 then Printf.sprintf "line %d: %s" e.line e.msg else e.msg

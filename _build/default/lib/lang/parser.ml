@@ -1,0 +1,556 @@
+(** Recursive-descent parser.
+
+    Surface expressions may nest heap reads ([x.f], [a\[i\]], [m{k}], globals);
+    the parser lowers them to the simple (three-address) statement format of
+    {!Ast} by hoisting each heap read into a fresh temporary, mirroring the
+    paper's reduction of compound statements (Section 3.1). *)
+
+open Ast
+
+exception Parse_error of string * int
+
+(* ------------------------------------------------------------------ *)
+(* Surface expressions (internal)                                      *)
+(* ------------------------------------------------------------------ *)
+
+type sexpr =
+  | SInt of int
+  | SBool of bool
+  | SNull
+  | SStr of string
+  | SName of string            (* unresolved: local or global *)
+  | SBin of binop * sexpr * sexpr
+  | SUn of unop * sexpr
+  | SField of sexpr * string
+  | SIndex of sexpr * sexpr
+  | SMapGet of sexpr * sexpr
+
+type state = {
+  mutable toks : Lexer.located list;
+  globals : string list;         (* pre-scanned global names *)
+  mutable sid : int;             (* site id allocator *)
+  mutable tmp : int;             (* temp name allocator *)
+}
+
+let fail st msg =
+  let line = match st.toks with { line; _ } :: _ -> line | [] -> 0 in
+  raise (Parse_error (msg, line))
+
+let cur st = match st.toks with t :: _ -> t.tok | [] -> Lexer.EOF
+let cur_line st = match st.toks with t :: _ -> t.line | [] -> 0
+let advance st = match st.toks with _ :: r -> st.toks <- r | [] -> ()
+
+let expect st tok =
+  if cur st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Lexer.token_name tok)
+         (Lexer.token_name (cur st)))
+
+let expect_ident st =
+  match cur st with
+  | Lexer.IDENT s -> advance st; s
+  | t -> fail st (Printf.sprintf "expected identifier, found %s" (Lexer.token_name t))
+
+let fresh_sid st = st.sid <- st.sid + 1; st.sid
+let fresh_tmp st = st.tmp <- st.tmp + 1; Printf.sprintf "$t%d" st.tmp
+
+let mk st node = { sid = fresh_sid st; line = cur_line st; node }
+
+(* ------------------------------------------------------------------ *)
+(* Expression parsing (precedence climbing)                            *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_token = function
+  | Lexer.OROR -> Some (Or, 1)
+  | Lexer.ANDAND -> Some (And, 2)
+  | Lexer.EQEQ -> Some (Eq, 3)
+  | Lexer.NEQ -> Some (Ne, 3)
+  | Lexer.LT -> Some (Lt, 4)
+  | Lexer.LE -> Some (Le, 4)
+  | Lexer.GT -> Some (Gt, 4)
+  | Lexer.GE -> Some (Ge, 4)
+  | Lexer.PLUS -> Some (Add, 5)
+  | Lexer.MINUS -> Some (Sub, 5)
+  | Lexer.STAR -> Some (Mul, 6)
+  | Lexer.SLASH -> Some (Div, 6)
+  | Lexer.PERCENT -> Some (Mod, 6)
+  | _ -> None
+
+let rec parse_sexpr st = parse_bin st 1
+
+and parse_bin st minprec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (cur st) with
+    | Some (op, prec) when prec >= minprec ->
+      advance st;
+      let rhs = parse_bin st (prec + 1) in
+      lhs := SBin (op, !lhs, rhs)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match cur st with
+  | Lexer.BANG -> advance st; SUn (Not, parse_unary st)
+  | Lexer.MINUS -> (
+    advance st;
+    (* fold negative literals so printing and parsing are inverses *)
+    match parse_unary st with
+    | SInt n -> SInt (-n)
+    | e -> SUn (Neg, e))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match cur st with
+    | Lexer.DOT ->
+      advance st;
+      let f = expect_ident st in
+      e := SField (!e, f)
+    | Lexer.LBRACKET ->
+      advance st;
+      let i = parse_sexpr st in
+      expect st Lexer.RBRACKET;
+      e := SIndex (!e, i)
+    | Lexer.LBRACE ->
+      advance st;
+      let k = parse_sexpr st in
+      expect st Lexer.RBRACE;
+      e := SMapGet (!e, k)
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_primary st =
+  match cur st with
+  | Lexer.INT n -> advance st; SInt n
+  | Lexer.STRING s -> advance st; SStr s
+  | Lexer.KW "true" -> advance st; SBool true
+  | Lexer.KW "false" -> advance st; SBool false
+  | Lexer.KW "null" -> advance st; SNull
+  | Lexer.IDENT x -> advance st; SName x
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_sexpr st in
+    expect st Lexer.RPAREN;
+    e
+  | t -> fail st (Printf.sprintf "expected expression, found %s" (Lexer.token_name t))
+
+(* ------------------------------------------------------------------ *)
+(* Lowering: surface exprs -> pure exprs + hoisted loads               *)
+(* ------------------------------------------------------------------ *)
+
+(* [lower st ~locals emit e] returns a pure expression, appending hoisted
+   Load/GlobalLoad statements via [emit].  [locals] is the set of names known
+   to be function-local (params and assigned names); a name that is a declared
+   global and not local resolves to a global access. *)
+let rec lower st ~locals emit (e : sexpr) : expr =
+  match e with
+  | SInt n -> Int n
+  | SBool b -> Bool b
+  | SNull -> Null
+  | SStr s -> Str s
+  | SName x ->
+    if (not (List.mem x locals)) && List.mem x st.globals then begin
+      let t = fresh_tmp st in
+      emit (mk st (GlobalLoad (t, x)));
+      Var t
+    end
+    else Var x
+  | SBin (op, a, b) ->
+    let a' = lower st ~locals emit a in
+    let b' = lower st ~locals emit b in
+    Binop (op, a', b')
+  | SUn (op, a) -> Unop (op, lower st ~locals emit a)
+  | SField (o, f) ->
+    let o' = lower st ~locals emit o in
+    let t = fresh_tmp st in
+    emit (mk st (Load (t, o', f)));
+    Var t
+  | SIndex (a, i) ->
+    let a' = lower st ~locals emit a in
+    let i' = lower st ~locals emit i in
+    let t = fresh_tmp st in
+    emit (mk st (LoadIdx (t, a', i')));
+    Var t
+  | SMapGet (m, k) ->
+    let m' = lower st ~locals emit m in
+    let k' = lower st ~locals emit k in
+    let t = fresh_tmp st in
+    emit (mk st (MapGet (t, m', k')));
+    Var t
+
+(* ------------------------------------------------------------------ *)
+(* Statement parsing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Locals tracking: a mutable list per function body of names assigned or
+   bound (params, assignment targets, spawn handles, call results). *)
+
+type fenv = { mutable locals : string list }
+
+let note_local fenv x = if not (List.mem x fenv.locals) then fenv.locals <- x :: fenv.locals
+
+let parse_args st _fenv emit_lowered =
+  expect st Lexer.LPAREN;
+  let args = ref [] in
+  if cur st <> Lexer.RPAREN then begin
+    let rec loop () =
+      let e = parse_sexpr st in
+      args := e :: !args;
+      if cur st = Lexer.COMMA then (advance st; loop ())
+    in
+    loop ()
+  end;
+  expect st Lexer.RPAREN;
+  List.map emit_lowered (List.rev !args)
+
+(* Parse the condition of if/while and return (prelude builder, expr builder).
+   Both are functions so that the while-loop can re-lower the condition at the
+   end of its body with fresh site ids but identical temporaries. *)
+let lower_cond st fenv (c : sexpr) : (unit -> stmt list) * expr =
+  (* First lowering fixes the temp names; replays reuse them with fresh sids. *)
+  let saved_tmp = st.tmp in
+  let buf = ref [] in
+  let emit s = buf := s :: !buf in
+  let e = lower st ~locals:fenv.locals emit c in
+  let first = List.rev !buf in
+  let first_used = ref false in
+  let build () =
+    if not !first_used then (first_used := true; first)
+    else begin
+      let t = st.tmp in
+      st.tmp <- saved_tmp;
+      let buf = ref [] in
+      let emit s = buf := s :: !buf in
+      let _ = lower st ~locals:fenv.locals emit c in
+      st.tmp <- max t st.tmp;
+      List.rev !buf
+    end
+  in
+  (build, e)
+
+let rec parse_block st fenv : block =
+  expect st Lexer.LBRACE;
+  let stmts = ref [] in
+  while cur st <> Lexer.RBRACE do
+    let ss = parse_stmt st fenv in
+    stmts := List.rev_append ss !stmts
+  done;
+  expect st Lexer.RBRACE;
+  List.rev !stmts
+
+(* Returns the list of lowered statements for one surface statement. *)
+and parse_stmt st fenv : stmt list =
+  let prelude = ref [] in
+  let emit s = prelude := s :: !prelude in
+  let lower_e e = lower st ~locals:fenv.locals emit e in
+  let finish node = List.rev (mk st node :: !prelude) in
+  match cur st with
+  | Lexer.KW "if" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let c = parse_sexpr st in
+    expect st Lexer.RPAREN;
+    let build, ce = lower_cond st fenv c in
+    let b1 = parse_block st fenv in
+    let b2 =
+      if cur st = Lexer.KW "else" then begin
+        advance st;
+        if cur st = Lexer.KW "if" then parse_stmt st fenv else parse_block st fenv
+      end
+      else []
+    in
+    build () @ [ mk st (If (ce, b1, b2)) ]
+  | Lexer.KW "while" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let c = parse_sexpr st in
+    expect st Lexer.RPAREN;
+    let build, ce = lower_cond st fenv c in
+    let body = parse_block st fenv in
+    let pre = build () in
+    let repeat = build () in
+    pre @ [ mk st (While (ce, body @ repeat)) ]
+  | Lexer.KW "sync" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let m = parse_sexpr st in
+    expect st Lexer.RPAREN;
+    let me = lower_e m in
+    let body = parse_block st fenv in
+    finish (Sync (me, body))
+  | Lexer.KW "spawn" ->
+    advance st;
+    let h = expect_ident st in
+    note_local fenv h;
+    expect st Lexer.ASSIGN;
+    let f = expect_ident st in
+    let args = parse_args st fenv lower_e in
+    expect st Lexer.SEMI;
+    finish (Spawn (h, f, args))
+  | Lexer.KW "join" ->
+    advance st;
+    let e = lower_e (parse_sexpr st) in
+    expect st Lexer.SEMI;
+    finish (Join e)
+  | Lexer.KW "lock" ->
+    advance st;
+    let e = lower_e (parse_sexpr st) in
+    expect st Lexer.SEMI;
+    finish (Lock e)
+  | Lexer.KW "unlock" ->
+    advance st;
+    let e = lower_e (parse_sexpr st) in
+    expect st Lexer.SEMI;
+    finish (Unlock e)
+  | Lexer.KW "wait" ->
+    advance st;
+    let e = lower_e (parse_sexpr st) in
+    expect st Lexer.SEMI;
+    finish (Wait e)
+  | Lexer.KW "notify" ->
+    advance st;
+    let e = lower_e (parse_sexpr st) in
+    expect st Lexer.SEMI;
+    finish (Notify e)
+  | Lexer.KW "notifyall" ->
+    advance st;
+    let e = lower_e (parse_sexpr st) in
+    expect st Lexer.SEMI;
+    finish (NotifyAll e)
+  | Lexer.KW "assert" ->
+    advance st;
+    let e = lower_e (parse_sexpr st) in
+    expect st Lexer.SEMI;
+    finish (Assert e)
+  | Lexer.KW "print" ->
+    advance st;
+    let e = lower_e (parse_sexpr st) in
+    expect st Lexer.SEMI;
+    finish (Print e)
+  | Lexer.KW "return" ->
+    advance st;
+    if cur st = Lexer.SEMI then (advance st; finish (Return None))
+    else begin
+      let e = lower_e (parse_sexpr st) in
+      expect st Lexer.SEMI;
+      finish (Return (Some e))
+    end
+  | Lexer.KW "yield" -> advance st; expect st Lexer.SEMI; finish Yield
+  | Lexer.KW "nop" -> advance st; expect st Lexer.SEMI; finish Nop
+  | Lexer.IDENT f when (match st.toks with _ :: { tok = Lexer.LPAREN; _ } :: _ -> true | _ -> false) ->
+    (* bare call statement *)
+    advance st;
+    let args = parse_args st fenv lower_e in
+    expect st Lexer.SEMI;
+    finish (Call (None, f, args))
+  | Lexer.IDENT _ ->
+    parse_assign st fenv
+  | t -> fail st (Printf.sprintf "expected statement, found %s" (Lexer.token_name t))
+
+(* Assignment / store statements.  The left-hand side is a postfix chain. *)
+and parse_assign st fenv : stmt list =
+  let prelude = ref [] in
+  let emit s = prelude := s :: !prelude in
+  let lower_e e = lower st ~locals:fenv.locals emit e in
+  let finish node = List.rev (mk st node :: !prelude) in
+  let lhs = parse_postfix st in
+  expect st Lexer.ASSIGN;
+  (* The right-hand side may be one of the special forms. *)
+  let stmt_node =
+    match lhs, cur st with
+    | SName x, Lexer.KW "new" ->
+      advance st;
+      (match cur st with
+       | Lexer.LBRACKET ->
+         advance st;
+         let n = lower_e (parse_sexpr st) in
+         expect st Lexer.RBRACKET;
+         mk_target st fenv x (fun x -> NewArray (x, n)) emit
+       | _ ->
+         let cls = expect_ident st in
+         mk_target st fenv x (fun x -> New (x, cls)) emit)
+    | SName x, Lexer.KW "newmap" ->
+      advance st;
+      mk_target st fenv x (fun x -> NewMap x) emit
+    | SName x, Lexer.KW "maphas" ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let m = lower_e (parse_sexpr st) in
+      expect st Lexer.COMMA;
+      let k = lower_e (parse_sexpr st) in
+      expect st Lexer.RPAREN;
+      mk_target st fenv x (fun x -> MapHas (x, m, k)) emit
+    | SName x, Lexer.SYS name ->
+      advance st;
+      let args = parse_args st fenv lower_e in
+      mk_target st fenv x (fun x -> Syscall (x, name, args)) emit
+    | SName x, Lexer.OP name ->
+      advance st;
+      let args = parse_args st fenv lower_e in
+      mk_target st fenv x (fun x -> Opaque (x, name, args)) emit
+    | SName x, Lexer.IDENT f
+      when (match st.toks with _ :: { tok = Lexer.LPAREN; _ } :: _ -> true | _ -> false) ->
+      advance st;
+      let args = parse_args st fenv lower_e in
+      mk_target st fenv x (fun x -> Call (Some x, f, args)) emit
+    | SName x, _ ->
+      let is_global = (not (List.mem x fenv.locals)) && List.mem x st.globals in
+      let rhs_s = parse_sexpr st in
+      (* direct forms when the rhs is a single heap access and the target is
+         a local: avoids a temp, and makes printing/reparsing a fixpoint *)
+      (match rhs_s with
+      | SField (o, f) when not is_global ->
+        note_local fenv x;
+        Load (x, lower_e o, f)
+      | SIndex (arr, i) when not is_global ->
+        note_local fenv x;
+        let a = lower_e arr in
+        let i = lower_e i in
+        LoadIdx (x, a, i)
+      | SMapGet (m, k) when not is_global ->
+        note_local fenv x;
+        let m = lower_e m in
+        let k = lower_e k in
+        MapGet (x, m, k)
+      | SName y
+        when (not is_global)
+             && (not (List.mem y fenv.locals))
+             && List.mem y st.globals ->
+        note_local fenv x;
+        GlobalLoad (x, y)
+      | _ ->
+        let rhs = lower_e rhs_s in
+        if is_global then GlobalStore (x, rhs)
+        else (note_local fenv x; Assign (x, rhs)))
+    | SField (o, f), _ ->
+      let o' = lower_e o in
+      let rhs = lower_e (parse_sexpr st) in
+      Store (o', f, rhs)
+    | SIndex (a, i), _ ->
+      let a' = lower_e a in
+      let i' = lower_e i in
+      let rhs = lower_e (parse_sexpr st) in
+      StoreIdx (a', i', rhs)
+    | SMapGet (m, k), _ ->
+      let m' = lower_e m in
+      let k' = lower_e k in
+      let rhs = lower_e (parse_sexpr st) in
+      MapPut (m', k', rhs)
+    | _ -> fail st "invalid assignment target"
+  in
+  expect st Lexer.SEMI;
+  finish stmt_node
+
+(* Resolve the assignment target [x]: a declared global (not shadowed by a
+   local) becomes a GlobalStore through a temp; otherwise a local binding. *)
+and mk_target st fenv (x : string) (build : string -> stmt_node) emit : stmt_node =
+  if (not (List.mem x fenv.locals)) && List.mem x st.globals then begin
+    let t = fresh_tmp st in
+    emit (mk st (build t));
+    GlobalStore (x, Var t)
+  end
+  else begin
+    note_local fenv x;
+    build x
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prescan_globals (toks : Lexer.located list) : string list =
+  let rec go acc = function
+    | { Lexer.tok = Lexer.KW "global"; _ } :: { tok = Lexer.IDENT g; _ } :: rest ->
+      go (g :: acc) rest
+    | _ :: rest -> go acc rest
+    | [] -> List.rev acc
+  in
+  go [] toks
+
+(* reparsing printed programs must not generate temps colliding with the
+   already-materialized "$tN" names *)
+let prescan_tmps (toks : Lexer.located list) : int =
+  List.fold_left
+    (fun acc (t : Lexer.located) ->
+      match t.tok with
+      | Lexer.IDENT s
+        when String.length s > 2 && s.[0] = '$' && s.[1] = 't' -> (
+        match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+        | Some n -> max acc n
+        | None -> acc)
+      | _ -> acc)
+    0 toks
+
+let parse_program (src : string) : program =
+  let toks = Lexer.tokenize src in
+  let st = { toks; globals = prescan_globals toks; sid = 0; tmp = prescan_tmps toks } in
+  let classes = ref [] in
+  let globals = ref [] in
+  let fns = ref [] in
+  let main = ref None in
+  while cur st <> Lexer.EOF do
+    match cur st with
+    | Lexer.KW "class" ->
+      advance st;
+      let name = expect_ident st in
+      expect st Lexer.LBRACE;
+      let fields = ref [] in
+      while cur st <> Lexer.RBRACE do
+        let f = expect_ident st in
+        expect st Lexer.SEMI;
+        fields := f :: !fields
+      done;
+      expect st Lexer.RBRACE;
+      classes := (name, List.rev !fields) :: !classes
+    | Lexer.KW "global" ->
+      advance st;
+      let g = expect_ident st in
+      expect st Lexer.SEMI;
+      globals := g :: !globals
+    | Lexer.KW "fn" ->
+      advance st;
+      let fname = expect_ident st in
+      expect st Lexer.LPAREN;
+      let params = ref [] in
+      if cur st <> Lexer.RPAREN then begin
+        let rec loop () =
+          params := expect_ident st :: !params;
+          if cur st = Lexer.COMMA then (advance st; loop ())
+        in
+        loop ()
+      end;
+      expect st Lexer.RPAREN;
+      let fenv = { locals = List.rev !params } in
+      let body = parse_block st fenv in
+      fns := { fname; params = List.rev !params; body } :: !fns
+    | Lexer.KW "main" ->
+      advance st;
+      let fenv = { locals = [] } in
+      let body = parse_block st fenv in
+      (match !main with
+       | None -> main := Some body
+       | Some _ -> fail st "duplicate main block")
+    | t -> fail st (Printf.sprintf "expected top-level declaration, found %s" (Lexer.token_name t))
+  done;
+  match !main with
+  | None -> raise (Parse_error ("program has no main block", 0))
+  | Some m ->
+    {
+      classes = List.rev !classes;
+      globals = List.rev !globals;
+      fns = List.rev !fns;
+      main = m;
+    }
+
+let parse_file (path : string) : program =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_program (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,92 @@
+(** Pretty-printer for programs.  [Parser.parse_program (to_string p)] yields
+    a program structurally equal to [p] up to site ids and temporaries (the
+    printer emits the already-lowered simple form, which re-parses as such). *)
+
+open Ast
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+
+let prec_of = function
+  | Or -> 1 | And -> 2 | Eq | Ne -> 3 | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5 | Mul | Div | Mod -> 6
+
+let rec pp_expr ?(prec = 0) fmt (e : expr) =
+  match e with
+  | Int n -> if n < 0 then Fmt.pf fmt "(%d)" n else Fmt.pf fmt "%d" n
+  | Bool b -> Fmt.pf fmt "%b" b
+  | Null -> Fmt.pf fmt "null"
+  | Str s -> Fmt.pf fmt "%S" s
+  | Var x -> Fmt.pf fmt "%s" x
+  | Binop (op, a, b) ->
+    let p = prec_of op in
+    let body fmt () =
+      Fmt.pf fmt "%a %s %a" (pp_expr ~prec:p) a (binop_str op) (pp_expr ~prec:(p + 1)) b
+    in
+    if p < prec then Fmt.pf fmt "(%a)" body () else body fmt ()
+  | Unop (Not, a) -> Fmt.pf fmt "!%a" (pp_expr ~prec:10) a
+  | Unop (Neg, a) -> Fmt.pf fmt "-%a" (pp_expr ~prec:10) a
+
+let pp_args fmt args = Fmt.(list ~sep:(any ", ") (pp_expr ~prec:0)) fmt args
+
+let rec pp_stmt fmt (s : stmt) =
+  let e = pp_expr ~prec:0 in
+  match s.node with
+  | Assign (x, v) -> Fmt.pf fmt "%s = %a;" x e v
+  | Load (x, o, f) -> Fmt.pf fmt "%s = %a.%s;" x e o f
+  | Store (o, f, v) -> Fmt.pf fmt "%a.%s = %a;" e o f e v
+  | LoadIdx (x, a, i) -> Fmt.pf fmt "%s = %a[%a];" x e a e i
+  | StoreIdx (a, i, v) -> Fmt.pf fmt "%a[%a] = %a;" e a e i e v
+  | GlobalLoad (x, g) -> Fmt.pf fmt "%s = %s;" x g
+  | GlobalStore (g, v) -> Fmt.pf fmt "%s = %a;" g e v
+  | New (x, c) -> Fmt.pf fmt "%s = new %s;" x c
+  | NewArray (x, n) -> Fmt.pf fmt "%s = new[%a];" x e n
+  | NewMap x -> Fmt.pf fmt "%s = newmap;" x
+  | MapGet (x, m, k) -> Fmt.pf fmt "%s = %a{%a};" x e m e k
+  | MapPut (m, k, v) -> Fmt.pf fmt "%a{%a} = %a;" e m e k e v
+  | MapHas (x, m, k) -> Fmt.pf fmt "%s = maphas(%a, %a);" x e m e k
+  | If (c, b1, []) -> Fmt.pf fmt "if (%a) %a" e c pp_block b1
+  | If (c, b1, b2) -> Fmt.pf fmt "if (%a) %a else %a" e c pp_block b1 pp_block b2
+  | While (c, b) -> Fmt.pf fmt "while (%a) %a" e c pp_block b
+  | Call (None, f, args) -> Fmt.pf fmt "%s(%a);" f pp_args args
+  | Call (Some x, f, args) -> Fmt.pf fmt "%s = %s(%a);" x f pp_args args
+  | Return None -> Fmt.pf fmt "return;"
+  | Return (Some v) -> Fmt.pf fmt "return %a;" e v
+  | Spawn (h, f, args) -> Fmt.pf fmt "spawn %s = %s(%a);" h f pp_args args
+  | Join v -> Fmt.pf fmt "join %a;" e v
+  | Sync (m, b) -> Fmt.pf fmt "sync (%a) %a" e m pp_block b
+  | Lock m -> Fmt.pf fmt "lock %a;" e m
+  | Unlock m -> Fmt.pf fmt "unlock %a;" e m
+  | Wait m -> Fmt.pf fmt "wait %a;" e m
+  | Notify m -> Fmt.pf fmt "notify %a;" e m
+  | NotifyAll m -> Fmt.pf fmt "notifyall %a;" e m
+  | Assert v -> Fmt.pf fmt "assert %a;" e v
+  | Print v -> Fmt.pf fmt "print %a;" e v
+  | Syscall (x, name, args) -> Fmt.pf fmt "%s = @%s(%a);" x name pp_args args
+  | Opaque (x, name, args) -> Fmt.pf fmt "%s = #%s(%a);" x name pp_args args
+  | Yield -> Fmt.pf fmt "yield;"
+  | Nop -> Fmt.pf fmt "nop;"
+
+and pp_block fmt (b : block) =
+  Fmt.pf fmt "{@;<1 2>@[<v>%a@]@;}" Fmt.(list ~sep:cut pp_stmt) b
+
+let pp_fn fmt (f : fndef) =
+  Fmt.pf fmt "@[<v>fn %s(%s) %a@]" f.fname (String.concat ", " f.params) pp_block f.body
+
+let pp_program fmt (p : program) =
+  let pp_class fmt (name, fields) =
+    Fmt.pf fmt "class %s { %s }" name
+      (String.concat " " (List.map (fun f -> f ^ ";") fields))
+  in
+  let pp_global fmt g = Fmt.pf fmt "global %s;" g in
+  Fmt.pf fmt "@[<v>%a@,%a@,%a@,main %a@]"
+    Fmt.(list ~sep:cut pp_class) p.classes
+    Fmt.(list ~sep:cut pp_global) p.globals
+    Fmt.(list ~sep:cut pp_fn) p.fns
+    pp_block p.main
+
+let to_string (p : program) : string = Fmt.str "%a" pp_program p
+let stmt_to_string (s : stmt) : string = Fmt.str "%a" pp_stmt s
+let expr_to_string (e : expr) : string = Fmt.str "%a" (pp_expr ~prec:0) e

@@ -1,0 +1,1 @@
+lib/metrics/cost.ml: Array Runtime

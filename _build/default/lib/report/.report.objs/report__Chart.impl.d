@@ -1,0 +1,1 @@
+lib/report/chart.ml: Array Buffer Fmt List Printf String

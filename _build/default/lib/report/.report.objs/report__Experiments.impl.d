@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Baselines Bugs Chart Fmt Instrument Interp Light_core List Metrics Option Printf Runtime Unix Workloads

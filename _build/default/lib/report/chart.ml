@@ -1,0 +1,86 @@
+(** ASCII rendering for the paper's figures: grouped horizontal bars
+    normalized per benchmark (Figures 4/5) and stacked percentage bars
+    (Figure 7). *)
+
+let bar_width = 44
+
+let bar (frac : float) (ch : char) : string =
+  let n = int_of_float (frac *. float_of_int bar_width +. 0.5) in
+  String.make (max 0 (min bar_width n)) ch
+
+(** Grouped comparison: one block per row, each series normalized to the
+    row's maximum (the presentation style of Figures 4 and 5). *)
+let grouped ~(title : string) ~(series : string list)
+    (rows : (string * float list) list) ppf : unit =
+  Fmt.pf ppf "%s@." title;
+  Fmt.pf ppf "%s@." (String.make (String.length title) '=');
+  let chars = [| '#'; '%'; '.'; 'o'; '+' |] in
+  List.iter
+    (fun (name, values) ->
+      let mx = List.fold_left max 1e-12 values in
+      Fmt.pf ppf "%-16s@." name;
+      List.iteri
+        (fun i v ->
+          let label = List.nth series i in
+          Fmt.pf ppf "  %-7s |%-*s| %.2f@." label bar_width
+            (bar (v /. mx) chars.(i mod Array.length chars))
+            v)
+        values)
+    rows;
+  Fmt.pf ppf "@."
+
+(** Stacked percentage bars: each row's segments sum to 100%% of the basic
+    version (Figure 7). *)
+let stacked ~(title : string) ~(segments : string list)
+    (rows : (string * float list) list) ppf : unit =
+  Fmt.pf ppf "%s@." title;
+  Fmt.pf ppf "%s@." (String.make (String.length title) '=');
+  let chars = [| '#'; '.'; ' ' |] in
+  Fmt.pf ppf "  legend: %s@."
+    (String.concat "  "
+       (List.mapi
+          (fun i s -> Printf.sprintf "'%c' = %s" chars.(i mod Array.length chars) s)
+          segments));
+  List.iter
+    (fun (name, fracs) ->
+      let total = List.fold_left ( +. ) 0.0 fracs in
+      let fracs = if total > 0.0 then List.map (fun f -> f /. total) fracs else fracs in
+      let buf = Buffer.create bar_width in
+      List.iteri
+        (fun i f ->
+          let n = int_of_float (f *. float_of_int bar_width +. 0.5) in
+          Buffer.add_string buf (String.make (max 0 n) chars.(i mod Array.length chars)))
+        fracs;
+      let s = Buffer.contents buf in
+      let s =
+        if String.length s > bar_width then String.sub s 0 bar_width
+        else s ^ String.make (bar_width - String.length s) ' '
+      in
+      Fmt.pf ppf "  %-16s |%s| %s@." name s
+        (String.concat " / " (List.map (fun f -> Printf.sprintf "%2.0f%%" (100. *. f)) fracs)))
+    rows;
+  Fmt.pf ppf "@."
+
+(** Simple aligned table. *)
+let table ~(title : string) ~(header : string list) (rows : string list list) ppf : unit =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m r -> match List.nth_opt r c with Some s -> max m (String.length s) | None -> m)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pr row =
+    Fmt.pf ppf "  %s@."
+      (String.concat "  "
+         (List.mapi
+            (fun i s -> Printf.sprintf "%-*s" (List.nth widths i) s)
+            (row @ List.init (ncols - List.length row) (fun _ -> ""))))
+  in
+  Fmt.pf ppf "%s@." title;
+  Fmt.pf ppf "%s@." (String.make (String.length title) '=');
+  pr header;
+  pr (List.map (fun w -> String.make w '-') widths);
+  List.iter pr rows;
+  Fmt.pf ppf "@."

@@ -1,0 +1,277 @@
+(** Experiment drivers: one function per table/figure of Section 5.
+    `bench/main.exe` calls these; see DESIGN.md's experiment index. *)
+
+open Runtime
+
+(* ------------------------------------------------------------------ *)
+(* Per-benchmark measurement (Figures 4, 5, 7)                          *)
+(* ------------------------------------------------------------------ *)
+
+type tool_measure = { overhead : float; space_longs : int }
+
+type bench_measure = {
+  bm : Workloads.benchmark;
+  steps : int;
+  accesses : int;
+  leap : tool_measure;
+  stride : tool_measure;
+  light_basic : tool_measure;
+  light_o1 : tool_measure;
+  light_both : tool_measure;
+}
+
+let measure_benchmark ?(scale = 1) ?(seed = 7) (bm : Workloads.benchmark) :
+    bench_measure =
+  let p = Workloads.program ~scale bm in
+  let sched () = Workloads.scheduler ~seed bm in
+  let tr = Instrument.Transformer.transform p in
+  let plan = tr.plan in
+  (* Leap *)
+  let leap_rec = Baselines.Leap.create () in
+  let leap_out = Interp.run ~hooks:(Baselines.Leap.hooks leap_rec) ~plan ~sched:(sched ()) p in
+  let leap_log = Baselines.Leap.finalize leap_rec in
+  let leap =
+    {
+      overhead = Metrics.Cost.overhead leap_rec.meter ~steps:leap_out.steps;
+      space_longs = leap_log.space_longs;
+    }
+  in
+  (* Stride *)
+  let st_rec = Baselines.Stride.create () in
+  let st_out = Interp.run ~hooks:(Baselines.Stride.hooks st_rec) ~plan ~sched:(sched ()) p in
+  let st_log = Baselines.Stride.finalize st_rec in
+  let stride =
+    {
+      overhead = Metrics.Cost.overhead st_rec.meter ~steps:st_out.steps;
+      space_longs = st_log.space_longs;
+    }
+  in
+  (* Light variants *)
+  let light variant =
+    let r = Light_core.Light.record ~variant ~sched:(sched ()) p in
+    ({ overhead = r.overhead; space_longs = r.space_longs }, r)
+  in
+  let light_basic, _ = light Light_core.Light.v_basic in
+  let light_o1, _ = light Light_core.Light.v_o1 in
+  let light_both, rb = light Light_core.Light.v_both in
+  {
+    bm;
+    steps = rb.outcome.steps;
+    accesses = leap_log.space_longs;  (* Leap records one long per access *)
+    leap;
+    stride;
+    light_basic;
+    light_o1;
+    light_both;
+  }
+
+let measure_all ?scale ?seed () : bench_measure list =
+  List.map (measure_benchmark ?scale ?seed) Workloads.all
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4 / aggregate time table                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 (ms : bench_measure list) ppf : unit =
+  Chart.grouped
+    ~title:
+      "Figure 4: normalized time overhead (Light vs Leap vs Stride; bars scaled per benchmark)"
+    ~series:[ "Leap"; "Stride"; "Light" ]
+    (List.map
+       (fun m -> (m.bm.name, [ m.leap.overhead; m.stride.overhead; m.light_both.overhead ]))
+       ms)
+    ppf;
+  let agg f = Metrics.Stats.summarize (List.map f ms) in
+  let leap = agg (fun m -> m.leap.overhead) in
+  let stride = agg (fun m -> m.stride.overhead) in
+  let light = agg (fun m -> m.light_both.overhead) in
+  let s (x : Metrics.Stats.summary) =
+    List.map (Printf.sprintf "%.2f")
+      [ x.average; x.median; x.minimum; x.maximum ]
+  in
+  Chart.table ~title:"Aggregate recording overhead (fraction of base run time)"
+    ~header:[ ""; "average"; "median"; "minimum"; "maximum" ]
+    [ "Leap" :: s leap; "Stride" :: s stride; "Light" :: s light ]
+    ppf;
+  Fmt.pf ppf "  (paper: Leap 4.11/2.58/0.17/17.85, Stride 4.66/2.92/0.19/23.89, Light 0.44/0.42/0.15/0.73)@.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5 / aggregate space table                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 (ms : bench_measure list) ppf : unit =
+  Chart.grouped
+    ~title:
+      "Figure 5: normalized space consumption in Long-integer units (bars scaled per benchmark)"
+    ~series:[ "Leap"; "Stride"; "Light" ]
+    (List.map
+       (fun m ->
+         ( m.bm.name,
+           [ float_of_int m.leap.space_longs;
+             float_of_int m.stride.space_longs;
+             float_of_int m.light_both.space_longs ] ))
+       ms)
+    ppf;
+  let agg f = Metrics.Stats.summarize (List.map f ms) in
+  let leap = agg (fun m -> float_of_int m.leap.space_longs) in
+  let stride = agg (fun m -> float_of_int m.stride.space_longs) in
+  let light = agg (fun m -> float_of_int m.light_both.space_longs) in
+  let s (x : Metrics.Stats.summary) =
+    List.map (Printf.sprintf "%.1f")
+      [ x.average; x.median; x.minimum; x.maximum ]
+  in
+  Chart.table ~title:"Aggregate space (Long-integers per run)"
+    ~header:[ ""; "average"; "median"; "minimum"; "maximum" ]
+    [ "Leap" :: s leap; "Stride" :: s stride; "Light" :: s light ]
+    ppf;
+  let ratio =
+    let tot f = List.fold_left (fun a m -> a + f m) 0 ms in
+    float_of_int (tot (fun m -> m.light_both.space_longs))
+    /. float_of_int (max 1 (tot (fun m -> m.leap.space_longs)))
+  in
+  Fmt.pf ppf "  Light/Leap total space ratio: %.1f%% (paper: ~7.5%%, \"only 10%% of those techniques\")@.@."
+    (100. *. ratio)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: optimization breakdown                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 (ms : bench_measure list) ppf : unit =
+  let rows value =
+    List.map
+      (fun m ->
+        let basic = value m.light_basic in
+        let o1 = value m.light_o1 in
+        let both = value m.light_both in
+        let d1 = max 0.0 (basic -. o1) in
+        let d2 = max 0.0 (o1 -. both) in
+        (m.bm.name, [ d1; d2; min basic both ]))
+      ms
+  in
+  Chart.stacked
+    ~title:"Figure 7a: time overhead breakdown (100% = V_basic)"
+    ~segments:[ "saved by O1"; "saved by O2"; "remaining (V_O1+O2)" ]
+    (rows (fun t -> t.overhead))
+    ppf;
+  Chart.stacked
+    ~title:"Figure 7b: space breakdown (100% = V_basic)"
+    ~segments:[ "saved by O1"; "saved by O2"; "remaining (V_O1+O2)" ]
+    (rows (fun t -> float_of_int t.space_longs))
+    ppf;
+  (* the paper's headline counts *)
+  let count pred value =
+    List.length
+      (List.filter
+         (fun m ->
+           let basic = value m.light_basic and o1 = value m.light_o1
+           and both = value m.light_both in
+           pred basic o1 both)
+         ms)
+  in
+  let time = (fun t -> t.overhead) in
+  let space = (fun t -> float_of_int t.space_longs) in
+  Fmt.pf ppf "  time:  O1 saves >=20%% in %d/24 (paper 20/24), >=50%% in %d/24 (paper 8/24);@."
+    (count (fun b o1 _ -> b -. o1 >= 0.2 *. b) time)
+    (count (fun b o1 _ -> b -. o1 >= 0.5 *. b) time);
+  Fmt.pf ppf "         O2 saves >=20%% in %d/24 (paper 9/24), >=50%% in %d/24 (paper 4/24)@."
+    (count (fun b o1 both -> o1 -. both >= 0.2 *. b) time)
+    (count (fun b o1 both -> o1 -. both >= 0.5 *. b) time);
+  Fmt.pf ppf "  space: O1 saves >=50%% in %d/24 (paper 16/24); O2 saves >=20%% in %d/24 (paper 6/24)@.@."
+    (count (fun b o1 _ -> b -. o1 >= 0.5 *. b) space)
+    (count (fun b o1 both -> o1 -. both >= 0.2 *. b) space)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: real-world bugs                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 ?(tries = 60) ?(clap_budget = 60_000) () ppf : unit =
+  let rows = Bugs.Harness.reproduce_all ~tries ~clap_budget () in
+  Chart.table
+    ~title:"Figure 6: real-world bug reproduction (Light vs Clap vs Chimera)"
+    ~header:[ "bug"; "failure"; "Light"; "Clap"; "Chimera"; "trigger" ]
+    (List.map
+       (fun (r : Bugs.Harness.row) ->
+         let mark (a : Bugs.Harness.attempt) = if a.reproduced then "yes" else "NO" in
+         [ r.bug.name; r.bug.kind; mark r.light; mark r.clap; mark r.chimera; r.trigger_descr ])
+       rows)
+    ppf;
+  List.iter
+    (fun (r : Bugs.Harness.row) ->
+      Fmt.pf ppf "  %-13s clap: %s@.  %-13s chimera: %s@." r.bug.name r.clap.detail ""
+        r.chimera.detail)
+    rows;
+  let n tool = List.length (List.filter tool rows) in
+  Fmt.pf ppf
+    "@.  Light %d/8 (paper 8/8) | Clap %d/8 (paper 3/8) | Chimera %d/8 (paper 5/8)@.@."
+    (n (fun r -> r.light.reproduced))
+    (n (fun r -> r.clap.reproduced))
+    (n (fun r -> r.chimera.reproduced))
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: replay measurement                                          *)
+(* ------------------------------------------------------------------ *)
+
+let table1 ?(scale_factor = 1) () ppf : unit =
+  let rows =
+    List.filter_map
+      (fun (b : Bugs.Defs.bug) ->
+        let scale = max 1 (b.table1_scale * scale_factor) in
+        let p = Bugs.Defs.program_of b ~scale ~background:true () in
+        match Bugs.Harness.find_trigger ~tries:40 p with
+        | None -> None
+        | Some tr ->
+          let r =
+            Light_core.Light.record ~variant:Light_core.Light.v_both
+              ~sched:(tr.make_sched ()) p
+          in
+          let t0 = Unix.gettimeofday () in
+          (match Light_core.Light.replay r with
+          | Error e -> Some [ b.name; "-"; "-"; "-"; "solver failed: " ^ e ]
+          | Ok rr ->
+            let replay_s = Unix.gettimeofday () -. t0 -. rr.report.solve_time_s in
+            let faithful = Bugs.Harness.crashes_match r.outcome rr.replay_outcome in
+            Some
+              [
+                b.name;
+                Printf.sprintf "%.1f" (float_of_int r.space_longs /. 1000.);
+                Printf.sprintf "%.3f" rr.report.solve_time_s;
+                Printf.sprintf "%.3f" replay_s;
+                (if faithful then "reproduced" else "NOT reproduced");
+              ]))
+      Bugs.Defs.all
+  in
+  Chart.table
+    ~title:"Table 1: replay measurement (Light; per-bug recording at Table-1 scale)"
+    ~header:[ "bug"; "Space (K longs)"; "Solve (s)"; "Replay (s)"; "result" ]
+    rows ppf;
+  Fmt.pf ppf
+    "  (paper spaces: Cache4j 297K, Ftpserver 13K, Lucene-481 1088K, Lucene-651 2596K,@.\
+    \   Tomcat-37458 15K, Tomcat-50885 590K, Tomcat-53498 28K, Weblech 2K; absolute@.\
+    \   seconds differ — the reproduced shape is solve time tracking recorded space.)@.@."
+
+(* ------------------------------------------------------------------ *)
+(* Running example (Sections 2.3/2.4)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let running_example () ppf : unit =
+  let bm = Option.get (Workloads.by_name "cache4j") in
+  let p = Workloads.program ~scale:2 bm in
+  let sched () = Workloads.scheduler bm in
+  let run variant =
+    Light_core.Light.record ~variant ~sched:(sched ()) p
+  in
+  let basic = run Light_core.Light.v_basic in
+  let both = run Light_core.Light.v_both in
+  (* Leap comparison for the 1/3 claim *)
+  let plan = basic.plan in
+  let leap_rec = Baselines.Leap.create () in
+  let leap_out = Interp.run ~hooks:(Baselines.Leap.hooks leap_rec) ~plan ~sched:(sched ()) p in
+  let leap_ovh = Metrics.Cost.overhead leap_rec.meter ~steps:leap_out.steps in
+  Chart.table ~title:"Running example (Cache4j workload, Sections 2.3-2.4)"
+    ~header:[ "configuration"; "overhead"; "paper" ]
+    [
+      [ "Leap"; Printf.sprintf "%.2fx" leap_ovh; "~3x" ];
+      [ "Light core (V_basic)"; Printf.sprintf "%.2fx" basic.overhead; "1.2x" ];
+      [ "Light + O1 + O2"; Printf.sprintf "%.0f%%" (100. *. both.overhead); "~30%" ];
+    ]
+    ppf

@@ -1,0 +1,1 @@
+lib/runtime/event.ml: Fmt Loc Value

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Ast Char Event Hashtbl Lang List Loc Option Plan Pp Printf Random Sched String Value

@@ -1,0 +1,1 @@
+lib/runtime/loc.ml: Fmt Hashtbl Int Map Printf Set String Value

@@ -1,0 +1,1 @@
+lib/runtime/loc.mli: Format Hashtbl Map Set Value

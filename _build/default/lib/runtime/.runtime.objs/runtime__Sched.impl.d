@@ -1,0 +1,1 @@
+lib/runtime/sched.ml: Hashtbl List Printf Random

@@ -1,0 +1,49 @@
+(** Runtime events observed by record/replay tools.
+
+    Every shared access — including the ghost accesses that model
+    synchronization primitives per Section 4.3 — carries the identity
+    [(tid, counter)] where [counter] is the thread-local counter [D(t)] of
+    Algorithm 1, incremented by the interpreter on each shared access.
+    Correlated transitions across runs share this identity (Definition 3.3). *)
+
+type akind = Read | Write
+
+(** Why a ghost access happened, for trace readability and for tools (such as
+    Chimera) that treat lock operations specially. *)
+type ghost_kind =
+  | NotGhost
+  | LockAcqRead   (** acquire models a read followed by a write... *)
+  | LockAcqWrite  (** ...of the lock object's ghost field *)
+  | LockRelWrite
+  | SpawnWrite    (** parent writes the child's thread ghost *)
+  | ThreadFirstRead  (** child's first transition reads it *)
+  | ThreadExitWrite  (** child writes its ghost on termination *)
+  | JoinRead
+  | WaitRelWrite  (** wait_before: releasing write *)
+  | WaitCondRead  (** wait_after: read of the condition ghost (pairs a notify) *)
+  | WaitReacqRead
+  | WaitReacqWrite
+  | NotifyWrite
+
+type access = {
+  tid : int;
+  c : int;            (** value of D(tid) for this access *)
+  loc : Loc.t;
+  kind : akind;
+  site : int;         (** static site id, 0 for ghost accesses *)
+  ghost : ghost_kind;
+}
+
+(** Pre-access descriptor handed to the replay gate before the effect. *)
+type pre = access
+
+type t =
+  | Access of access * Value.t  (** the value read or written *)
+  | SyscallEvent of { tid : int; idx : int; name : string; value : Value.t }
+  | ThreadSpawned of { parent : int; child : int }
+  | ThreadFinished of { tid : int }
+
+let akind_str = function Read -> "R" | Write -> "W"
+
+let pp_access fmt (a : access) =
+  Fmt.pf fmt "(%d,%d):%s(%a)" a.tid a.c (akind_str a.kind) Loc.pp a.loc

@@ -1,0 +1,921 @@
+(** The interleaved-semantics interpreter (Section 3.1 of the paper).
+
+    One [step] executes one transition of one thread, chosen by a
+    {!Sched.t}.  Shared accesses at instrumented sites tick the thread-local
+    counter [D(t)] and are reported to the installed hooks; synchronization
+    primitives are additionally modeled as ghost-field accesses exactly as in
+    Section 4.3 (lock acquire = ghost read + ghost write, release = ghost
+    write, spawn/join/exit and wait/notify via thread and condition ghosts).
+
+    Object ids are thread-deterministic: [objid = tid * 1_000_000 + k] where
+    [k] is the allocating thread's allocation index, so Assumption 1 (thread
+    determinism) covers reference values. *)
+
+open Lang
+
+type crash = {
+  tid : int;
+  site : int;
+  line : int;
+  msg : string;
+  c : int;  (** D(tid) when the crash occurred *)
+}
+
+type status_summary =
+  | AllFinished
+  | Deadlock of int list   (** blocked thread ids *)
+  | GateStuck of int list  (** runnable but denied by the replay gate *)
+  | StepLimit
+
+type outcome = {
+  status : status_summary;
+  steps : int;
+  crashes : crash list;
+  reads : (int * (int * Value.t) list) list;
+      (** per thread: (counter, value) of every non-ghost shared read, in
+          program order — the observable of Theorem 1 *)
+  outputs : (int * string list) list;  (** per thread: printed lines *)
+  counters : (int * int) list;         (** final D(t) per thread *)
+  syscalls : (int * int * string * Value.t) list;
+      (** (tid, idx, name, value) in per-thread order *)
+  trace : Event.access list;           (** full access trace if requested *)
+}
+
+type hooks = {
+  gate : Event.pre -> bool;
+      (** consulted before a shared access (on the first ghost access for
+          compound sync transitions); [false] delays the thread *)
+  observe : Event.t -> unit;
+  syscall_override : tid:int -> idx:int -> name:string -> Value.t option;
+      (** replay-run substitution of recorded syscall values (Section 3.2) *)
+  choose_wakeup : (lock:Value.objid -> waiters:int list -> int) option;
+      (** pick which waiter a [notify] wakes; default FIFO *)
+  suppress_write : Event.pre -> bool;
+      (** replay-run blind-write suppression (Section 4.2) *)
+  on_branch : tid:int -> taken:bool -> unit;
+      (** every if/while condition evaluation (used by path-recording tools
+          such as Clap); may raise to abort the run *)
+}
+
+let default_hooks : hooks =
+  {
+    gate = (fun _ -> true);
+    observe = (fun _ -> ());
+    syscall_override = (fun ~tid:_ ~idx:_ ~name:_ -> None);
+    choose_wakeup = None;
+    suppress_write = (fun _ -> false);
+    on_branch = (fun ~tid:_ ~taken:_ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Runtime state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type obj = { cls : string; fields : (string, Value.t) Hashtbl.t }
+
+type citem =
+  | S of Ast.stmt
+  | CUnlock of Value.objid * int  (* end of a sync block; sid for attribution *)
+
+type frame = {
+  mutable cont : citem list;
+  locals : (string, Value.t) Hashtbl.t;
+  ret_to : string option;  (* variable in the caller receiving the return value *)
+}
+
+type tstatus =
+  | Runnable
+  | BlockedLock of Value.objid
+  | BlockedJoin of int
+  | InWait of Value.objid
+  | Notified of Value.objid     (* woken: must read the condition ghost *)
+  | Reacquiring of Value.objid  (* condition read done: must retake the lock *)
+  | Finished
+  | Crashed
+
+type thread = {
+  tid : int;
+  mutable frames : frame list;
+  mutable status : tstatus;
+  mutable held : (Value.objid * int) list;  (* lock -> reentrancy count *)
+  mutable wait_restore : int;               (* count to restore after wait *)
+  mutable alloc : int;
+  mutable d : int;                          (* D(t) *)
+  mutable sys_idx : int;
+  mutable spawn_idx : int;
+  mutable started : bool;
+  mutable reads_rev : (int * Value.t) list;
+  mutable outputs_rev : string list;
+}
+
+exception Rt_crash of int * int * string  (* site, line, message *)
+
+type state = {
+  program : Ast.program;
+  plan : Plan.t;
+  hooks : hooks;
+  heap : (Value.objid, obj) Hashtbl.t;
+  threads : (int, thread) Hashtbl.t;
+  mutable thread_order : int list;  (* creation order, for stable iteration *)
+  locks : (Value.objid, int * int) Hashtbl.t;  (* lock -> owner tid, count *)
+  waitsets : (Value.objid, int list) Hashtbl.t;  (* FIFO: oldest first *)
+  mutable steps : int;
+  mutable crashes : crash list;
+  mutable syscalls_rev : (int * int * string * Value.t) list;
+  mutable trace_rev : Event.access list;
+  collect_trace : bool;
+  rng : Random.State.t;  (* backs the @rand syscall *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Heap helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let new_obj st (t : thread) (cls : string) : Value.objid =
+  t.alloc <- t.alloc + 1;
+  let id = (t.tid * 1_000_000) + t.alloc in
+  Hashtbl.replace st.heap id { cls; fields = Hashtbl.create 8 };
+  id
+
+let heap_read st (l : Loc.t) : Value.t =
+  match Hashtbl.find_opt st.heap l.obj with
+  | None -> VNull
+  | Some o -> Option.value ~default:Value.VNull (Hashtbl.find_opt o.fields l.field)
+
+let heap_write st (l : Loc.t) (v : Value.t) : unit =
+  match Hashtbl.find_opt st.heap l.obj with
+  | None ->
+    (* ghost objects (negative ids) are materialized on first write *)
+    let o = { cls = "$ghost"; fields = Hashtbl.create 4 } in
+    Hashtbl.replace o.fields l.field v;
+    Hashtbl.replace st.heap l.obj o
+  | Some o -> Hashtbl.replace o.fields l.field v
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation (pure: locals and constants only)             *)
+(* ------------------------------------------------------------------ *)
+
+let crash site line fmt = Printf.ksprintf (fun m -> raise (Rt_crash (site, line, m))) fmt
+
+let rec eval (s : Ast.stmt) (locals : (string, Value.t) Hashtbl.t) (e : Ast.expr) : Value.t =
+  match e with
+  | Int n -> VInt n
+  | Bool b -> VBool b
+  | Null -> VNull
+  | Str str -> VStr str
+  | Var x -> (
+    match Hashtbl.find_opt locals x with
+    | Some v -> v
+    | None -> crash s.sid s.line "unbound local variable %s" x)
+  | Unop (Not, a) -> (
+    match eval s locals a with
+    | VBool b -> VBool (not b)
+    | v -> crash s.sid s.line "! applied to %s" (Value.to_string v))
+  | Unop (Neg, a) -> (
+    match eval s locals a with
+    | VInt n -> VInt (-n)
+    | v -> crash s.sid s.line "unary - applied to %s" (Value.to_string v))
+  | Binop (op, a, b) -> eval_binop s locals op a b
+
+and eval_binop s locals op a b : Value.t =
+  let open Value in
+  match op with
+  | And -> (
+    match eval s locals a with
+    | VBool false -> VBool false
+    | VBool true -> (
+      match eval s locals b with
+      | VBool v -> VBool v
+      | v -> crash s.sid s.line "&& applied to %s" (to_string v))
+    | v -> crash s.sid s.line "&& applied to %s" (to_string v))
+  | Or -> (
+    match eval s locals a with
+    | VBool true -> VBool true
+    | VBool false -> (
+      match eval s locals b with
+      | VBool v -> VBool v
+      | v -> crash s.sid s.line "|| applied to %s" (to_string v))
+    | v -> crash s.sid s.line "|| applied to %s" (to_string v))
+  | Eq -> VBool (Value.equal (eval s locals a) (eval s locals b))
+  | Ne -> VBool (not (Value.equal (eval s locals a) (eval s locals b)))
+  | _ -> (
+    let va = eval s locals a and vb = eval s locals b in
+    match op, va, vb with
+    | Add, VInt x, VInt y -> VInt (x + y)
+    | Add, VStr x, VStr y -> VStr (x ^ y)
+    | Sub, VInt x, VInt y -> VInt (x - y)
+    | Mul, VInt x, VInt y -> VInt (x * y)
+    | Div, VInt _, VInt 0 -> crash s.sid s.line "division by zero"
+    | Div, VInt x, VInt y -> VInt (x / y)
+    | Mod, VInt _, VInt 0 -> crash s.sid s.line "modulo by zero"
+    | Mod, VInt x, VInt y -> VInt (x mod y)
+    | Lt, VInt x, VInt y -> VBool (x < y)
+    | Le, VInt x, VInt y -> VBool (x <= y)
+    | Gt, VInt x, VInt y -> VBool (x > y)
+    | Ge, VInt x, VInt y -> VBool (x >= y)
+    | _ ->
+      crash s.sid s.line "type error: %s %s %s" (to_string va)
+        (Pp.binop_str op) (to_string vb))
+
+let eval_bool (s : Ast.stmt) locals e : bool =
+  match eval s locals e with
+  | VBool b -> b
+  | v -> crash s.sid s.line "expected boolean, got %s" (Value.to_string v)
+
+let eval_ref (s : Ast.stmt) locals e : Value.objid =
+  match eval s locals e with
+  | VRef o -> o
+  | VNull -> crash s.sid s.line "null dereference"
+  | v -> crash s.sid s.line "expected object reference, got %s" (Value.to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* Shared-access bookkeeping                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Tick D(t), emit the event, return the access descriptor. *)
+let access st (t : thread) ~(loc : Loc.t) ~(kind : Event.akind) ~(site : int)
+    ~(ghost : Event.ghost_kind) (value : Value.t) : unit =
+  t.d <- t.d + 1;
+  let a = { Event.tid = t.tid; c = t.d; loc; kind; site; ghost } in
+  if st.collect_trace then st.trace_rev <- a :: st.trace_rev;
+  (match kind, ghost with
+  | Read, NotGhost -> t.reads_rev <- (t.d, value) :: t.reads_rev
+  | _ -> ());
+  st.hooks.observe (Access (a, value))
+
+(* The pre-event of the next shared access the thread will perform, for the
+   gate.  Counter value is what the access *will* get. *)
+let pre_of st (t : thread) ~loc ~kind ~site ~ghost : Event.pre =
+  ignore st;
+  { Event.tid = t.tid; c = t.d + 1; loc; kind; site; ghost }
+
+(* ------------------------------------------------------------------ *)
+(* Lock primitives                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let lock_free_or_mine st (t : thread) (m : Value.objid) : bool =
+  match Hashtbl.find_opt st.locks m with
+  | None -> true
+  | Some (owner, _) -> owner = t.tid
+
+let do_acquire st (t : thread) (m : Value.objid) ~(site : int) : unit =
+  (match Hashtbl.find_opt st.locks m with
+  | None -> Hashtbl.replace st.locks m (t.tid, 1)
+  | Some (owner, n) ->
+    assert (owner = t.tid);
+    Hashtbl.replace st.locks m (t.tid, n + 1));
+  (match List.assoc_opt m t.held with
+  | None -> t.held <- (m, 1) :: t.held
+  | Some n -> t.held <- (m, n + 1) :: List.remove_assoc m t.held);
+  let l = Loc.lock_ghost m in
+  access st t ~loc:l ~kind:Read ~site ~ghost:LockAcqRead (heap_read st l);
+  let v = Value.VInt t.tid in
+  heap_write st l v;
+  access st t ~loc:l ~kind:Write ~site ~ghost:LockAcqWrite v
+
+let do_release st (t : thread) (m : Value.objid) ~(site : int) ~(ghost : Event.ghost_kind)
+    ~(full : bool) : unit =
+  match Hashtbl.find_opt st.locks m with
+  | Some (owner, n) when owner = t.tid ->
+    let remaining = if full then 0 else n - 1 in
+    if remaining = 0 then Hashtbl.remove st.locks m
+    else Hashtbl.replace st.locks m (t.tid, remaining);
+    (if full || remaining = 0 then t.held <- List.remove_assoc m t.held
+     else t.held <- (m, remaining) :: List.remove_assoc m t.held);
+    let l = Loc.lock_ghost m in
+    let v = Value.VInt (-t.tid - 1) in
+    heap_write st l v;
+    access st t ~loc:l ~kind:Write ~site ~ghost v
+  | _ -> raise (Rt_crash (site, 0, "unlock of a lock not held"))
+
+(* ------------------------------------------------------------------ *)
+(* Enabledness                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* What shared access (if any) does the thread perform next?  Used both to
+   consult the replay gate and to decide blocking.  Pure evaluation may crash;
+   in that case we report no access so the thread runs and crashes properly. *)
+let next_pre st (t : thread) : Event.pre option =
+  let shared site = st.plan.shared_site site in
+  match t.status with
+  | Notified m ->
+    Some (pre_of st t ~loc:(Loc.cond_ghost m) ~kind:Read ~site:0 ~ghost:WaitCondRead)
+  | Reacquiring m ->
+    Some (pre_of st t ~loc:(Loc.lock_ghost m) ~kind:Read ~site:0 ~ghost:WaitReacqRead)
+  | Runnable | BlockedLock _ | BlockedJoin _ -> (
+    if not t.started then
+      Some
+        (pre_of st t ~loc:(Loc.thread_ghost t.tid) ~kind:Read ~site:0 ~ghost:ThreadFirstRead)
+    else
+      match t.frames with
+      | [] -> (* next transition is the exit ghost write *)
+        Some
+          (pre_of st t ~loc:(Loc.thread_ghost t.tid) ~kind:Write ~site:0 ~ghost:ThreadExitWrite)
+      | { cont = []; _ } :: _ -> None
+      | ({ cont = CUnlock (m, sid) :: _; _ } :: _) ->
+        Some (pre_of st t ~loc:(Loc.lock_ghost m) ~kind:Write ~site:sid ~ghost:LockRelWrite)
+      | ({ cont = S s :: _; locals; _ } :: _) -> (
+        let e = eval s locals in
+        try
+          match s.node with
+          | Load (_, o, f) when shared s.sid ->
+            Some (pre_of st t ~loc:(Loc.field (eval_ref s locals o) f) ~kind:Read ~site:s.sid ~ghost:NotGhost)
+          | Store (o, f, _) when shared s.sid ->
+            Some (pre_of st t ~loc:(Loc.field (eval_ref s locals o) f) ~kind:Write ~site:s.sid ~ghost:NotGhost)
+          | LoadIdx (_, a, i) when shared s.sid -> (
+            match e a, e i with
+            | VRef o, VInt n -> Some (pre_of st t ~loc:(Loc.elem o n) ~kind:Read ~site:s.sid ~ghost:NotGhost)
+            | _ -> None)
+          | StoreIdx (a, i, _) when shared s.sid -> (
+            match e a, e i with
+            | VRef o, VInt n -> Some (pre_of st t ~loc:(Loc.elem o n) ~kind:Write ~site:s.sid ~ghost:NotGhost)
+            | _ -> None)
+          | GlobalLoad (_, g) when shared s.sid ->
+            Some (pre_of st t ~loc:(Loc.global g) ~kind:Read ~site:s.sid ~ghost:NotGhost)
+          | GlobalStore (g, _) when shared s.sid ->
+            Some (pre_of st t ~loc:(Loc.global g) ~kind:Write ~site:s.sid ~ghost:NotGhost)
+          | MapGet (_, m, k) when shared s.sid ->
+            Some (pre_of st t ~loc:(Loc.mapkey (eval_ref s locals m) (e k)) ~kind:Read ~site:s.sid ~ghost:NotGhost)
+          | MapHas (_, m, k) when shared s.sid ->
+            Some (pre_of st t ~loc:(Loc.mapkey (eval_ref s locals m) (e k)) ~kind:Read ~site:s.sid ~ghost:NotGhost)
+          | MapPut (m, k, _) when shared s.sid ->
+            Some (pre_of st t ~loc:(Loc.mapkey (eval_ref s locals m) (e k)) ~kind:Write ~site:s.sid ~ghost:NotGhost)
+          | Sync (m, _) | Lock m ->
+            Some (pre_of st t ~loc:(Loc.lock_ghost (eval_ref s locals m)) ~kind:Read ~site:s.sid ~ghost:LockAcqRead)
+          | Unlock m ->
+            Some (pre_of st t ~loc:(Loc.lock_ghost (eval_ref s locals m)) ~kind:Write ~site:s.sid ~ghost:LockRelWrite)
+          | Wait m ->
+            Some (pre_of st t ~loc:(Loc.lock_ghost (eval_ref s locals m)) ~kind:Write ~site:s.sid ~ghost:WaitRelWrite)
+          | Notify m | NotifyAll m ->
+            Some (pre_of st t ~loc:(Loc.cond_ghost (eval_ref s locals m)) ~kind:Write ~site:s.sid ~ghost:NotifyWrite)
+          | Spawn _ ->
+            (* the child's ghost id depends on the fresh tid *)
+            let child = (t.tid * 100) + t.spawn_idx + 1 in
+            Some (pre_of st t ~loc:(Loc.thread_ghost child) ~kind:Write ~site:s.sid ~ghost:SpawnWrite)
+          | Join h -> (
+            match e h with
+            | VThread target ->
+              Some (pre_of st t ~loc:(Loc.thread_ghost target) ~kind:Read ~site:s.sid ~ghost:JoinRead)
+            | _ -> None)
+          | _ -> None
+        with Rt_crash _ -> None))
+  | InWait _ | Finished | Crashed -> None
+
+(* Is the thread able to take a transition right now (ignoring the gate)? *)
+let semantically_enabled st (t : thread) : bool =
+  match t.status with
+  | Finished | Crashed | InWait _ -> false
+  | Notified _ -> true  (* the condition-ghost read can always proceed *)
+  | Reacquiring m -> lock_free_or_mine st t m
+  | BlockedLock m -> lock_free_or_mine st t m
+  | BlockedJoin target -> (
+    match Hashtbl.find_opt st.threads target with
+    | Some tt -> tt.status = Finished || tt.status = Crashed
+    | None -> true)
+  | Runnable -> (
+    (* peek for blocking statements *)
+    if not t.started then true
+    else
+      match t.frames with
+      | [] -> true
+      | { cont = []; _ } :: _ -> true
+      | { cont = CUnlock _ :: _; _ } :: _ -> true
+      | ({ cont = S s :: _; locals; _ } :: _) -> (
+        try
+          match s.node with
+          | Sync (m, _) | Lock m -> lock_free_or_mine st t (eval_ref s locals m)
+          | Join h -> (
+            match eval s locals h with
+            | VThread target -> (
+              match Hashtbl.find_opt st.threads target with
+              | Some tt -> tt.status = Finished || tt.status = Crashed
+              | None -> true)
+            | _ -> true (* will crash when stepped *))
+          | _ -> true
+        with Rt_crash _ -> true))
+
+let gate_allows st (t : thread) : bool =
+  match next_pre st t with None -> true | Some pre -> st.hooks.gate pre
+
+(* ------------------------------------------------------------------ *)
+(* Stepping                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let current_frame (t : thread) : frame = List.hd t.frames
+
+let set_local (t : thread) (x : string) (v : Value.t) : unit =
+  Hashtbl.replace (current_frame t).locals x v
+
+let pop_stmt (t : thread) : unit =
+  let f = current_frame t in
+  f.cont <- List.tl f.cont
+
+(* Perform a shared or local heap read; instrumented sites tick and emit. *)
+let do_read st (t : thread) (s : Ast.stmt) (loc : Loc.t) : Value.t =
+  let v = heap_read st loc in
+  if st.plan.shared_site s.sid then
+    access st t ~loc ~kind:Read ~site:s.sid ~ghost:NotGhost v;
+  v
+
+let do_write st (t : thread) (s : Ast.stmt) (loc : Loc.t) (v : Value.t) : unit =
+  if st.plan.shared_site s.sid then begin
+    let pre = pre_of st t ~loc ~kind:Write ~site:s.sid ~ghost:NotGhost in
+    if not (st.hooks.suppress_write pre) then heap_write st loc v;
+    access st t ~loc ~kind:Write ~site:s.sid ~ghost:NotGhost v
+  end
+  else heap_write st loc v
+
+let opaque_op st (t : thread) (s : Ast.stmt) (name : string) (args : Value.t list) : Value.t =
+  ignore st; ignore t;
+  let module V = Value in
+  let int1 = function [ V.VInt n ] -> n | _ -> crash s.sid s.line "#%s: expected int" name in
+  if String.length name >= 2 && String.sub name 0 2 = "__" then V.VNull
+    (* woven instrumentation pseudo-hooks are no-ops when executed directly *)
+  else
+  match name, args with
+  | "hash", [ v ] ->
+    let s = V.map_key v in
+    let h = ref 17 in
+    String.iter (fun ch -> h := (!h * 31) + Char.code ch) s;
+    VInt (!h land 0x3FFFFFFF)
+  | "strlen", [ V.VStr s ] -> VInt (String.length s)
+  | "strcat", [ V.VStr a; V.VStr b ] -> VStr (a ^ b)
+  | "str_index", [ V.VStr s; V.VStr sub ] ->
+    let n = String.length s and m = String.length sub in
+    let rec find i = if i + m > n then -1 else if String.sub s i m = sub then i else find (i + 1) in
+    VInt (if m = 0 then 0 else find 0)
+  | "to_str", [ v ] -> VStr (V.to_string v)
+  | "crc", _ ->
+    let n = int1 args in
+    let x = n lxor (n lsl 13) in
+    let x = x lxor (x asr 7) in
+    VInt ((x lxor (x lsl 17)) land 0x3FFFFFFF)
+  | "mix", [ V.VInt a; V.VInt b ] -> VInt (((a * a) + (b * b) + (a * b)) land 0x3FFFFFFF)
+  | "floor_sqrt", _ ->
+    let n = int1 args in
+    if n < 0 then crash s.sid s.line "#floor_sqrt of negative"
+    else VInt (int_of_float (sqrt (float_of_int n)))
+  | _ -> crash s.sid s.line "unknown opaque operation #%s" name
+
+let syscall_value st (t : thread) (s : Ast.stmt) (name : string) (args : Value.t list) : Value.t
+    =
+  match st.hooks.syscall_override ~tid:t.tid ~idx:t.sys_idx ~name with
+  | Some v -> v
+  | None -> (
+    match name, args with
+    | "time", [] -> VInt (st.steps / 10)
+    | "nanotime", [] -> VInt ((st.steps * 1000) + (t.tid * 7))
+    | "rand", [ VInt n ] when n > 0 -> VInt (Random.State.int st.rng n)
+    | "rand", [] -> VInt (Random.State.int st.rng 1_000_000)
+    | "read_input", [] -> VInt (Random.State.int st.rng 100)
+    | _ -> crash s.sid s.line "bad syscall @%s" name)
+
+let fifo_pop st (m : Value.objid) : int option =
+  match Hashtbl.find_opt st.waitsets m with
+  | None | Some [] -> None
+  | Some (w :: rest) ->
+    Hashtbl.replace st.waitsets m rest;
+    Some w
+
+let pick_wakeup st (m : Value.objid) : int option =
+  match st.hooks.choose_wakeup with
+  | None -> fifo_pop st m
+  | Some f -> (
+    match Hashtbl.find_opt st.waitsets m with
+    | None | Some [] -> None
+    | Some waiters ->
+      let w = f ~lock:m ~waiters in
+      Hashtbl.replace st.waitsets m (List.filter (fun x -> x <> w) waiters);
+      Some w)
+
+let wake st (w : int) (m : Value.objid) : unit =
+  let wt = Hashtbl.find st.threads w in
+  wt.status <- Notified m
+
+(* Thread exit: emit the exit ghost write and release any held locks. *)
+let finish_thread st (t : thread) ~(crashed : bool) : unit =
+  List.iter (fun (m, _) -> do_release st t m ~site:0 ~ghost:LockRelWrite ~full:true) t.held;
+  let l = Loc.thread_ghost t.tid in
+  let v = Value.VInt t.tid in
+  heap_write st l v;
+  access st t ~loc:l ~kind:Write ~site:0 ~ghost:ThreadExitWrite v;
+  t.status <- (if crashed then Crashed else Finished);
+  st.hooks.observe (ThreadFinished { tid = t.tid })
+
+let make_thread ~tid ~frames : thread =
+  {
+    tid;
+    frames;
+    status = Runnable;
+    held = [];
+    wait_restore = 0;
+    alloc = 0;
+    d = 0;
+    sys_idx = 0;
+    spawn_idx = 0;
+    started = false;
+    reads_rev = [];
+    outputs_rev = [];
+  }
+
+let spawn_thread st (parent : thread) (s : Ast.stmt) (fname : string) (args : Value.t list) :
+    int =
+  let fd =
+    match Ast.find_fn st.program fname with
+    | Some fd -> fd
+    | None -> crash s.sid s.line "spawn of undefined function %s" fname
+  in
+  parent.spawn_idx <- parent.spawn_idx + 1;
+  if parent.spawn_idx > 99 then crash s.sid s.line "spawn limit (99 per thread) exceeded";
+  let tid = (parent.tid * 100) + parent.spawn_idx in
+  let locals = Hashtbl.create 16 in
+  List.iter2 (fun p v -> Hashtbl.replace locals p v) fd.params args;
+  let th = make_thread ~tid ~frames:[ { cont = List.map (fun x -> S x) fd.body; locals; ret_to = None } ] in
+  Hashtbl.replace st.threads tid th;
+  st.thread_order <- st.thread_order @ [ tid ];
+  (* parent writes the child's thread ghost (Section 4.3) *)
+  let l = Loc.thread_ghost tid in
+  let v = Value.VThread tid in
+  heap_write st l v;
+  access st parent ~loc:l ~kind:Write ~site:s.sid ~ghost:SpawnWrite v;
+  st.hooks.observe (ThreadSpawned { parent = parent.tid; child = tid });
+  tid
+
+(* Execute one transition of thread [t].  Assumes semantically enabled and
+   gate-approved. *)
+let rec step_thread st (t : thread) : unit =
+  if not t.started then begin
+    t.started <- true;
+    let l = Loc.thread_ghost t.tid in
+    access st t ~loc:l ~kind:Read ~site:0 ~ghost:ThreadFirstRead (heap_read st l)
+  end
+  else
+    match t.status with
+    | Notified m ->
+      (* wait_after, part 1: read the condition ghost (pairing the notify) *)
+      let cl = Loc.cond_ghost m in
+      access st t ~loc:cl ~kind:Read ~site:0 ~ghost:WaitCondRead (heap_read st cl);
+      t.status <- Reacquiring m
+    | Reacquiring m ->
+      (* wait_after, part 2: retake the monitor *)
+      let ll = Loc.lock_ghost m in
+      access st t ~loc:ll ~kind:Read ~site:0 ~ghost:WaitReacqRead (heap_read st ll);
+      Hashtbl.replace st.locks m (t.tid, t.wait_restore);
+      t.held <- (m, t.wait_restore) :: t.held;
+      t.wait_restore <- 0;
+      let v = Value.VInt t.tid in
+      heap_write st ll v;
+      access st t ~loc:ll ~kind:Write ~site:0 ~ghost:WaitReacqWrite v;
+      t.status <- Runnable
+    | BlockedLock _ | BlockedJoin _ | Runnable -> (
+      t.status <- Runnable;
+      match t.frames with
+      | [] -> finish_thread st t ~crashed:false
+      | { cont = []; ret_to; _ } :: rest ->
+        (* implicit return *)
+        t.frames <- rest;
+        (match rest, ret_to with
+        | caller :: _, Some x -> Hashtbl.replace caller.locals x VNull
+        | _ -> ())
+      | ({ cont = CUnlock (m, sid) :: _; _ } :: _) as _frames ->
+        pop_stmt t;
+        do_release st t m ~site:sid ~ghost:LockRelWrite ~full:false
+      | ({ cont = S s :: _; locals; _ } :: _) -> exec_stmt st t s locals)
+    | InWait _ | Finished | Crashed -> assert false
+
+and exec_stmt st (t : thread) (s : Ast.stmt) (locals : (string, Value.t) Hashtbl.t) : unit =
+  let e x = eval s locals x in
+  match s.node with
+  | Nop | Yield -> pop_stmt t
+  | Assign (x, v) ->
+    let v = e v in
+    pop_stmt t;
+    set_local t x v
+  | Load (x, o, f) ->
+    let loc = Loc.field (eval_ref s locals o) f in
+    pop_stmt t;
+    set_local t x (do_read st t s loc)
+  | Store (o, f, v) ->
+    let loc = Loc.field (eval_ref s locals o) f in
+    let v = e v in
+    pop_stmt t;
+    do_write st t s loc v
+  | LoadIdx (x, a, i) -> (
+    match e a, e i with
+    | VRef o, VInt n ->
+      let len = match heap_read st (Loc.field o "len") with VInt l -> l | _ -> 0 in
+      if n < 0 || n >= len then crash s.sid s.line "array index %d out of bounds (len %d)" n len;
+      pop_stmt t;
+      set_local t x (do_read st t s (Loc.elem o n))
+    | VNull, _ -> crash s.sid s.line "null dereference"
+    | va, vi ->
+      crash s.sid s.line "bad array access %s[%s]" (Value.to_string va) (Value.to_string vi))
+  | StoreIdx (a, i, v) -> (
+    match e a, e i with
+    | VRef o, VInt n ->
+      let len = match heap_read st (Loc.field o "len") with VInt l -> l | _ -> 0 in
+      if n < 0 || n >= len then crash s.sid s.line "array index %d out of bounds (len %d)" n len;
+      let v = e v in
+      pop_stmt t;
+      do_write st t s (Loc.elem o n) v
+    | VNull, _ -> crash s.sid s.line "null dereference"
+    | va, _ -> crash s.sid s.line "bad array store into %s" (Value.to_string va))
+  | GlobalLoad (x, g) ->
+    pop_stmt t;
+    set_local t x (do_read st t s (Loc.global g))
+  | GlobalStore (g, v) ->
+    let v = e v in
+    pop_stmt t;
+    do_write st t s (Loc.global g) v
+  | New (x, cls) ->
+    pop_stmt t;
+    let id = new_obj st t cls in
+    (* initialize declared fields to null: Java-like default initialization;
+       these writes are thread-local (the object is unescaped) *)
+    (match Ast.class_fields st.program cls with
+    | Some fields -> List.iter (fun f -> heap_write st (Loc.field id f) VNull) fields
+    | None -> ());
+    set_local t x (VRef id)
+  | NewArray (x, n) -> (
+    match e n with
+    | VInt len when len >= 0 ->
+      pop_stmt t;
+      let id = new_obj st t "[]" in
+      heap_write st (Loc.field id "len") (VInt len);
+      for i = 0 to len - 1 do
+        heap_write st (Loc.elem id i) (VInt 0)
+      done;
+      set_local t x (VRef id)
+    | v -> crash s.sid s.line "bad array length %s" (Value.to_string v))
+  | NewMap x ->
+    pop_stmt t;
+    let id = new_obj st t "map" in
+    set_local t x (VRef id)
+  | MapGet (x, m, k) ->
+    let loc = Loc.mapkey (eval_ref s locals m) (e k) in
+    pop_stmt t;
+    set_local t x (do_read st t s loc)
+  | MapPut (m, k, v) ->
+    let loc = Loc.mapkey (eval_ref s locals m) (e k) in
+    let v = e v in
+    pop_stmt t;
+    do_write st t s loc v
+  | MapHas (x, m, k) ->
+    let loc = Loc.mapkey (eval_ref s locals m) (e k) in
+    pop_stmt t;
+    let v = do_read st t s loc in
+    set_local t x (VBool (v <> VNull))
+  | If (c, b1, b2) ->
+    let cond = eval_bool s locals c in
+    st.hooks.on_branch ~tid:t.tid ~taken:cond;
+    let f = current_frame t in
+    f.cont <- List.map (fun x -> S x) (if cond then b1 else b2) @ List.tl f.cont
+  | While (c, b) ->
+    let cond = eval_bool s locals c in
+    st.hooks.on_branch ~tid:t.tid ~taken:cond;
+    let f = current_frame t in
+    if cond then f.cont <- List.map (fun x -> S x) b @ f.cont
+    else f.cont <- List.tl f.cont
+  | Call (ret, fname, args) -> (
+    match Ast.find_fn st.program fname with
+    | None -> crash s.sid s.line "call to undefined function %s" fname
+    | Some fd ->
+      let vals = List.map e args in
+      pop_stmt t;
+      let callee_locals = Hashtbl.create 16 in
+      List.iter2 (fun p v -> Hashtbl.replace callee_locals p v) fd.params vals;
+      t.frames <-
+        { cont = List.map (fun x -> S x) fd.body; locals = callee_locals; ret_to = ret }
+        :: t.frames)
+  | Return v -> (
+    let rv = match v with Some x -> e x | None -> VNull in
+    match t.frames with
+    | { ret_to; _ } :: rest ->
+      t.frames <- rest;
+      (match rest, ret_to with
+      | caller :: _, Some x -> Hashtbl.replace caller.locals x rv
+      | _ -> ())
+    | [] -> assert false)
+  | Spawn (h, fname, args) ->
+    let vals = List.map e args in
+    pop_stmt t;
+    let tid = spawn_thread st t s fname vals in
+    set_local t h (VThread tid)
+  | Join hexpr -> (
+    match e hexpr with
+    | VThread target -> (
+      match Hashtbl.find_opt st.threads target with
+      | Some tt when tt.status = Finished || tt.status = Crashed ->
+        pop_stmt t;
+        let l = Loc.thread_ghost target in
+        access st t ~loc:l ~kind:Read ~site:s.sid ~ghost:JoinRead (heap_read st l)
+      | Some _ -> t.status <- BlockedJoin target
+      | None -> crash s.sid s.line "join of unknown thread %d" target)
+    | v -> crash s.sid s.line "join of non-thread %s" (Value.to_string v))
+  | Sync (m, body) ->
+    let mo = eval_ref s locals m in
+    if lock_free_or_mine st t mo then begin
+      let f = current_frame t in
+      f.cont <- List.map (fun x -> S x) body @ (CUnlock (mo, s.sid) :: List.tl f.cont);
+      do_acquire st t mo ~site:s.sid
+    end
+    else t.status <- BlockedLock mo
+  | Lock m ->
+    let mo = eval_ref s locals m in
+    if lock_free_or_mine st t mo then begin
+      pop_stmt t;
+      do_acquire st t mo ~site:s.sid
+    end
+    else t.status <- BlockedLock mo
+  | Unlock m ->
+    let mo = eval_ref s locals m in
+    pop_stmt t;
+    (match Hashtbl.find_opt st.locks mo with
+    | Some (owner, _) when owner = t.tid ->
+      do_release st t mo ~site:s.sid ~ghost:LockRelWrite ~full:false
+    | _ -> crash s.sid s.line "unlock of a lock not held")
+  | Wait m -> (
+    let mo = eval_ref s locals m in
+    match Hashtbl.find_opt st.locks mo with
+    | Some (owner, n) when owner = t.tid ->
+      pop_stmt t;
+      (* wait_before: fully release the monitor *)
+      t.wait_restore <- n;
+      do_release st t mo ~site:s.sid ~ghost:WaitRelWrite ~full:true;
+      t.status <- InWait mo;
+      let ws = Option.value ~default:[] (Hashtbl.find_opt st.waitsets mo) in
+      Hashtbl.replace st.waitsets mo (ws @ [ t.tid ])
+    | _ -> crash s.sid s.line "wait without holding the monitor")
+  | Notify m -> (
+    let mo = eval_ref s locals m in
+    match Hashtbl.find_opt st.locks mo with
+    | Some (owner, _) when owner = t.tid ->
+      pop_stmt t;
+      let cl = Loc.cond_ghost mo in
+      let v = Value.VInt t.tid in
+      heap_write st cl v;
+      access st t ~loc:cl ~kind:Write ~site:s.sid ~ghost:NotifyWrite v;
+      (match pick_wakeup st mo with Some w -> wake st w mo | None -> ())
+    | _ -> crash s.sid s.line "notify without holding the monitor")
+  | NotifyAll m -> (
+    let mo = eval_ref s locals m in
+    match Hashtbl.find_opt st.locks mo with
+    | Some (owner, _) when owner = t.tid ->
+      pop_stmt t;
+      let cl = Loc.cond_ghost mo in
+      let v = Value.VInt t.tid in
+      heap_write st cl v;
+      access st t ~loc:cl ~kind:Write ~site:s.sid ~ghost:NotifyWrite v;
+      let rec drain () =
+        match fifo_pop st mo with
+        | Some w -> wake st w mo; drain ()
+        | None -> ()
+      in
+      drain ()
+    | _ -> crash s.sid s.line "notifyAll without holding the monitor")
+  | Assert c ->
+    let v = eval_bool s locals c in
+    if not v then crash s.sid s.line "assertion failed";
+    pop_stmt t
+  | Print v ->
+    let str = Value.to_string (e v) in
+    pop_stmt t;
+    t.outputs_rev <- str :: t.outputs_rev
+  | Syscall (x, name, args) ->
+    let vals = List.map e args in
+    let v = syscall_value st t s name vals in
+    st.syscalls_rev <- (t.tid, t.sys_idx, name, v) :: st.syscalls_rev;
+    st.hooks.observe (SyscallEvent { tid = t.tid; idx = t.sys_idx; name; value = v });
+    t.sys_idx <- t.sys_idx + 1;
+    pop_stmt t;
+    set_local t x v
+  | Opaque (x, name, args) ->
+    let vals = List.map e args in
+    let v = opaque_op st t s name vals in
+    pop_stmt t;
+    set_local t x v
+
+(* ------------------------------------------------------------------ *)
+(* Run loop                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(hooks = default_hooks) ?(plan = Plan.all_shared) ?(max_steps = 5_000_000)
+    ?(collect_trace = false) ?(seed = 0) ~(sched : Sched.t) (program : Ast.program) : outcome =
+  let st =
+    {
+      program;
+      plan;
+      hooks;
+      heap = Hashtbl.create 1024;
+      threads = Hashtbl.create 16;
+      thread_order = [];
+      locks = Hashtbl.create 16;
+      waitsets = Hashtbl.create 16;
+      steps = 0;
+      crashes = [];
+      syscalls_rev = [];
+      trace_rev = [];
+      collect_trace;
+      rng = Random.State.make [| seed; 0x5EED |];
+    }
+  in
+  (* the globals root object *)
+  Hashtbl.replace st.heap 0 { cls = "$globals"; fields = Hashtbl.create 16 };
+  List.iter (fun g -> heap_write st (Loc.global g) VNull) program.globals;
+  let main_thread =
+    make_thread ~tid:1
+      ~frames:[ { cont = List.map (fun x -> S x) program.main; locals = Hashtbl.create 16; ret_to = None } ]
+  in
+  main_thread.started <- true;  (* main has no spawn ghost to read *)
+  Hashtbl.replace st.threads 1 main_thread;
+  st.thread_order <- [ 1 ];
+  let finished = ref false in
+  let status = ref AllFinished in
+  while not !finished do
+    let all = st.thread_order in
+    let live =
+      List.filter
+        (fun tid ->
+          let t = Hashtbl.find st.threads tid in
+          t.status <> Finished && t.status <> Crashed)
+        all
+    in
+    if live = [] then (finished := true; status := AllFinished)
+    else begin
+      let sem_enabled =
+        List.filter (fun tid -> semantically_enabled st (Hashtbl.find st.threads tid)) live
+      in
+      let runnable =
+        List.filter (fun tid -> gate_allows st (Hashtbl.find st.threads tid)) sem_enabled
+      in
+      if runnable = [] then begin
+        finished := true;
+        status := (if sem_enabled = [] then Deadlock live else GateStuck sem_enabled)
+      end
+      else if st.steps >= max_steps then (finished := true; status := StepLimit)
+      else begin
+        let tid = sched.pick ~step:st.steps ~runnable in
+        let tid = if List.mem tid runnable then tid else List.hd runnable in
+        let t = Hashtbl.find st.threads tid in
+        st.steps <- st.steps + 1;
+        (try step_thread st t with
+        | Rt_crash (site, line, msg) ->
+          st.crashes <- { tid; site; line; msg; c = t.d } :: st.crashes;
+          finish_thread st t ~crashed:true)
+      end
+    end
+  done;
+  let per_thread f =
+    List.map (fun tid -> (tid, f (Hashtbl.find st.threads tid))) st.thread_order
+  in
+  {
+    status = !status;
+    steps = st.steps;
+    crashes = List.rev st.crashes;
+    reads = per_thread (fun t -> List.rev t.reads_rev);
+    outputs = per_thread (fun t -> List.rev t.outputs_rev);
+    counters = per_thread (fun t -> t.d);
+    syscalls = List.rev st.syscalls_rev;
+    trace = List.rev st.trace_rev;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Determinism oracle (Theorem 1 observables)                           *)
+(* ------------------------------------------------------------------ *)
+
+type mismatch = string
+
+(** Compare the Theorem-1 observables of two runs: per-thread sequences of
+    shared-read values, per-thread outputs, and crashes (site + counter). *)
+let replay_matches ~(original : outcome) ~(replay : outcome) : mismatch list =
+  let ms = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> ms := m :: !ms) fmt in
+  let cmp_assoc name a b pp_v =
+    List.iter
+      (fun (tid, xs) ->
+        match List.assoc_opt tid b with
+        | None -> add "%s: thread %d missing in replay" name tid
+        | Some ys ->
+          if xs <> ys then
+            add "%s: thread %d differs (original %d items, replay %d items%s)" name tid
+              (List.length xs) (List.length ys)
+              (match
+                 List.find_opt (fun (x, y) -> x <> y)
+                   (List.combine
+                      (List.filteri (fun i _ -> i < min (List.length xs) (List.length ys)) xs)
+                      (List.filteri (fun i _ -> i < min (List.length xs) (List.length ys)) ys))
+               with
+              | Some (x, y) -> Printf.sprintf "; first diff: %s vs %s" (pp_v x) (pp_v y)
+              | None -> ""))
+      a
+  in
+  cmp_assoc "reads" original.reads replay.reads (fun (c, v) ->
+      Printf.sprintf "(%d,%s)" c (Value.to_string v));
+  cmp_assoc "outputs" original.outputs replay.outputs (fun s -> s);
+  let crash_key (c : crash) = (c.tid, c.site, c.c, c.msg) in
+  let ok = List.map crash_key original.crashes in
+  let rk = List.map crash_key replay.crashes in
+  if List.sort compare ok <> List.sort compare rk then
+    add "crashes differ: original %d, replay %d" (List.length original.crashes)
+      (List.length replay.crashes);
+  List.rev !ms

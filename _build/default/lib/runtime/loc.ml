@@ -1,0 +1,54 @@
+(** Memory locations: an object id paired with a field name, as in the
+    paper's heap domain [Heap = O x FldId -> Val].
+
+    Array elements, map entries and the ghost fields that model
+    synchronization primitives (Section 4.3 of the paper) are all encoded as
+    fields with reserved names, so every layer above deals with a single flat
+    location type. *)
+
+type t = { obj : Value.objid; field : string }
+
+let field obj f = { obj; field = f }
+let elem obj i = { obj; field = "#" ^ string_of_int i }
+let mapkey obj (k : Value.t) = { obj; field = "@" ^ Value.map_key k }
+let global g = { obj = 0; field = g }
+
+(** Ghost field modeling the monitor state (owner/count) of a lock object. *)
+let lock_ghost obj = { obj; field = "$lock" }
+
+(** Ghost field written by [notify]/[notifyAll] and read by the matching
+    wait_after transition. *)
+let cond_ghost obj = { obj; field = "$cond" }
+
+(** Ghost location written when thread [t] starts or terminates; the child's
+    first transition and the parent's [join] read it. *)
+let thread_ghost (t : int) = { obj = -(t + 1); field = "$thread" }
+
+let is_ghost l = String.length l.field > 0 && l.field.[0] = '$'
+
+let equal (a : t) (b : t) = a.obj = b.obj && String.equal a.field b.field
+let compare (a : t) (b : t) =
+  match Int.compare a.obj b.obj with 0 -> String.compare a.field b.field | c -> c
+
+let hash (l : t) = Hashtbl.hash (l.obj, l.field)
+
+let to_string (l : t) =
+  if l.obj = 0 then l.field else Printf.sprintf "%d.%s" l.obj l.field
+
+let pp fmt l = Fmt.string fmt (to_string l)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)

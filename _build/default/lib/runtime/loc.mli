@@ -1,0 +1,40 @@
+(** Memory locations: object id x field name, as in the paper's heap domain
+    [Heap = O x FldId -> Val].  Array elements, map entries and the ghost
+    fields modeling synchronization primitives (Section 4.3) are encoded as
+    reserved field names so every layer handles one flat location type. *)
+
+type t = { obj : Value.objid; field : string }
+
+val field : Value.objid -> string -> t
+
+(** Array element. *)
+val elem : Value.objid -> int -> t
+
+(** Map entry, keyed by value. *)
+val mapkey : Value.objid -> Value.t -> t
+
+(** Global variable slot. *)
+val global : string -> t
+
+val lock_ghost : Value.objid -> t
+(** The ghost field abstracting a lock's owner/count state: acquisition is
+    modeled as a read then a write of it, release as a write. *)
+
+val cond_ghost : Value.objid -> t
+(** Written by [notify]/[notifyAll]; read by the matching wait_after. *)
+
+val thread_ghost : int -> t
+(** Written at spawn (by the parent) and at termination (by the thread);
+    read by the thread's first transition and by [join]. *)
+
+val is_ghost : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

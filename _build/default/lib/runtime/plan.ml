@@ -1,0 +1,22 @@
+(** Instrumentation plan consumed by the interpreter.
+
+    The transformer (lib/instrument) decides, per static site, whether the
+    access may touch a shared location (and must therefore be instrumented:
+    counter tick + tool hooks) and whether it is consistently lock-guarded
+    (optimization O2, Lemma 4.2: recording may be skipped because the
+    guarding lock's ghost dependences subsume it). *)
+
+type t = {
+  shared_site : int -> bool;   (** instrument this site? *)
+  guarded_site : int -> bool;  (** consistently lock-protected (O2)? *)
+}
+
+(** Sound default: every site is treated as potentially shared (the paper's
+    baseline before applying the Soot/Chord analyses). *)
+let all_shared = { shared_site = (fun _ -> true); guarded_site = (fun _ -> false) }
+
+let of_tables ~(shared : (int, bool) Hashtbl.t) ~(guarded : (int, bool) Hashtbl.t) : t =
+  {
+    shared_site = (fun s -> Option.value ~default:false (Hashtbl.find_opt shared s));
+    guarded_site = (fun s -> Option.value ~default:false (Hashtbl.find_opt guarded s));
+  }

@@ -1,0 +1,106 @@
+(** Thread schedulers.
+
+    The interpreter implements the paper's interleaved semantics: at each
+    step the [NoDet] rule nondeterministically selects a runnable thread.  A
+    scheduler resolves that nondeterminism.  Seeded schedulers make "original
+    runs" reproducible for testing; the sticky scheduler yields realistic
+    run-lengths of consecutive same-thread accesses, the pattern exploited by
+    optimization O1 (Lemma 4.3). *)
+
+type t = {
+  name : string;
+  pick : step:int -> runnable:int list -> int;
+      (** chooses among the runnable thread ids (non-empty list) *)
+}
+
+let round_robin : t =
+  let last = ref (-1) in
+  {
+    name = "round-robin";
+    pick =
+      (fun ~step:_ ~runnable ->
+        let above = List.filter (fun t -> t > !last) runnable in
+        let t = match above with x :: _ -> x | [] -> List.hd runnable in
+        last := t;
+        t);
+  }
+
+let random ~seed : t =
+  let st = Random.State.make [| seed; 0x11 |] in
+  {
+    name = Printf.sprintf "random(%d)" seed;
+    pick =
+      (fun ~step:_ ~runnable ->
+        List.nth runnable (Random.State.int st (List.length runnable)));
+  }
+
+(** Keeps running the current thread; switches with probability
+    [1/stickiness] (or when the thread is no longer runnable).  Larger
+    [stickiness] produces longer uninterleaved access sequences. *)
+let sticky ~seed ~stickiness : t =
+  let st = Random.State.make [| seed; 0x22; stickiness |] in
+  let cur = ref (-1) in
+  {
+    name = Printf.sprintf "sticky(%d,%d)" seed stickiness;
+    pick =
+      (fun ~step:_ ~runnable ->
+        let switch =
+          (not (List.mem !cur runnable)) || Random.State.int st stickiness = 0
+        in
+        if switch then cur := List.nth runnable (Random.State.int st (List.length runnable));
+        !cur);
+  }
+
+(** Follows an explicit thread-id script; once exhausted (or when the
+    scripted thread is not runnable) falls back to the first runnable
+    thread.  Used by tests and by bug triggers. *)
+let scripted (script : int list) : t =
+  let rest = ref script in
+  {
+    name = "scripted";
+    pick =
+      (fun ~step:_ ~runnable ->
+        let rec next () =
+          match !rest with
+          | [] -> List.hd runnable
+          | t :: tl ->
+            rest := tl;
+            if List.mem t runnable then t else next ()
+        in
+        next ());
+  }
+
+(** PCT-style priority scheduler: random fixed priorities with [depth]
+    random priority-change points; always runs the highest-priority runnable
+    thread.  Good at exposing rare-interleaving bugs. *)
+let pct ~seed ~depth ~expected_steps : t =
+  let st = Random.State.make [| seed; 0x33 |] in
+  let prio : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let change_points =
+    List.init depth (fun _ ->
+        if expected_steps <= 0 then 0 else Random.State.int st expected_steps)
+  in
+  let get_prio t =
+    match Hashtbl.find_opt prio t with
+    | Some p -> p
+    | None ->
+      let p = Random.State.int st 1_000_000 in
+      Hashtbl.add prio t p;
+      p
+  in
+  {
+    name = Printf.sprintf "pct(%d,%d)" seed depth;
+    pick =
+      (fun ~step ~runnable ->
+        if List.mem step change_points then begin
+          (* demote the currently highest thread *)
+          match
+            List.sort (fun a b -> compare (get_prio b) (get_prio a)) runnable
+          with
+          | top :: _ -> Hashtbl.replace prio top (-step)
+          | [] -> ()
+        end;
+        List.fold_left
+          (fun best t -> if get_prio t > get_prio best then t else best)
+          (List.hd runnable) runnable);
+  }

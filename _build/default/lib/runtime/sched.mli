@@ -1,0 +1,30 @@
+(** Thread schedulers resolving the [NoDet] rule of the interleaved
+    semantics (Section 3.1).
+
+    Seeded schedulers make "original runs" reproducible; [sticky] models
+    realistic OS quanta (long uninterleaved runs — the pattern optimization
+    O1 exploits); [pct] is a priority-based bug-finding scheduler. *)
+
+type t = {
+  name : string;
+  pick : step:int -> runnable:int list -> int;
+      (** choose among the runnable thread ids (non-empty) *)
+}
+
+val round_robin : t
+
+val random : seed:int -> t
+(** Uniform choice at every step. *)
+
+val sticky : seed:int -> stickiness:int -> t
+(** Keeps running the current thread, switching with probability
+    [1/stickiness].  Larger values approximate longer scheduling quanta. *)
+
+val scripted : int list -> t
+(** Follows an explicit thread-id script, skipping entries that are not
+    runnable; falls back to the first runnable thread when exhausted. *)
+
+val pct : seed:int -> depth:int -> expected_steps:int -> t
+(** PCT-style: random fixed priorities with [depth] priority-change points
+    scattered over [expected_steps]; always runs the highest-priority
+    runnable thread. *)

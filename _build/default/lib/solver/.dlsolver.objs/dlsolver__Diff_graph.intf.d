@@ -1,0 +1,1 @@
+lib/solver/diff_graph.mli:

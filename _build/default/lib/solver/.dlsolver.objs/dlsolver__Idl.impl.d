@@ -1,0 +1,1 @@
+lib/solver/idl.ml: Array Diff_graph List

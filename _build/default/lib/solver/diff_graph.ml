@@ -1,0 +1,146 @@
+(** Incremental difference-constraint graph.
+
+    A constraint [x_u - x_v <= k] is an edge [v -> u] with weight [k].  The
+    conjunction of constraints is satisfiable iff the graph has no negative
+    cycle.  We maintain a potential [d] with [d(u) <= d(v) + k] for every
+    edge — which is itself a satisfying assignment — and detect infeasibility
+    incrementally: adding an edge triggers queue-based relaxation, and a
+    negative cycle exists iff the relaxation wave improves the new edge's
+    source (the cycle necessarily passes through the new edge, because the
+    graph was feasible before).
+
+    Supports chronological backtracking via [push]/[pop] (trail of edge
+    additions and potential updates), and tags every edge so that negative
+    cycles can be reported as sets of responsible constraint tags (used by
+    the DPLL(T) driver for conflict analysis). *)
+
+type edge = { target : int; weight : int; tag : int }
+
+type t = {
+  mutable nvars : int;
+  mutable out : edge list array;  (* out.(v) = edges v->u *)
+  mutable d : int array;          (* potential: d(u) <= d(v) + k *)
+  mutable parent : (int * int) array;  (* relaxation parents: node, tag *)
+  (* trails *)
+  mutable edge_trail : int list;       (* sources whose out list grew *)
+  mutable d_trail : (int * int) list;  (* node, previous potential *)
+  mutable levels : (int * int) list;   (* saved trail lengths *)
+  mutable edge_trail_len : int;
+  mutable d_trail_len : int;
+  mutable nedges : int;
+}
+
+let create (nvars : int) : t =
+  {
+    nvars;
+    out = Array.make (max 1 nvars) [];
+    d = Array.make (max 1 nvars) 0;
+    parent = Array.make (max 1 nvars) (-1, -1);
+    edge_trail = [];
+    d_trail = [];
+    levels = [];
+    edge_trail_len = 0;
+    d_trail_len = 0;
+    nedges = 0;
+  }
+
+let ensure (g : t) (n : int) : unit =
+  if n >= g.nvars then begin
+    let cap = max (n + 1) (2 * g.nvars) in
+    let grow a fill =
+      let b = Array.make cap fill in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    g.out <- grow g.out [];
+    g.d <- grow g.d 0;
+    g.parent <- grow g.parent (-1, -1);
+    g.nvars <- cap
+  end
+
+let potential (g : t) (v : int) : int = g.d.(v)
+let num_edges (g : t) : int = g.nedges
+
+let push (g : t) : unit = g.levels <- (g.edge_trail_len, g.d_trail_len) :: g.levels
+
+let pop (g : t) : unit =
+  match g.levels with
+  | [] -> invalid_arg "Diff_graph.pop: no saved level"
+  | (el, dl) :: rest ->
+    g.levels <- rest;
+    while g.edge_trail_len > el do
+      (match g.edge_trail with
+      | v :: tl ->
+        g.edge_trail <- tl;
+        g.out.(v) <- List.tl g.out.(v);
+        g.nedges <- g.nedges - 1
+      | [] -> assert false);
+      g.edge_trail_len <- g.edge_trail_len - 1
+    done;
+    while g.d_trail_len > dl do
+      (match g.d_trail with
+      | (v, old) :: tl ->
+        g.d_trail <- tl;
+        g.d.(v) <- old
+      | [] -> assert false);
+      g.d_trail_len <- g.d_trail_len - 1
+    done
+
+let set_d (g : t) (v : int) (x : int) : unit =
+  g.d_trail <- (v, g.d.(v)) :: g.d_trail;
+  g.d_trail_len <- g.d_trail_len + 1;
+  g.d.(v) <- x
+
+(** [add_constraint g ~u ~v ~k ~tag] asserts [x_u - x_v <= k].
+    Returns [Ok ()] and updates the potential, or [Error tags] where [tags]
+    are edge tags involved in a negative cycle (including [tag]).  On error
+    the graph state is inconsistent; the caller must [pop] back to the
+    enclosing level (which undoes the failed addition). *)
+let add_constraint (g : t) ~(u : int) ~(v : int) ~(k : int) ~(tag : int) :
+    (unit, int list) result =
+  ensure g (max u v);
+  (* record the edge v -> u *)
+  g.out.(v) <- { target = u; weight = k; tag } :: g.out.(v);
+  g.edge_trail <- v :: g.edge_trail;
+  g.edge_trail_len <- g.edge_trail_len + 1;
+  g.nedges <- g.nedges + 1;
+  if g.d.(u) <= g.d.(v) + k then Ok ()
+  else begin
+    (* relax from u; improving d(v) certifies a negative cycle *)
+    g.parent.(u) <- (v, tag);
+    set_d g u (g.d.(v) + k);
+    let q = Queue.create () in
+    Queue.add u q;
+    let conflict = ref None in
+    while !conflict = None && not (Queue.is_empty q) do
+      let x = Queue.take q in
+      let dx = g.d.(x) in
+      List.iter
+        (fun (e : edge) ->
+          if !conflict = None && g.d.(e.target) > dx + e.weight then begin
+            if e.target = v then begin
+              (* negative cycle: new edge + path u .. x + edge x->v.
+                 Parent pointers may be stale after repeated relaxations, so
+                 the walk is bounded; the tag set is advisory (used for
+                 conflict reporting, not learning). *)
+              let tags = ref [ tag; e.tag ] in
+              let cur = ref x in
+              let fuel = ref (g.nvars + 1) in
+              while !cur <> u && !fuel > 0 do
+                decr fuel;
+                let p, ptag = g.parent.(!cur) in
+                tags := ptag :: !tags;
+                cur := p
+              done;
+              conflict := Some !tags
+            end
+            else begin
+              g.parent.(e.target) <- (x, e.tag);
+              set_d g e.target (dx + e.weight);
+              Queue.add e.target q
+            end
+          end)
+        g.out.(x)
+    done;
+    match !conflict with None -> Ok () | Some tags -> Error tags
+  end

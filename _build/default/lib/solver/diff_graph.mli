@@ -1,0 +1,33 @@
+(** Incremental difference-constraint graph: the theory solver behind
+    {!Idl}.
+
+    A constraint [x_u - x_v <= k] is an edge [v -> u] of weight [k]; the
+    conjunction is satisfiable iff the graph has no negative cycle.  A
+    potential function witnessing feasibility is maintained incrementally
+    and doubles as a satisfying assignment.  Chronological backtracking is
+    supported through [push]/[pop] trails. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a graph over variables [0 .. n-1]; it grows on demand
+    when larger indices are used. *)
+
+val add_constraint : t -> u:int -> v:int -> k:int -> tag:int -> (unit, int list) result
+(** Assert [x_u - x_v <= k].  [Ok ()] updates the potential; [Error tags]
+    reports the edge tags involved in a negative cycle (including [tag]).
+    After an error the graph state is inconsistent until the caller [pop]s
+    back to the enclosing level. *)
+
+val push : t -> unit
+(** Mark a backtracking level. *)
+
+val pop : t -> unit
+(** Undo every edge addition and potential update since the matching
+    {!push}.  @raise Invalid_argument when no level is saved. *)
+
+val potential : t -> int -> int
+(** The current potential of a variable — a satisfying assignment of all
+    asserted constraints. *)
+
+val num_edges : t -> int

@@ -1,0 +1,133 @@
+(** DPLL(T) solver for Integer Difference Logic.
+
+    This is the offline scheduling engine of the paper (Section 4.2): the
+    replay constraint system is a conjunction of difference atoms
+    [O(a) < O(b)] plus binary disjunctions of such atoms (noninterference).
+    Z3 discharges it via its IDL theory; we implement the same decision
+    procedure — boolean search over the disjunctions with an incremental
+    negative-cycle theory solver ({!Diff_graph}) checking each candidate.
+
+    The search is chronological DPLL: clauses are processed in order and the
+    first theory-consistent literal of each is asserted; conflicts backtrack
+    to the most recent clause with an untried literal.  Clause order and
+    literal order are therefore the caller's heuristic handles; the
+    constraint generator orders literals by the recorded observation so the
+    original schedule acts as an implicit witness and backtracking is rare. *)
+
+type atom = { u : int; v : int; k : int }  (** x_u - x_v <= k *)
+
+(** [lt a b] encodes the strict order [x_a < x_b] over integers. *)
+let lt a b : atom = { u = a; v = b; k = -1 }
+
+(** [le a b] encodes [x_a <= x_b]. *)
+let le a b : atom = { u = a; v = b; k = 0 }
+
+type problem = {
+  nvars : int;
+  hard : atom list;            (** asserted unconditionally *)
+  clauses : atom array array;  (** each must have >= 1 satisfied atom *)
+}
+
+type stats = {
+  decisions : int;
+  backtracks : int;
+  theory_conflicts : int;
+  final_edges : int;
+}
+
+type result =
+  | Sat of int array * stats   (** a satisfying assignment of the x variables *)
+  | Unsat of stats
+  | Aborted of stats           (** backtrack budget exhausted *)
+
+
+exception Give_up
+exception Unsat_now
+
+let solve ?(max_backtracks = 2_000_000) (p : problem) : result =
+  let g = Diff_graph.create (max 1 p.nvars) in
+  let decisions = ref 0 and backtracks = ref 0 and conflicts = ref 0 in
+  let stats () =
+    {
+      decisions = !decisions;
+      backtracks = !backtracks;
+      theory_conflicts = !conflicts;
+      final_edges = Diff_graph.num_edges g;
+    }
+  in
+  let hard_ok =
+    List.for_all
+      (fun (a : atom) ->
+        match Diff_graph.add_constraint g ~u:a.u ~v:a.v ~k:a.k ~tag:(-1) with
+        | Ok () -> true
+        | Error _ -> incr conflicts; false)
+      p.hard
+  in
+  if not hard_ok then Unsat (stats ())
+  else begin
+    let clauses = p.clauses in
+    let n = Array.length clauses in
+    (* decision stack: (clause index, literal index chosen) *)
+    let stack = ref [] in
+    let model () =
+      let m = Array.init p.nvars (fun i -> Diff_graph.potential g i) in
+      Sat (m, stats ())
+    in
+    try
+       let i = ref 0 in
+       while !i < n do
+         let clause = clauses.(!i) in
+         (* find the first literal, starting at [start], that is consistent *)
+         let rec try_from j =
+           if j >= Array.length clause then None
+           else begin
+             let a = clause.(j) in
+             Diff_graph.push g;
+             match Diff_graph.add_constraint g ~u:a.u ~v:a.v ~k:a.k ~tag:!i with
+             | Ok () -> Some j
+             | Error _ ->
+               incr conflicts;
+               Diff_graph.pop g;
+               try_from (j + 1)
+           end
+         in
+         (match try_from 0 with
+         | Some j ->
+           incr decisions;
+           stack := (!i, j) :: !stack;
+           incr i
+         | None ->
+           (* conflict: backtrack to the last decision with untried literals *)
+           let rec unwind () =
+             match !stack with
+             | [] -> raise Unsat_now
+             | (ci, cj) :: rest ->
+               stack := rest;
+               Diff_graph.pop g;
+               incr backtracks;
+               if !backtracks > max_backtracks then raise Give_up;
+               let rec retry j =
+                 if j >= Array.length clauses.(ci) then unwind ()
+                 else begin
+                   let a = clauses.(ci).(j) in
+                   Diff_graph.push g;
+                   match Diff_graph.add_constraint g ~u:a.u ~v:a.v ~k:a.k ~tag:ci with
+                   | Ok () ->
+                     incr decisions;
+                     stack := (ci, j) :: !stack;
+                     i := ci + 1
+                   | Error _ ->
+                     incr conflicts;
+                     Diff_graph.pop g;
+                     retry (j + 1)
+                 end
+               in
+               retry (cj + 1)
+           in
+           unwind ())
+       done;
+       model ()
+    with
+    | Unsat_now -> Unsat (stats ())
+    | Give_up -> Aborted (stats ())
+  end

@@ -1,0 +1,53 @@
+(** DPLL(T) solver for Integer Difference Logic — the offline scheduling
+    engine of Section 4.2 of the paper.
+
+    The replay constraint system is a conjunction of strict-order atoms
+    [O(a) < O(b)] plus disjunctions of such atoms (the noninterference
+    clauses of Equation 1).  This is exactly the IDL fragment Z3 solves for
+    the paper's prototype; here the decision procedure is implemented
+    directly: chronological DPLL over the clauses with an incremental
+    negative-cycle theory solver ({!Diff_graph}) validating each candidate
+    assignment.
+
+    Clause order and literal order are the caller's heuristic handles: the
+    search asserts the first theory-consistent literal of each clause in
+    order and backtracks chronologically, so callers that order literals by
+    a known witness (the recorded observation order) solve with little or
+    no backtracking. *)
+
+type atom = { u : int; v : int; k : int }
+(** The difference constraint [x_u - x_v <= k]. *)
+
+val lt : int -> int -> atom
+(** [lt a b] is the strict order [x_a < x_b] over the integers. *)
+
+val le : int -> int -> atom
+(** [le a b] is [x_a <= x_b]. *)
+
+type problem = {
+  nvars : int;                 (** variables are [0 .. nvars-1] *)
+  hard : atom list;            (** asserted unconditionally *)
+  clauses : atom array array;  (** each clause needs >= 1 satisfied atom *)
+}
+
+type stats = {
+  decisions : int;
+  backtracks : int;
+  theory_conflicts : int;
+  final_edges : int;
+}
+
+type result =
+  | Sat of int array * stats
+      (** a satisfying assignment: [m.(i)] is the value of [x_i]; every hard
+          atom holds and every clause has a satisfied member *)
+  | Unsat of stats
+  | Aborted of stats  (** the backtrack budget was exhausted *)
+
+exception Give_up
+exception Unsat_now
+(** Internal control flow; never escape {!solve}. *)
+
+val solve : ?max_backtracks:int -> problem -> result
+(** Solve the problem.  [max_backtracks] (default 2,000,000) bounds the
+    chronological backtracking before giving up with {!Aborted}. *)

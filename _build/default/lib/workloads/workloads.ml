@@ -1,0 +1,230 @@
+(** The 24-benchmark suite of Section 5 (3 JGF, 8 STAMP-port, 7 server-side
+    and crawling applications, 6 DaCapo), as synthetic workload generators.
+
+    The figures of Section 5.2/5.4 are driven entirely by each benchmark's
+    {e sharing signature} — how many accesses touch shared data, how long
+    the uninterleaved same-thread runs are, what fraction is consistently
+    lock-protected, and how contended the hot locations are.  Each named
+    benchmark instantiates the generator with the signature of its real
+    counterpart:
+
+    - scientific kernels (JGF, most of STAMP) partition arrays across
+      threads and synchronize rarely: low access density, long runs;
+    - server workloads mix lock-disciplined session state with unguarded
+      hot counters and hash-map tables;
+    - DaCapo's concurrency-heavy members (avrora, xalan) hammer small hot
+      objects from all threads — the regime where synchronized per-access
+      recording collapses (the paper's up-to-17.85X Leap cases). *)
+
+type params = {
+  threads : int;
+  iters : int;          (** outer iterations per worker *)
+  local_work : int;     (** pure-local ops per iteration *)
+  array_size : int;
+  runlen : int;         (** consecutive array accesses per burst *)
+  partition : bool;     (** threads work on disjoint slices *)
+  array_reads : int;    (** array-burst reads per iteration *)
+  array_writes : int;
+  hot_ops : int;        (** unguarded read-modify-writes of one hot object *)
+  locked_ops : int;     (** ops inside a consistent sync region *)
+  use_maps : bool;
+  use_syscalls : bool;
+  stickiness : int;     (** scheduler run-length: interleaving realism knob *)
+}
+
+type benchmark = {
+  name : string;
+  suite : string;  (** "JGF" | "STAMP" | "Server" | "DaCapo" *)
+  params : params;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Program generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let generate ?(scale = 1) (p : params) : string =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let iters = p.iters * scale in
+  add "class Acc { n; v; }";
+  add "global data;";
+  add "global acc;";
+  add "global lk;";
+  if p.use_maps then add "global tbl;";
+  add "";
+  add "fn worker(id) {";
+  add "  lx = id * 17 + 3;";
+  (* cache stable references in locals, as compiled Java would *)
+  add "  d = data;";
+  add "  a = acc;";
+  add "  l = lk;";
+  if p.use_maps then add "  tb = tbl;";
+  add "  i = 0;";
+  add "  while (i < %d) {" iters;
+  (* pure local computation: no heap access at all *)
+  if p.local_work > 0 then begin
+    add "    w = 0;";
+    add "    while (w < %d) { lx = (lx * 5 + w) %% 65536; w = w + 1; }" p.local_work
+  end;
+  (* array bursts *)
+  if p.array_reads > 0 || p.array_writes > 0 then begin
+    if p.partition then
+      add "    base = (id * %d + ((i * %d) %% %d)) %% %d;"
+        (p.array_size / max 1 p.threads)
+        p.runlen
+        (max 1 (p.array_size / max 1 p.threads))
+        p.array_size
+    else add "    base = (lx + i) %% %d;" p.array_size;
+    (* bursts are emitted straight-line: a compiled loop body touching the
+       heap once per iteration has little control overhead per access *)
+    for j = 0 to p.array_reads - 1 do
+      add "    v%d = d[(base + %d) %% %d];" j (j mod p.runlen) p.array_size
+    done;
+    if p.array_reads > 0 then begin
+      add "    lx = (lx + %s) %% 65536;"
+        (String.concat " + " (List.init p.array_reads (Printf.sprintf "v%d")))
+    end;
+    for j = 0 to p.array_writes - 1 do
+      add "    d[(base + %d) %% %d] = lx + %d;" (j mod p.runlen) p.array_size j
+    done
+  end;
+  (* unguarded hot object *)
+  for _ = 1 to p.hot_ops do
+    add "    a.n = a.n + 1;"
+  done;
+  (* consistently locked section *)
+  if p.locked_ops > 0 then begin
+    add "    sync (l) {";
+    for _ = 1 to p.locked_ops do
+      add "      l.v = l.v + 1;"
+    done;
+    add "    }"
+  end;
+  if p.use_maps then begin
+    add "    tb{id %% 4} = lx;";
+    add "    mv = tb{(id + 1) %% 4};";
+    add "    if (mv != null) { lx = (lx + mv) %% 65536; }"
+  end;
+  if p.use_syscalls then add "    ts = @time();";
+  add "    i = i + 1;";
+  add "  }";
+  add "  return lx;";
+  add "}";
+  add "";
+  add "main {";
+  add "  data = new[%d];" p.array_size;
+  add "  acc = new Acc;";
+  add "  acc.n = 0;";
+  add "  lk = new Acc;";
+  add "  sync (lk) { lk.v = 0; }";
+  if p.use_maps then add "  tbl = newmap;";
+  for t = 1 to p.threads do
+    add "  spawn t%d = worker(%d);" t t
+  done;
+  for t = 1 to p.threads do
+    add "  join t%d;" t
+  done;
+  add "  print acc.n;";
+  add "}";
+  Buffer.contents b
+
+let program ?scale (bm : benchmark) : Lang.Ast.program =
+  Lang.Check.validate_exn (Lang.Parser.parse_program (generate ?scale bm.params))
+
+let scheduler ?(seed = 7) (bm : benchmark) : Runtime.Sched.t =
+  Runtime.Sched.sticky ~seed ~stickiness:bm.params.stickiness
+
+(* ------------------------------------------------------------------ *)
+(* The 24 benchmarks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let base : params =
+  {
+    threads = 8;
+    iters = 48;
+    local_work = 6;
+    array_size = 256;
+    runlen = 8;
+    partition = true;
+    array_reads = 8;
+    array_writes = 4;
+    hot_ops = 0;
+    locked_ops = 0;
+    use_maps = false;
+    use_syscalls = false;
+    stickiness = 240;
+  }
+
+let jgf =
+  [
+    (* embarrassingly parallel series evaluation: almost no sharing *)
+    { name = "jgf-series"; suite = "JGF";
+      params = { base with local_work = 26; array_reads = 2; array_writes = 2; runlen = 16; stickiness = 2000 } };
+    (* crypt: partitioned array transform with a shared key block *)
+    { name = "jgf-crypt"; suite = "JGF";
+      params = { base with local_work = 12; array_reads = 12; array_writes = 8; runlen = 12; hot_ops = 1 } };
+    (* sparse mat-mult: partitioned rows + shared accumulator *)
+    { name = "jgf-sparse"; suite = "JGF";
+      params = { base with local_work = 8; array_reads = 16; array_writes = 2; runlen = 10; hot_ops = 2 } };
+  ]
+
+let stamp =
+  [
+    { name = "stamp-bayes"; suite = "STAMP";
+      params = { base with local_work = 10; locked_ops = 4; array_reads = 10; hot_ops = 1; stickiness = 700 } };
+    { name = "stamp-genome"; suite = "STAMP";
+      params = { base with local_work = 7; use_maps = true; locked_ops = 3; runlen = 8 } };
+    { name = "stamp-intruder"; suite = "STAMP";
+      params = { base with local_work = 3; partition = false; array_size = 64; runlen = 2; array_reads = 9; array_writes = 6; hot_ops = 3; stickiness = 120 } };
+    { name = "stamp-kmeans"; suite = "STAMP";
+      params = { base with local_work = 14; array_reads = 12; array_writes = 3; hot_ops = 2; runlen = 12 } };
+    { name = "stamp-labyrinth"; suite = "STAMP";
+      params = { base with local_work = 18; array_reads = 14; array_writes = 10; runlen = 14; stickiness = 1500 } };
+    { name = "stamp-ssca2"; suite = "STAMP";
+      params = { base with local_work = 9; partition = false; array_size = 64; array_reads = 8; array_writes = 5; runlen = 2; stickiness = 320 } };
+    { name = "stamp-vacation"; suite = "STAMP";
+      params = { base with local_work = 6; use_maps = true; locked_ops = 10; array_reads = 5; array_writes = 2; hot_ops = 1; stickiness = 90 } };
+    { name = "stamp-yada"; suite = "STAMP";
+      params = { base with local_work = 5; partition = false; array_size = 64; runlen = 2; array_reads = 10; array_writes = 6; hot_ops = 2; stickiness = 150 } };
+  ]
+
+let servers =
+  [
+    { name = "cache4j"; suite = "Server";
+      params = { base with local_work = 4; locked_ops = 5; hot_ops = 3; use_syscalls = true; array_reads = 4; array_writes = 2; partition = false; stickiness = 330 } };
+    { name = "ftpserver"; suite = "Server";
+      params = { base with local_work = 5; use_maps = true; locked_ops = 9; array_reads = 2; array_writes = 1; use_syscalls = true; stickiness = 110 } };
+    { name = "weblech"; suite = "Server";
+      params = { base with local_work = 6; use_maps = true; locked_ops = 2; hot_ops = 2; partition = false; array_size = 64; runlen = 2; stickiness = 170 } };
+    { name = "hedc"; suite = "Server";
+      params = { base with local_work = 8; use_maps = true; locked_ops = 3; array_reads = 5; stickiness = 750 } };
+    { name = "tomcat-kernel"; suite = "Server";
+      params = { base with local_work = 3; locked_ops = 14; hot_ops = 3; use_maps = true; partition = false; array_size = 64; runlen = 2; array_reads = 4; array_writes = 2; stickiness = 44 } };
+    { name = "jigsaw"; suite = "Server";
+      params = { base with local_work = 5; locked_ops = 9; hot_ops = 1; array_reads = 4; stickiness = 90 } };
+    { name = "openjms"; suite = "Server";
+      params = { base with local_work = 4; locked_ops = 12; array_reads = 4; array_writes = 1; use_maps = true; hot_ops = 1; stickiness = 80 } };
+  ]
+
+let dacapo =
+  [
+    (* avrora: cycle-accurate AVR simulation, tiny hot monitor state *)
+    { name = "dacapo-avrora"; suite = "DaCapo";
+      params = { base with local_work = 1; partition = false; array_size = 16; array_reads = 7; array_writes = 5; runlen = 2; hot_ops = 6; stickiness = 16 } };
+    { name = "dacapo-h2"; suite = "DaCapo";
+      params = { base with local_work = 4; locked_ops = 16; array_reads = 4; array_writes = 2; use_maps = true; hot_ops = 1; stickiness = 60 } };
+    { name = "dacapo-lusearch"; suite = "DaCapo";
+      params = { base with local_work = 10; array_reads = 14; array_writes = 1; runlen = 12; hot_ops = 1; stickiness = 1100 } };
+    { name = "dacapo-luindex"; suite = "DaCapo";
+      params = { base with local_work = 9; array_reads = 8; array_writes = 6; runlen = 10; locked_ops = 2; stickiness = 1000 } };
+    { name = "dacapo-sunflow"; suite = "DaCapo";
+      params = { base with local_work = 22; array_reads = 10; array_writes = 2; runlen = 16; stickiness = 1800 } };
+    (* xalan: shared DTM tables pounded by all workers *)
+    { name = "dacapo-xalan"; suite = "DaCapo";
+      params = { base with local_work = 1; partition = false; array_size = 24; array_reads = 8; array_writes = 6; runlen = 2; hot_ops = 5; stickiness = 20 } };
+  ]
+
+let all : benchmark list = jgf @ stamp @ servers @ dacapo
+
+let by_name (n : string) : benchmark option =
+  List.find_opt (fun b -> String.lowercase_ascii b.name = String.lowercase_ascii n) all

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Analyze Callgraph Instrument Lang List Runtime Sites String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Analysis Array Baselines Instrument Interp Lang List Runtime Sched String

@@ -1,0 +1,1 @@
+test/test_bugs.ml: Alcotest Bugs Light_core List Option Printf

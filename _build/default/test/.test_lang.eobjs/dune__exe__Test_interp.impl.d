@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Interp Lang List Printf Runtime Sched String

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Check Lang Lexer List Parser Pp Printf QCheck QCheck_alcotest String

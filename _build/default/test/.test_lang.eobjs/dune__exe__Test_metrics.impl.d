@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Cost List Metrics QCheck QCheck_alcotest Runtime Stats

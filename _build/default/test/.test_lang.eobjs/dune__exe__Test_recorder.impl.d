@@ -1,0 +1,1 @@
+test/test_recorder.ml: Alcotest Hashtbl Lang Lazy Light Light_core List Loc Log Option Printf QCheck QCheck_alcotest Recorder Runtime Sched

@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest Hashtbl Interp Lang Light Light_core List Log Printf QCheck QCheck_alcotest Recorder Runtime Sched String

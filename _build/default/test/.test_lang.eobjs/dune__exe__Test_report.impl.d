@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Baselines Buffer Bugs Format Lang List Option Report String Workloads

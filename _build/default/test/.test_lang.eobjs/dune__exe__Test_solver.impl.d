@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Diff_graph Dlsolver Idl List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Instrument Interp Light_core List Option Report Runtime Workloads

@@ -1,0 +1,215 @@
+(* Static analysis tests: call graph, freshness, shared-target detection,
+   lock-guard analysis (O2) and race pairs (Chimera input). *)
+
+open Analysis
+
+let analyze src = Analyze.analyze (Lang.Check.validate_exn (Lang.Parser.parse_program src))
+
+let target_of (a : Analyze.t) (name : string) : Analyze.target_class option =
+  Analyze.TM.fold
+    (fun t tc acc -> if Sites.target_to_string t = name then Some tc else acc)
+    a.targets None
+
+let shared a name =
+  match target_of a name with Some tc -> tc.shared | None -> false
+
+let guarded a name =
+  match target_of a name with Some tc -> tc.guarded_by | None -> None
+
+(* ------------------------------------------------------------------ *)
+
+let test_callgraph_reach () =
+  let p =
+    Lang.Check.validate_exn
+      (Lang.Parser.parse_program
+         "fn leaf() { nop; } fn mid() { leaf(); } fn w() { mid(); }
+          main { spawn t = w(); join t; leaf(); }")
+  in
+  let cg = Callgraph.build p in
+  Alcotest.(check bool) "leaf reachable from both" true
+    (List.length (Callgraph.entries_reaching cg (Some "leaf")) >= 2);
+  Alcotest.(check bool) "mid only from w" true
+    (Callgraph.entries_reaching cg (Some "mid") = [ "w" ]);
+  Alcotest.(check int) "leaf has 2 contexts" 2 (Callgraph.context_count cg (Some "leaf"))
+
+let test_spawn_in_loop_multiplicity () =
+  let p =
+    Lang.Check.validate_exn
+      (Lang.Parser.parse_program
+         "fn w() { nop; } main { i = 0; while (i < 3) { spawn t = w(); join t; i = i + 1; } }")
+  in
+  let cg = Callgraph.build p in
+  Alcotest.(check int) "looped spawn multiplicity" 2 (Callgraph.multiplicity cg "w")
+
+let test_fresh_not_shared () =
+  (* per-thread scratch objects must not be instrumented *)
+  let a =
+    analyze
+      "class C { f; } fn w() { c = new C; c.f = 1; x = c.f; return x; }
+       main { spawn t1 = w(); spawn t2 = w(); join t1; join t2; }"
+  in
+  Alcotest.(check bool) "fresh field not shared" false (shared a ".f")
+
+let test_escaped_shared () =
+  let a =
+    analyze
+      "class C { f; } global g;
+       fn w() { x = g; x.f = 1; }
+       main { c = new C; g = c; spawn t1 = w(); spawn t2 = w(); join t1; join t2; }"
+  in
+  Alcotest.(check bool) "escaped field shared" true (shared a ".f");
+  Alcotest.(check bool) "global shared" true (shared a "g")
+
+let test_single_thread_not_shared () =
+  let a = analyze "class C { f; } main { c = new C; c.f = 1; x = c.f; print x; }" in
+  Alcotest.(check bool) "main-only not shared" false (shared a ".f")
+
+let test_guarded_detection () =
+  let a =
+    analyze
+      "class C { f; } global g; global l;
+       fn w() { sync (l) { g.f = 1; } }
+       main { l = new C; c = new C; g = c;
+              spawn t1 = w(); spawn t2 = w(); join t1; join t2;
+              sync (l) { x = g.f; print x; } }"
+  in
+  Alcotest.(check (option string)) "consistently guarded" (Some "l") (guarded a ".f")
+
+let test_unguarded_when_mixed () =
+  let a =
+    analyze
+      "class C { f; } global g; global l;
+       fn w() { sync (l) { g.f = 1; } }
+       fn v() { g.f = 2; }
+       main { l = new C; c = new C; g = c;
+              spawn t1 = w(); spawn t2 = v(); join t1; join t2; }"
+  in
+  Alcotest.(check (option string)) "one bare site kills the guard" None (guarded a ".f")
+
+let test_different_locks_not_guarded () =
+  let a =
+    analyze
+      "class C { f; } global g; global l1; global l2;
+       fn w() { sync (l1) { g.f = 1; } }
+       fn v() { sync (l2) { g.f = 2; } }
+       main { l1 = new C; l2 = new C; c = new C; g = c;
+              spawn t1 = w(); spawn t2 = v(); join t1; join t2; }"
+  in
+  Alcotest.(check (option string)) "inconsistent locks" None (guarded a ".f")
+
+let test_param_lock_resolution () =
+  (* the lock reaches the function as a parameter bound to one global at all
+     call sites: still resolvable *)
+  let a =
+    analyze
+      "class C { f; } global g; global l;
+       fn w(m) { sync (m) { g.f = 1; } }
+       main { l = new C; c = new C; g = c;
+              spawn t1 = w(l); spawn t2 = w(l); join t1; join t2; }"
+  in
+  Alcotest.(check (option string)) "param lock resolved" (Some "l") (guarded a ".f")
+
+let test_race_pairs () =
+  let a =
+    analyze
+      "class C { f; } global g;
+       fn w() { g.f = 1; }
+       fn r() { x = g.f; }
+       main { c = new C; g = c; spawn t1 = w(); spawn t2 = r(); join t1; join t2; }"
+  in
+  Alcotest.(check bool) "race detected" true (List.length a.races >= 1);
+  let r = List.hd a.races in
+  Alcotest.(check bool) "involves a write" true
+    (r.t1.kind = Sites.KWrite || r.t2.kind = Sites.KWrite)
+
+let test_no_race_when_guarded () =
+  let a =
+    analyze
+      "class C { f; } global g; global l;
+       fn w() { sync (l) { g.f = 1; } }
+       fn r() { sync (l) { x = g.f; } }
+       main { l = new C; c = new C; g = c; spawn t1 = w(); spawn t2 = r(); join t1; join t2; }"
+  in
+  Alcotest.(check int) "no race pairs" 0 (List.length a.races)
+
+let test_reads_only_no_race () =
+  let a =
+    analyze
+      "class C { f; } global g;
+       fn r() { x = g.f; }
+       main { c = new C; g = c; c.f = 1; spawn t1 = r(); spawn t2 = r(); join t1; join t2; }"
+  in
+  (* the main-thread init write races with reader threads conservatively, but
+     reader/reader pairs must not be reported *)
+  List.iter
+    (fun (r : Analyze.race_pair) ->
+      Alcotest.(check bool) "pair has a write" true
+        (r.t1.kind = Sites.KWrite || r.t2.kind = Sites.KWrite))
+    a.races
+
+let test_plan_consistency () =
+  (* the transformer's plan marks exactly the shared non-fresh sites *)
+  let p =
+    Lang.Check.validate_exn
+      (Lang.Parser.parse_program
+         "class C { f; } global g;
+          fn w() { scratch = new C; scratch.f = 1; y = scratch.f; g = y; }
+          main { spawn t1 = w(); spawn t2 = w(); join t1; join t2; x = g; }")
+  in
+  let tr = Instrument.Transformer.transform p in
+  Alcotest.(check bool) "some sites instrumented" true (tr.instrumented_sites > 0);
+  Alcotest.(check bool) "not all sites instrumented" true
+    (tr.instrumented_sites < tr.total_access_sites)
+
+let test_weave_output () =
+  let p =
+    Lang.Check.validate_exn
+      (Lang.Parser.parse_program
+         "global g; fn w() { g = g + 1; } main { g = 0; spawn a = w(); spawn b = w(); join a; join b; }")
+  in
+  let tr = Instrument.Transformer.transform p in
+  let woven = Instrument.Transformer.weave tr p in
+  let hooks =
+    Lang.Ast.fold_stmts
+      (fun n s -> match s.node with Lang.Ast.Opaque (_, name, _) when String.length name > 2 -> n + 1 | _ -> n)
+      0 woven
+  in
+  Alcotest.(check bool) "hooks woven" true (hooks > 0);
+  (* the woven program still validates and runs *)
+  let woven = Lang.Check.validate_exn woven in
+  let o = Runtime.Interp.run ~sched:Runtime.Sched.round_robin woven in
+  Alcotest.(check bool) "woven program runs" true (o.status = Runtime.Interp.AllFinished)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "callgraph",
+        [
+          Alcotest.test_case "reachability" `Quick test_callgraph_reach;
+          Alcotest.test_case "loop spawn multiplicity" `Quick test_spawn_in_loop_multiplicity;
+        ] );
+      ( "sharing",
+        [
+          Alcotest.test_case "fresh objects local" `Quick test_fresh_not_shared;
+          Alcotest.test_case "escaped objects shared" `Quick test_escaped_shared;
+          Alcotest.test_case "single-thread data local" `Quick test_single_thread_not_shared;
+        ] );
+      ( "lock-guards",
+        [
+          Alcotest.test_case "consistent guard found" `Quick test_guarded_detection;
+          Alcotest.test_case "bare site kills guard" `Quick test_unguarded_when_mixed;
+          Alcotest.test_case "different locks rejected" `Quick test_different_locks_not_guarded;
+          Alcotest.test_case "parameter locks resolved" `Quick test_param_lock_resolution;
+        ] );
+      ( "races",
+        [
+          Alcotest.test_case "race pair detected" `Quick test_race_pairs;
+          Alcotest.test_case "guarded pairs excluded" `Quick test_no_race_when_guarded;
+          Alcotest.test_case "read/read excluded" `Quick test_reads_only_no_race;
+        ] );
+      ( "transformer",
+        [
+          Alcotest.test_case "plan consistency" `Quick test_plan_consistency;
+          Alcotest.test_case "woven source runs" `Quick test_weave_output;
+        ] );
+    ]

@@ -1,0 +1,227 @@
+(* Baseline tool tests: Leap and Stride replay fidelity, Clap's recording /
+   scope check / synthesis, Chimera's patching and lock-order replay. *)
+
+open Runtime
+
+let parse src = Lang.Check.validate_exn (Lang.Parser.parse_program src)
+
+let racy = parse {|
+  global x; global y;
+  fn w1() { x = 1; y = x + 1; x = y * 2; }
+  fn w2() { x = 5; y = x + 3; x = y * 7; }
+  main { x = 0; y = 0; spawn a = w1(); spawn b = w2(); join a; join b; print x; print y; }
+|}
+
+let locked = parse {|
+  class C { n; } global c; global l;
+  fn w(k) { while (k > 0) { sync (l) { c.n = c.n + 1; } k = k - 1; } }
+  main { l = new C; c = new C; c.n = 0;
+         spawn a = w(8); spawn b = w(8); join a; join b; print c.n; }
+|}
+
+let plan_of p = (Instrument.Transformer.transform p).Instrument.Transformer.plan
+
+(* ------------------------------------------------------------------ *)
+(* Leap                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let leap_roundtrip p seed =
+  let plan = plan_of p in
+  let sched = Sched.sticky ~seed ~stickiness:4 in
+  let r = Baselines.Leap.create () in
+  let orig = Interp.run ~hooks:(Baselines.Leap.hooks r) ~plan ~sched p in
+  let log = Baselines.Leap.finalize r in
+  let rep =
+    Interp.run
+      ~hooks:(Baselines.Leap.replay_hooks log ~syscalls:orig.syscalls)
+      ~plan ~sched:Sched.round_robin p
+  in
+  (orig, log, rep)
+
+let test_leap_faithful () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun p ->
+          let orig, _, rep = leap_roundtrip p seed in
+          Alcotest.(check bool) "replay finished" true (rep.status = Interp.AllFinished);
+          Alcotest.(check (list string)) "faithful" []
+            (Interp.replay_matches ~original:orig ~replay:rep))
+        [ racy; locked ])
+    [ 1; 2; 3; 4; 5 ]
+
+let test_leap_space_is_one_long_per_access () =
+  let orig, log, _ = leap_roundtrip racy 1 in
+  let total = List.fold_left (fun a (_, c) -> a + c) 0 orig.counters in
+  Alcotest.(check int) "one long per access" total log.space_longs
+
+(* ------------------------------------------------------------------ *)
+(* Stride                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stride_roundtrip p seed =
+  let plan = plan_of p in
+  let sched = Sched.sticky ~seed ~stickiness:4 in
+  let r = Baselines.Stride.create () in
+  let orig = Interp.run ~hooks:(Baselines.Stride.hooks r) ~plan ~sched p in
+  let log = Baselines.Stride.finalize r in
+  let rep =
+    Interp.run
+      ~hooks:(Baselines.Stride.replay_hooks log ~syscalls:orig.syscalls)
+      ~plan ~sched:Sched.round_robin p
+  in
+  (orig, log, rep)
+
+let test_stride_faithful () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun p ->
+          let orig, _, rep = stride_roundtrip p seed in
+          Alcotest.(check bool) "replay finished" true (rep.status = Interp.AllFinished);
+          Alcotest.(check (list string)) "faithful" []
+            (Interp.replay_matches ~original:orig ~replay:rep))
+        [ racy; locked ])
+    [ 1; 2; 3; 4; 5 ]
+
+let test_stride_space_half () =
+  let orig, log, _ = stride_roundtrip racy 1 in
+  let total = List.fold_left (fun a (_, c) -> a + c) 0 orig.counters in
+  Alcotest.(check int) "ints count as half-longs" ((total + 1) / 2) log.space_longs
+
+(* ------------------------------------------------------------------ *)
+(* Clap                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_clap_scope_check () =
+  let with_map = parse "global m; main { m = newmap; m{1} = 2; }" in
+  let with_opaque = parse "main { x = #hash(3); print x; }" in
+  let clean = parse "global x; main { x = 1; print x; }" in
+  Alcotest.(check bool) "maps out of scope" true
+    (Baselines.Clap.unsupported_constructs with_map <> []);
+  Alcotest.(check bool) "opaques out of scope" true
+    (Baselines.Clap.unsupported_constructs with_opaque <> []);
+  Alcotest.(check (list string)) "linear code in scope" []
+    (Baselines.Clap.unsupported_constructs clean)
+
+let test_clap_records_branches () =
+  let p = parse "main { i = 0; while (i < 5) { if (i % 2 == 0) { nop; } i = i + 1; } }" in
+  let r = Baselines.Clap.create () in
+  let outcome = Interp.run ~hooks:(Baselines.Clap.hooks r) ~sched:Sched.round_robin p in
+  let log = Baselines.Clap.finalize r ~outcome in
+  (* 6 while evaluations + 5 if evaluations *)
+  let total = List.fold_left (fun a (_, b) -> a + Array.length b) 0 log.branches in
+  Alcotest.(check int) "branch count" 11 total
+
+let test_clap_synthesis_finds_race () =
+  (* two-thread check-then-act crash, linear values: within the fragment *)
+  let p =
+    parse
+      "class S { valid; data; } global sess; global sink;
+       fn invalidate() { sess.data = null; sess.valid = 0; }
+       fn access() { v = sess.valid; if (v == 1) { d = sess.data; x = d.valid; sink.valid = x; } }
+       main { sess = new S; sink = new S; aux = new S; aux.valid = 9;
+              sess.valid = 1; sess.data = aux;
+              spawn a = access(); spawn b = invalidate(); join a; join b; print 1; }"
+  in
+  (* find a crashing profile *)
+  let rec hunt seed =
+    if seed > 60 then None
+    else
+      let sched = Sched.sticky ~seed ~stickiness:2 in
+      let r = Baselines.Clap.create () in
+      let o = Interp.run ~hooks:(Baselines.Clap.hooks r) ~sched p in
+      if o.crashes <> [] then Some (Baselines.Clap.finalize r ~outcome:o) else hunt (seed + 1)
+  in
+  match hunt 1 with
+  | None -> Alcotest.fail "no crashing profile found"
+  | Some log -> (
+    match Baselines.Clap.synthesize ~budget:30_000 p log with
+    | Baselines.Clap.Reproduced _ -> ()
+    | OutOfScope cs -> Alcotest.failf "unexpectedly out of scope: %s" (String.concat "," cs)
+    | BudgetExhausted n -> Alcotest.failf "budget exhausted after %d" n
+    | NoFailureRecorded -> Alcotest.fail "no failure recorded")
+
+let test_clap_no_failure () =
+  let p = parse "global x; main { x = 1; print x; }" in
+  let r = Baselines.Clap.create () in
+  let o = Interp.run ~hooks:(Baselines.Clap.hooks r) ~sched:Sched.round_robin p in
+  let log = Baselines.Clap.finalize r ~outcome:o in
+  Alcotest.(check bool) "no failure to synthesize" true
+    (Baselines.Clap.synthesize p log = Baselines.Clap.NoFailureRecorded)
+
+(* ------------------------------------------------------------------ *)
+(* Chimera                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_chimera_patches_races () =
+  let pi = Baselines.Chimera.patch racy in
+  Alcotest.(check bool) "one patch group" true (List.length pi.groups >= 1);
+  let fns = List.concat_map snd pi.groups in
+  Alcotest.(check bool) "both methods grouped" true
+    (List.mem "w1" fns && List.mem "w2" fns);
+  (* the patched program validates and runs *)
+  let patched = Lang.Check.validate_exn pi.patched in
+  let o = Interp.run ~sched:Sched.round_robin patched in
+  Alcotest.(check bool) "patched program runs" true (o.status = Interp.AllFinished)
+
+let test_chimera_no_patch_when_locked () =
+  let pi = Baselines.Chimera.patch locked in
+  Alcotest.(check int) "no groups for race-free code" 0 (List.length pi.groups)
+
+let test_chimera_patched_is_race_free () =
+  let pi = Baselines.Chimera.patch racy in
+  let a = Analysis.Analyze.analyze pi.patched in
+  (* the patch serializes all method-level races; what may remain are
+     conservative reports against the main body (post-join reads the
+     analysis cannot order), which Chimera cannot patch either *)
+  let fn_races =
+    List.filter
+      (fun (r : Analysis.Analyze.race_pair) -> r.t1.fn <> None && r.t2.fn <> None)
+      a.races
+  in
+  Alcotest.(check int) "patch eliminates method races" 0 (List.length fn_races)
+
+let test_chimera_replay () =
+  let pi = Baselines.Chimera.patch racy in
+  let plan = plan_of pi.patched in
+  let sched = Sched.sticky ~seed:3 ~stickiness:4 in
+  let r = Baselines.Chimera.create_recorder () in
+  let orig = Interp.run ~hooks:(Baselines.Chimera.recorder_hooks r) ~plan ~sched pi.patched in
+  let log = Baselines.Chimera.finalize_recorder r ~outcome:orig in
+  let rep =
+    Interp.run ~hooks:(Baselines.Chimera.replay_hooks log) ~plan ~sched:Sched.round_robin
+      pi.patched
+  in
+  Alcotest.(check bool) "replay finished" true (rep.status = Interp.AllFinished);
+  Alcotest.(check (list string)) "race-free replay deterministic" []
+    (Interp.replay_matches ~original:orig ~replay:rep)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "leap",
+        [
+          Alcotest.test_case "replay fidelity" `Quick test_leap_faithful;
+          Alcotest.test_case "space accounting" `Quick test_leap_space_is_one_long_per_access;
+        ] );
+      ( "stride",
+        [
+          Alcotest.test_case "replay fidelity" `Quick test_stride_faithful;
+          Alcotest.test_case "half-long accounting" `Quick test_stride_space_half;
+        ] );
+      ( "clap",
+        [
+          Alcotest.test_case "solver-fragment check" `Quick test_clap_scope_check;
+          Alcotest.test_case "branch recording" `Quick test_clap_records_branches;
+          Alcotest.test_case "synthesis reproduces a race" `Quick test_clap_synthesis_finds_race;
+          Alcotest.test_case "no failure recorded" `Quick test_clap_no_failure;
+        ] );
+      ( "chimera",
+        [
+          Alcotest.test_case "patching groups racy methods" `Quick test_chimera_patches_races;
+          Alcotest.test_case "locked code unpatched" `Quick test_chimera_no_patch_when_locked;
+          Alcotest.test_case "patched code race-free" `Quick test_chimera_patched_is_race_free;
+          Alcotest.test_case "lock-order replay" `Quick test_chimera_replay;
+        ] );
+    ]

@@ -1,0 +1,107 @@
+(* The Figure-6 matrix: every bug model triggers, Light reproduces all 8,
+   Clap and Chimera succeed/fail exactly as the paper reports. *)
+
+let all_programs_validate () =
+  List.iter
+    (fun (b : Bugs.Defs.bug) ->
+      ignore (Bugs.Defs.program_of b ());
+      ignore (Bugs.Defs.program_of b ~scale:3 ()))
+    Bugs.Defs.all
+
+let test_suite_shape () =
+  Alcotest.(check int) "eight bugs" 8 (List.length Bugs.Defs.all);
+  let clap_ok = List.filter (fun (b : Bugs.Defs.bug) -> b.clap_supported) Bugs.Defs.all in
+  let chim_miss = List.filter (fun (b : Bugs.Defs.bug) -> b.chimera_hidden) Bugs.Defs.all in
+  Alcotest.(check int) "three in Clap's fragment" 3 (List.length clap_ok);
+  Alcotest.(check int) "three hidden by Chimera" 3 (List.length chim_miss);
+  (* the two failure sets are exactly complementary, per Section 5.3 *)
+  List.iter
+    (fun (b : Bugs.Defs.bug) ->
+      Alcotest.(check bool) (b.name ^ ": Clap-supported iff Chimera-hidden") true
+        (b.clap_supported = b.chimera_hidden))
+    Bugs.Defs.all
+
+let trigger_of (b : Bugs.Defs.bug) =
+  match Bugs.Harness.find_trigger ~tries:60 (Bugs.Defs.program_of b ()) with
+  | Some t -> t
+  | None -> Alcotest.failf "%s: no triggering schedule found" b.name
+
+let test_triggers_exist () =
+  List.iter
+    (fun (b : Bugs.Defs.bug) ->
+      let tr = trigger_of b in
+      Alcotest.(check bool) (b.name ^ " crashes") true (tr.outcome.crashes <> []))
+    Bugs.Defs.all
+
+let test_light_reproduces_all () =
+  List.iter
+    (fun (b : Bugs.Defs.bug) ->
+      let tr = trigger_of b in
+      List.iter
+        (fun variant ->
+          let a = Bugs.Harness.try_light ~variant b tr in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s under %s: %s" b.name
+               (Light_core.Recorder.variant_name variant)
+               a.detail)
+            true a.reproduced)
+        [ Light_core.Light.v_basic; Light_core.Light.v_both ])
+    Bugs.Defs.all
+
+let test_clap_matrix () =
+  List.iter
+    (fun (b : Bugs.Defs.bug) ->
+      let tr = trigger_of b in
+      let a = Bugs.Harness.try_clap ~budget:60_000 b tr in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: Clap expected %b, got %b (%s)" b.name b.clap_supported
+           a.reproduced a.detail)
+        b.clap_supported a.reproduced)
+    Bugs.Defs.all
+
+let test_chimera_matrix () =
+  List.iter
+    (fun (b : Bugs.Defs.bug) ->
+      let tr = trigger_of b in
+      let a = Bugs.Harness.try_chimera ~tries:60 b tr in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: Chimera expected %b, got %b (%s)" b.name
+           (not b.chimera_hidden) a.reproduced a.detail)
+        (not b.chimera_hidden) a.reproduced)
+    Bugs.Defs.all
+
+let test_scaled_bugs_still_reproduce () =
+  (* Table 1 runs the bugs with background load; Light's guarantee must
+     survive the scaling *)
+  List.iter
+    (fun name ->
+      let b = Option.get (Bugs.Defs.by_name name) in
+      let p = Bugs.Defs.program_of b ~scale:5 () in
+      match Bugs.Harness.find_trigger ~tries:40 p with
+      | None -> Alcotest.failf "%s@5x: no trigger" b.name
+      | Some tr ->
+        let r = Light_core.Light.record ~sched:(tr.make_sched ()) p in
+        (match Light_core.Light.replay r with
+        | Error e -> Alcotest.failf "%s@5x: %s" b.name e
+        | Ok rr ->
+          Alcotest.(check bool) (b.name ^ "@5x reproduced") true
+            (Bugs.Harness.crashes_match r.outcome rr.replay_outcome)))
+    [ "Cache4j"; "Ftpserver"; "Weblech" ]
+
+let () =
+  Alcotest.run "bugs"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "programs validate" `Quick all_programs_validate;
+          Alcotest.test_case "suite shape" `Quick test_suite_shape;
+          Alcotest.test_case "triggers exist" `Quick test_triggers_exist;
+        ] );
+      ( "figure-6",
+        [
+          Alcotest.test_case "Light reproduces 8/8" `Slow test_light_reproduces_all;
+          Alcotest.test_case "Clap matrix (3/8)" `Slow test_clap_matrix;
+          Alcotest.test_case "Chimera matrix (5/8)" `Slow test_chimera_matrix;
+          Alcotest.test_case "scaled bugs reproduce" `Slow test_scaled_bugs_still_reproduce;
+        ] );
+    ]

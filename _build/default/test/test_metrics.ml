@@ -1,0 +1,95 @@
+(* Cost model and aggregate statistics. *)
+
+open Metrics
+
+let test_cost_monotone_in_level () =
+  let ops level =
+    [ Cost.LwUpdate { level }; Cost.ValidateRead { level };
+      Cost.RunSwitch { level };
+      Cost.SyncVectorAppend { level; resize = false };
+      Cost.CasIncrement { level }; Cost.VersionRead { level } ]
+  in
+  List.iter2
+    (fun lo hi -> Alcotest.(check bool) "level raises cost" true (Cost.cost hi >= Cost.cost lo))
+    (ops 0) (ops 5)
+
+let test_fast_paths_cheap () =
+  Alcotest.(check bool) "run extension cheapest" true
+    (Cost.cost Cost.RunExtend < Cost.cost (Cost.LwUpdate { level = 0 }));
+  Alcotest.(check bool) "light write < leap append" true
+    (Cost.cost (Cost.LwUpdate { level = 7 })
+    < Cost.cost (Cost.SyncVectorAppend { level = 7; resize = false }));
+  Alcotest.(check bool) "resize costs extra" true
+    (Cost.cost (Cost.SyncVectorAppend { level = 0; resize = true })
+    > Cost.cost (Cost.SyncVectorAppend { level = 0; resize = false }))
+
+let test_meter () =
+  let m = Cost.meter () in
+  Cost.charge m Cost.RunExtend;
+  Cost.charge m Cost.DepAppend;
+  Alcotest.(check int) "two ops" 2 m.ops;
+  Alcotest.(check bool) "units accumulated" true (m.units > 0);
+  let ovh = Cost.overhead m ~steps:100 in
+  Alcotest.(check bool) "overhead fraction" true (ovh > 0.0 && ovh < 1.0);
+  Alcotest.(check (float 0.001)) "zero steps safe" 0.0 (Cost.overhead m ~steps:0)
+
+let test_stripes_convoy () =
+  let s = Cost.stripes () in
+  let l = Runtime.Loc.field 42 "f" in
+  Alcotest.(check int) "first touch uncontended" 0 (Cost.touch s l ~tid:1);
+  Alcotest.(check int) "same thread still uncontended" 0 (Cost.touch s l ~tid:1);
+  let lvl = Cost.touch s l ~tid:2 in
+  Alcotest.(check bool) "other thread raises level" true (lvl >= 1);
+  (* alternating 8 threads saturates near the window *)
+  for round = 0 to 4 do
+    for t = 1 to 8 do
+      ignore (Cost.touch s l ~tid:(100 + t + (round * 0)))
+    done
+  done;
+  Alcotest.(check bool) "convoy saturates" true (Cost.touch s l ~tid:1 >= 6)
+
+let test_stripes_independent () =
+  let s = Cost.stripes () in
+  let a = Runtime.Loc.field 1 "f" and b = Runtime.Loc.field 2 "g" in
+  if Cost.stripe_of a <> Cost.stripe_of b then begin
+    ignore (Cost.touch s a ~tid:1);
+    ignore (Cost.touch s a ~tid:2);
+    Alcotest.(check int) "other stripe unaffected" 0 (Cost.touch s b ~tid:3)
+  end
+
+let test_summarize () =
+  let s = Stats.summarize [ 1.0; 3.0; 2.0; 10.0 ] in
+  Alcotest.(check (float 0.001)) "avg" 4.0 s.average;
+  Alcotest.(check (float 0.001)) "median" 2.5 s.median;
+  Alcotest.(check (float 0.001)) "min" 1.0 s.minimum;
+  Alcotest.(check (float 0.001)) "max" 10.0 s.maximum;
+  let odd = Stats.summarize [ 5.0; 1.0; 3.0 ] in
+  Alcotest.(check (float 0.001)) "odd median" 3.0 odd.median;
+  let empty = Stats.summarize [] in
+  Alcotest.(check (float 0.001)) "empty safe" 0.0 empty.average
+
+let prop_summary_bounds =
+  QCheck.Test.make ~count:200 ~name:"summary bounds"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.minimum <= s.average && s.average <= s.maximum && s.minimum <= s.median
+      && s.median <= s.maximum)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "cost",
+        [
+          Alcotest.test_case "monotone in contention" `Quick test_cost_monotone_in_level;
+          Alcotest.test_case "fast paths cheap" `Quick test_fast_paths_cheap;
+          Alcotest.test_case "meter" `Quick test_meter;
+          Alcotest.test_case "convoy tracking" `Quick test_stripes_convoy;
+          Alcotest.test_case "stripe independence" `Quick test_stripes_independent;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          QCheck_alcotest.to_alcotest prop_summary_bounds;
+        ] );
+    ]

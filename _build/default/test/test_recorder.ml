@@ -1,0 +1,210 @@
+(* Recorder and log invariants: Algorithm 1's structure, the prec
+   compression, O1 run records, O2 subsumption, space accounting,
+   serialization.  QCheck properties run the recorder over many seeds. *)
+
+open Light_core
+open Runtime
+
+let prog_src = {|
+  class C { f; g; }
+  global shared;
+  global lk;
+  fn worker(id, n) {
+    i = 0;
+    while (i < n) {
+      shared.f = id * 100 + i;
+      v = shared.f;
+      sync (lk) { lk.g = lk.g + 1; }
+      i = i + 1;
+    }
+  }
+  main {
+    shared = new C; lk = new C;
+    sync (lk) { lk.g = 0; }
+    shared.f = 0;
+    spawn a = worker(1, 8);
+    spawn b = worker(2, 8);
+    join a; join b;
+    x = shared.f;
+    print x;
+  }
+|}
+
+let program = lazy (Lang.Check.validate_exn (Lang.Parser.parse_program prog_src))
+
+let record ?(seed = 3) ?(stickiness = 4) variant =
+  Light.record ~variant ~sched:(Sched.sticky ~seed ~stickiness) (Lazy.force program)
+
+(* ------------------------------------------------------------------ *)
+(* Structural invariants                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_log_wellformed (log : Log.t) =
+  let counter_of t = Option.value ~default:0 (List.assoc_opt t log.counters) in
+  List.iter
+    (fun (d : Log.dep) ->
+      let rt, rc = d.rf in
+      Alcotest.(check bool) "read counter in range" true (rc >= 1 && rc <= counter_of rt);
+      Alcotest.(check bool) "span ordered" true (d.rl_c >= rc);
+      match d.w with
+      | Some (wt, wc) ->
+        Alcotest.(check bool) "write counter in range" true (wc >= 1 && wc <= counter_of wt);
+        Alcotest.(check bool) "no self-loop into the future" true
+          (not (wt = rt && wc >= rc))
+      | None -> ())
+    log.deps;
+  List.iter
+    (fun (r : Log.range) ->
+      Alcotest.(check bool) "range ordered" true (r.lo <= r.hi);
+      Alcotest.(check bool) "range in range" true (r.hi <= counter_of r.rt))
+    log.ranges;
+  (* per (thread, loc), records must not overlap in counter space *)
+  let spans = Hashtbl.create 64 in
+  let add t loc lo hi =
+    let key = (t, loc) in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt spans key) in
+    List.iter
+      (fun (lo', hi') ->
+        if not (hi < lo' || hi' < lo) then
+          Alcotest.failf "overlapping records for thread %d: [%d,%d] vs [%d,%d]" t lo hi lo' hi')
+      prev;
+    Hashtbl.replace spans key ((lo, hi) :: prev)
+  in
+  List.iter (fun (d : Log.dep) -> add (fst d.rf) d.loc (snd d.rf) d.rl_c) log.deps;
+  List.iter (fun (r : Log.range) -> add r.rt r.loc r.lo r.hi) log.ranges
+
+let test_log_wellformed () =
+  List.iter
+    (fun v -> check_log_wellformed (record v).log)
+    [ Light.v_basic; Light.v_o1; Light.v_both ]
+
+let test_basic_has_no_ranges () =
+  let r = record Light.v_basic in
+  Alcotest.(check int) "V_basic records deps only" 0 (List.length r.log.ranges);
+  Alcotest.(check bool) "has deps" true (List.length r.log.deps > 0)
+
+let test_o2_reduces_records () =
+  let o1 = record Light.v_o1 in
+  let both = record Light.v_both in
+  Alcotest.(check bool)
+    (Printf.sprintf "O2 shrinks the log (%d -> %d longs)" o1.space_longs both.space_longs)
+    true
+    (both.space_longs <= o1.space_longs)
+
+let test_o1_never_hurts_space () =
+  List.iter
+    (fun seed ->
+      let basic = record ~seed Light.v_basic in
+      let o1 = record ~seed Light.v_o1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: O1 %d <= basic %d longs" seed o1.space_longs
+           basic.space_longs)
+        true
+        (o1.space_longs <= basic.space_longs))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_counters_match_outcome () =
+  let r = record Light.v_both in
+  Alcotest.(check bool) "counters copied" true (r.log.counters = r.outcome.counters)
+
+let test_syscalls_recorded () =
+  let src = "main { t1 = @time(); t2 = @time(); r = @rand(5); print t1 + t2 + r; }" in
+  let p = Lang.Check.validate_exn (Lang.Parser.parse_program src) in
+  let r = Light.record ~sched:Sched.round_robin p in
+  Alcotest.(check int) "three syscalls" 3 (List.length r.log.syscalls)
+
+let test_overhead_positive () =
+  let r = record Light.v_both in
+  Alcotest.(check bool) "nonzero overhead" true (r.overhead > 0.0);
+  Alcotest.(check bool) "bounded overhead" true (r.overhead < 5.0)
+
+let test_guarded_skip_count () =
+  (* fully lock-disciplined program: O2 must skip all field recording *)
+  let src =
+    "class C { n; } global lk;
+     fn w(k) { while (k > 0) { sync (lk) { lk.n = lk.n + 1; } k = k - 1; } }
+     main { lk = new C; sync (lk) { lk.n = 0; }
+            spawn a = w(5); spawn b = w(5); join a; join b; }"
+  in
+  let p = Lang.Check.validate_exn (Lang.Parser.parse_program src) in
+  let both = Light.record ~variant:Light.v_both ~sched:(Sched.sticky ~seed:1 ~stickiness:3) p in
+  let o1 = Light.record ~variant:Light.v_o1 ~sched:(Sched.sticky ~seed:1 ~stickiness:3) p in
+  Alcotest.(check bool)
+    (Printf.sprintf "O2 shrinks fully-guarded log (%d < %d)" both.space_longs o1.space_longs)
+    true
+    (both.space_longs < o1.space_longs);
+  (* the remaining records are on ghost locations or on the global slot
+     holding the lock reference (read outside the sync region) — never on
+     the guarded field *)
+  let allowed (l : Loc.t) = Loc.is_ghost l || l.obj = 0 in
+  List.iter
+    (fun (d : Log.dep) ->
+      Alcotest.(check bool) "dep not on guarded field" true (allowed d.loc))
+    both.log.deps;
+  List.iter
+    (fun (r : Log.range) ->
+      Alcotest.(check bool) "range not on guarded field" true (allowed r.loc))
+    both.log.ranges
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_roundtrip () =
+  List.iter
+    (fun v ->
+      let log = (record v).log in
+      let log' = Log.of_string (Log.to_string log) in
+      Alcotest.(check bool) "deps preserved" true (log.deps = log'.deps);
+      Alcotest.(check bool) "ranges preserved" true (log.ranges = log'.ranges);
+      Alcotest.(check bool) "syscalls preserved" true (log.syscalls = log'.syscalls);
+      Alcotest.(check bool) "counters preserved" true (log.counters = log'.counters);
+      Alcotest.(check bool) "flags preserved" true (log.o1 = log'.o1 && log.o2 = log'.o2))
+    [ Light.v_basic; Light.v_both ]
+
+let test_log_roundtrip_tricky_values () =
+  (* string values and map keys with spaces / percent signs *)
+  let src =
+    {|global m; main { m = newmap; m{"k 1%x"} = "v 2%y"; a = m{"k 1%x"}; print a; }|}
+  in
+  let p = Lang.Check.validate_exn (Lang.Parser.parse_program src) in
+  let r = Light.record ~sched:Sched.round_robin p in
+  let log' = Log.of_string (Log.to_string r.log) in
+  Alcotest.(check bool) "tricky fields roundtrip" true (r.log.deps = log'.deps && r.log.ranges = log'.ranges)
+
+(* qcheck: recorder invariants over random seeds and variants *)
+let seed_variant_gen =
+  QCheck.make
+    ~print:(fun (s, k, v) -> Printf.sprintf "seed=%d stick=%d %s" s k (Recorder.variant_name v))
+    QCheck.Gen.(
+      triple (int_range 1 50) (int_range 1 12)
+        (oneofl [ Recorder.v_basic; Recorder.v_o1; Recorder.v_both ]))
+
+let prop_log_wellformed =
+  QCheck.Test.make ~count:60 ~name:"recorder logs well-formed across seeds" seed_variant_gen
+    (fun (seed, stickiness, variant) ->
+      let r = record ~seed ~stickiness variant in
+      check_log_wellformed r.log;
+      Log.space_longs r.log >= 0)
+
+let () =
+  Alcotest.run "recorder"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "well-formed logs" `Quick test_log_wellformed;
+          Alcotest.test_case "V_basic: deps only" `Quick test_basic_has_no_ranges;
+          Alcotest.test_case "O2 reduces records" `Quick test_o2_reduces_records;
+          Alcotest.test_case "O1 never hurts space" `Quick test_o1_never_hurts_space;
+          Alcotest.test_case "counters copied" `Quick test_counters_match_outcome;
+          Alcotest.test_case "syscalls recorded" `Quick test_syscalls_recorded;
+          Alcotest.test_case "overhead sane" `Quick test_overhead_positive;
+          Alcotest.test_case "O2 skips guarded fields" `Quick test_guarded_skip_count;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_log_roundtrip;
+          Alcotest.test_case "tricky values" `Quick test_log_roundtrip_tricky_values;
+          QCheck_alcotest.to_alcotest prop_log_wellformed;
+        ] );
+    ]

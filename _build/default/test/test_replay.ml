@@ -1,0 +1,310 @@
+(* End-to-end determinism: record -> constraint generation -> IDL solving ->
+   gated replay -> Theorem-1 oracle.  This is the repository's core
+   correctness property, exercised over a family of programs covering the
+   whole feature surface, many schedules, and all recorder variants —
+   including regressions for historical soundness bugs. *)
+
+open Light_core
+open Runtime
+
+let parse src = Lang.Check.validate_exn (Lang.Parser.parse_program src)
+
+let roundtrip ?(seed = 1) ?(stickiness = 4) ?(variant = Light.v_both) p =
+  Light.record_and_replay ~variant ~sched:(Sched.sticky ~seed ~stickiness) p
+
+let assert_faithful name p ~seeds ~variants =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun variant ->
+          match roundtrip ~seed ~variant p with
+          | Error e -> Alcotest.failf "%s seed=%d %s: solver: %s" name seed
+                         (Recorder.variant_name variant) e
+          | Ok (_, rr) ->
+            (match rr.replay_outcome.status with
+            | Interp.AllFinished -> ()
+            | Deadlock _ -> Alcotest.failf "%s seed=%d: replay deadlock" name seed
+            | GateStuck _ -> Alcotest.failf "%s seed=%d: replay gate stuck" name seed
+            | StepLimit -> Alcotest.failf "%s seed=%d: replay step limit" name seed);
+            if rr.faithful <> [] then
+              Alcotest.failf "%s seed=%d %s: %s" name seed
+                (Recorder.variant_name variant)
+                (String.concat "; " rr.faithful))
+        variants)
+    seeds
+
+let all_variants = [ Light.v_basic; Light.v_o1; Light.v_both ]
+let seeds = [ 1; 2; 3; 5; 8; 13 ]
+
+(* ------------------------------------------------------------------ *)
+(* Program family                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let racy_fields = {|
+  global x; global y;
+  fn w1() { x = 1; y = x + 1; x = y * 2; }
+  fn w2() { x = 5; y = x + 3; x = y * 7; }
+  main { x = 0; y = 0; spawn a = w1(); spawn b = w2(); join a; join b; print x; print y; }
+|}
+
+let locked_counter = {|
+  class C { n; } global c; global l;
+  fn w(k) { while (k > 0) { sync (l) { c.n = c.n + 1; } k = k - 1; } }
+  main { l = new C; c = new C; c.n = 0;
+         spawn a = w(12); spawn b = w(12); join a; join b; print c.n; }
+|}
+
+let array_races = {|
+  global arr;
+  fn m(id, iters) {
+    i = 0;
+    while (i < iters) { arr[i % 4] = arr[(i + 1) % 4] + id; i = i + 1; }
+  }
+  main { arr = new[4];
+         spawn a = m(1, 6); spawn b = m(2, 6); spawn c = m(3, 6);
+         join a; join b; join c;
+         x = arr[0] + arr[1] + arr[2] + arr[3]; print x; }
+|}
+
+let map_races = {|
+  global tbl;
+  fn m(id, iters) {
+    i = 0;
+    while (i < iters) {
+      tbl{id % 2} = i;
+      has = maphas(tbl, 1 - (id % 2));
+      if (has) { w = tbl{1 - (id % 2)}; i = i + w - w; }
+      i = i + 1;
+    }
+  }
+  main { tbl = newmap; spawn a = m(1, 6); spawn b = m(2, 6); join a; join b; print 0; }
+|}
+
+let wait_notify = {|
+  class C { flag; n; } global m;
+  fn producer() { sync (m) { m.n = 42; m.flag = 1; notify m; } }
+  fn consumer() { sync (m) { while (m.flag == 0) { wait m; } print m.n; } }
+  main { m = new C; m.flag = 0; m.n = 0;
+         spawn c = consumer(); spawn p = producer(); join c; join p; }
+|}
+
+let notifyall_two_waiters = {|
+  class C { phase; n; } global m;
+  fn waiter() { sync (m) { while (m.phase == 0) { wait m; } m.n = m.n + 1; } }
+  main { m = new C; m.phase = 0; m.n = 0;
+         spawn w1 = waiter(); spawn w2 = waiter();
+         yield; yield;
+         sync (m) { m.phase = 1; notifyall m; }
+         join w1; join w2; print m.n; }
+|}
+
+let syscalls_prog = {|
+  class B { n; m; } global shared;
+  fn w(id, iters) {
+    i = 0;
+    while (i < iters) {
+      shared.n = shared.n + id;
+      t = @time(); r = @rand(10);
+      shared.m = t + r;
+      i = i + 1;
+    }
+  }
+  main { shared = new B; shared.n = 0; shared.m = 0;
+         spawn a = w(1, 6); spawn b = w(2, 6); join a; join b;
+         print shared.n; print shared.m; }
+|}
+
+let crashing = {|
+  class S { valid; data; } global sess; global sink;
+  fn invalidate() { sess.data = null; sess.valid = 0; }
+  fn access(r) {
+    i = 0;
+    while (i < r) {
+      v = sess.valid;
+      if (v == 1) { d = sess.data; x = d.valid; sink.valid = x; }
+      i = i + 1;
+    }
+  }
+  main { sess = new S; sink = new S; aux = new S; aux.valid = 9;
+         sess.valid = 1; sess.data = aux;
+         spawn a = access(4); spawn b = invalidate(); join a; join b; print 1; }
+|}
+
+let blind_writes = {|
+  global x; global y;
+  fn w1() { x = 10; x = 20; y = 1; }      // x=10 is blind if never read
+  fn w2() { v = x; y = v; }
+  main { x = 0; y = 0; spawn a = w1(); spawn b = w2(); join a; join b; print y; }
+|}
+
+let deep_calls = {|
+  global acc;
+  fn add(v) { acc = acc + v; return acc; }
+  fn twice(v) { a = add(v); b = add(v); return a + b; }
+  fn w(id) { r = twice(id); return r; }
+  main { acc = 0; spawn a = w(3); spawn b = w(5); join a; join b; print acc; }
+|}
+
+let family =
+  [
+    ("racy-fields", racy_fields);
+    ("locked-counter", locked_counter);
+    ("array-races", array_races);
+    ("map-races", map_races);
+    ("wait-notify", wait_notify);
+    ("notifyall", notifyall_two_waiters);
+    ("syscalls", syscalls_prog);
+    ("crashing", crashing);
+    ("blind-writes", blind_writes);
+    ("deep-calls", deep_calls);
+  ]
+
+let family_tests =
+  List.map
+    (fun (name, src) ->
+      Alcotest.test_case name `Quick (fun () ->
+          assert_faithful name (parse src) ~seeds ~variants:all_variants))
+    family
+
+(* ------------------------------------------------------------------ *)
+(* Crash reproduction detail                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_site_reproduced () =
+  let p = parse crashing in
+  let found = ref false in
+  for seed = 1 to 40 do
+    if not !found then begin
+      let sched = Sched.sticky ~seed ~stickiness:2 in
+      let r = Light.record ~sched p in
+      if r.outcome.crashes <> [] then begin
+        found := true;
+        match Light.replay r with
+        | Error e -> Alcotest.failf "solver: %s" e
+        | Ok rr ->
+          let key (c : Interp.crash) = (c.tid, c.site, c.c, c.msg) in
+          Alcotest.(check bool) "identical crash (thread, site, counter, message)" true
+            (List.map key r.outcome.crashes = List.map key rr.replay_outcome.crashes)
+      end
+    end
+  done;
+  Alcotest.(check bool) "a crashing schedule was found" true !found
+
+(* ------------------------------------------------------------------ *)
+(* Constraint generation (Section 4.2 worked example)                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_constraints_shape () =
+  let p = parse racy_fields in
+  let r = Light.record ~variant:Light.v_basic ~sched:(Sched.sticky ~seed:1 ~stickiness:4) p in
+  let cs = Light_core.Constraints.generate r.log in
+  Alcotest.(check bool) "has variables" true (cs.problem.nvars > 0);
+  Alcotest.(check bool) "has hard atoms" true (cs.n_hard > 0);
+  (* every interval endpoint has a variable *)
+  List.iter
+    (fun (iv : Light_core.Constraints.interval) ->
+      Alcotest.(check bool) "start var" true (Hashtbl.mem cs.vars iv.start_e);
+      Alcotest.(check bool) "end var" true (Hashtbl.mem cs.vars iv.end_e))
+    cs.intervals
+
+let test_schedule_respects_deps () =
+  let p = parse racy_fields in
+  let r = Light.record ~variant:Light.v_basic ~sched:(Sched.sticky ~seed:2 ~stickiness:4) p in
+  let report = Light_core.Replayer.solve r.log in
+  match report.schedule with
+  | None -> Alcotest.fail "unsat"
+  | Some sch ->
+    let rank e = Hashtbl.find_opt sch.rank_of e in
+    List.iter
+      (fun (d : Log.dep) ->
+        match d.w with
+        | Some w -> (
+          match rank w, rank d.rf with
+          | Some rw, Some rr -> Alcotest.(check bool) "write before read" true (rw < rr)
+          | _ -> Alcotest.fail "dep endpoints unranked")
+        | None -> ())
+      r.log.deps
+
+(* ------------------------------------------------------------------ *)
+(* Feasibility under replay of larger mixes                             *)
+(* ------------------------------------------------------------------ *)
+
+let torture = {|
+  class Node { v; next; }
+  class Box { n; m; }
+  global shared; global arr; global tbl; global lk; global phase;
+  fn mixer(id, iters) {
+    local = new Box;
+    local.n = id;
+    i = 0;
+    while (i < iters) {
+      shared.n = shared.n + id;
+      v = shared.m;
+      if (v == null) { shared.m = id * 10; }
+      arr[i % 4] = arr[(i + 1) % 4] + id;
+      tbl{id % 2} = i;
+      has = maphas(tbl, 1 - (id % 2));
+      if (has) { w = tbl{1 - (id % 2)}; local.n = local.n + w; }
+      sync (lk) { lk.n = lk.n + 1; sync (lk) { lk.m = lk.n * 2; } }
+      t = @time(); r = @rand(10);
+      local.n = local.n + t + r;
+      i = i + 1;
+    }
+    return local.n;
+  }
+  fn waiter() {
+    sync (lk) { while (phase == 0) { wait lk; } }
+    shared.n = shared.n * 2;
+  }
+  main {
+    shared = new Box; shared.n = 0; shared.m = null;
+    arr = new[4]; tbl = newmap;
+    lk = new Box; lk.n = 0; lk.m = 0; phase = 0;
+    spawn w1 = waiter(); spawn w2 = waiter();
+    spawn m1 = mixer(1, 8); spawn m2 = mixer(2, 8); spawn m3 = mixer(3, 8);
+    join m1; join m2; join m3;
+    sync (lk) { phase = 1; notifyall lk; }
+    join w1; join w2;
+    print shared.n; print lk.m;
+    x = arr[0] + arr[1] + arr[2] + arr[3]; print x;
+  }
+|}
+
+let test_torture () =
+  assert_faithful "torture" (parse torture) ~seeds:[ 1; 2; 3; 4; 5 ]
+    ~variants:all_variants
+
+(* qcheck: determinism across random (seed, stickiness, variant, program) *)
+let config_gen =
+  QCheck.make
+    ~print:(fun (name, s, k, v) ->
+      Printf.sprintf "%s seed=%d stick=%d %s" name s k (Recorder.variant_name v))
+    QCheck.Gen.(
+      let progs = List.map fst family in
+      oneofl progs >>= fun name ->
+      triple (int_range 1 200) (int_range 1 16)
+        (oneofl [ Light.v_basic; Light.v_o1; Light.v_both ])
+      >>= fun (s, k, v) -> return (name, s, k, v))
+
+let prop_replay_faithful =
+  QCheck.Test.make ~count:120 ~name:"replay faithful for random configurations" config_gen
+    (fun (name, seed, stickiness, variant) ->
+      let p = parse (List.assoc name family) in
+      match roundtrip ~seed ~stickiness ~variant p with
+      | Error _ -> false
+      | Ok (_, rr) ->
+        rr.faithful = [] && rr.replay_outcome.status = Interp.AllFinished)
+
+let () =
+  Alcotest.run "replay"
+    [
+      ("family", family_tests);
+      ( "detail",
+        [
+          Alcotest.test_case "crash site reproduced" `Quick test_crash_site_reproduced;
+          Alcotest.test_case "constraint shape" `Quick test_constraints_shape;
+          Alcotest.test_case "schedule respects deps" `Quick test_schedule_respects_deps;
+          Alcotest.test_case "torture mix" `Slow test_torture;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest ~long:false prop_replay_faithful ]);
+    ]

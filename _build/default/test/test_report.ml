@@ -1,0 +1,136 @@
+(* Report-layer tests (chart rendering, experiment plumbing) and
+   whole-corpus properties: every bug model and every workload program
+   pretty-prints, reparses and revalidates. *)
+
+let render f =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Chart                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_grouped () =
+  let out =
+    render
+      (Report.Chart.grouped ~title:"T" ~series:[ "A"; "B" ]
+         [ ("row1", [ 1.0; 2.0 ]); ("row2", [ 4.0; 1.0 ]) ])
+  in
+  Alcotest.(check bool) "title" true (contains out "T");
+  Alcotest.(check bool) "series label" true (contains out "A");
+  Alcotest.(check bool) "value printed" true (contains out "4.00");
+  (* the per-row maximum fills the bar *)
+  Alcotest.(check bool) "full bar for max" true (contains out (String.make 44 '#'))
+
+let test_stacked () =
+  let out =
+    render
+      (Report.Chart.stacked ~title:"S" ~segments:[ "x"; "y"; "z" ]
+         [ ("r", [ 0.5; 0.25; 0.25 ]) ])
+  in
+  Alcotest.(check bool) "percentages" true (contains out "50%");
+  Alcotest.(check bool) "legend" true (contains out "legend")
+
+let test_stacked_zero_row () =
+  (* all-zero rows must not divide by zero *)
+  let out =
+    render (Report.Chart.stacked ~title:"Z" ~segments:[ "x" ] [ ("r", [ 0.0 ]) ])
+  in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_table () =
+  let out =
+    render
+      (Report.Chart.table ~title:"Tbl" ~header:[ "a"; "b" ]
+         [ [ "1"; "22" ]; [ "333" ] ])
+  in
+  Alcotest.(check bool) "pads ragged rows" true (contains out "333")
+
+(* ------------------------------------------------------------------ *)
+(* Corpus roundtrips                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let reparses (name : string) (p : Lang.Ast.program) =
+  let printed = Lang.Pp.to_string p in
+  match Lang.Parser.parse_program printed with
+  | p2 ->
+    (match Lang.Check.validate p2 with
+    | [] -> ()
+    | errs ->
+      Alcotest.failf "%s: reprint fails validation: %s" name
+        (Lang.Check.error_to_string (List.hd errs)))
+  | exception Lang.Parser.Parse_error (m, l) ->
+    Alcotest.failf "%s: reprint fails to parse (%s at line %d)" name m l
+
+let test_bug_sources_roundtrip () =
+  List.iter
+    (fun (b : Bugs.Defs.bug) ->
+      reparses b.name (Bugs.Defs.program_of b ());
+      reparses (b.name ^ "+bg") (Bugs.Defs.program_of b ~background:true ()))
+    Bugs.Defs.all
+
+let test_workload_sources_roundtrip () =
+  List.iter
+    (fun (bm : Workloads.benchmark) -> reparses bm.name (Workloads.program bm))
+    Workloads.all
+
+let test_patched_sources_roundtrip () =
+  List.iter
+    (fun (b : Bugs.Defs.bug) ->
+      let pi = Baselines.Chimera.patch (Bugs.Defs.program_of b ()) in
+      reparses (b.name ^ "-patched") pi.patched)
+    Bugs.Defs.all
+
+(* ------------------------------------------------------------------ *)
+(* Experiment plumbing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_measurements_deterministic () =
+  let bm = Option.get (Workloads.by_name "jgf-sparse") in
+  let m1 = Report.Experiments.measure_benchmark bm in
+  let m2 = Report.Experiments.measure_benchmark bm in
+  Alcotest.(check bool) "same overheads" true
+    (m1.leap.overhead = m2.leap.overhead
+    && m1.light_both.overhead = m2.light_both.overhead);
+  Alcotest.(check int) "same space" m1.light_both.space_longs m2.light_both.space_longs
+
+let test_fig_rendering () =
+  let ms =
+    List.filter_map Workloads.by_name [ "jgf-series"; "dacapo-h2" ]
+    |> List.map (Report.Experiments.measure_benchmark ?scale:None ?seed:None)
+  in
+  let f4 = render (Report.Experiments.fig4 ms) in
+  Alcotest.(check bool) "fig4 mentions Leap" true (contains f4 "Leap");
+  let f7 = render (Report.Experiments.fig7 ms) in
+  Alcotest.(check bool) "fig7 mentions O1" true (contains f7 "O1")
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "chart",
+        [
+          Alcotest.test_case "grouped bars" `Quick test_grouped;
+          Alcotest.test_case "stacked bars" `Quick test_stacked;
+          Alcotest.test_case "zero rows safe" `Quick test_stacked_zero_row;
+          Alcotest.test_case "tables" `Quick test_table;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "bug sources roundtrip" `Quick test_bug_sources_roundtrip;
+          Alcotest.test_case "workload sources roundtrip" `Quick test_workload_sources_roundtrip;
+          Alcotest.test_case "patched sources roundtrip" `Quick test_patched_sources_roundtrip;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "measurement determinism" `Slow test_measurements_deterministic;
+          Alcotest.test_case "figure rendering" `Slow test_fig_rendering;
+        ] );
+    ]

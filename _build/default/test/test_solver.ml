@@ -1,0 +1,216 @@
+(* Difference-logic solver tests: incremental graph, DPLL(T) search,
+   and qcheck properties (models satisfy constraints; cycles are unsat). *)
+
+open Dlsolver
+
+(* ------------------------------------------------------------------ *)
+(* Diff_graph                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_feasible () =
+  let g = Diff_graph.create 3 in
+  (* x0 - x1 <= -1, x1 - x2 <= -1 *)
+  Alcotest.(check bool) "edge1 ok" true
+    (Diff_graph.add_constraint g ~u:0 ~v:1 ~k:(-1) ~tag:0 = Ok ());
+  Alcotest.(check bool) "edge2 ok" true
+    (Diff_graph.add_constraint g ~u:1 ~v:2 ~k:(-1) ~tag:1 = Ok ());
+  let d i = Diff_graph.potential g i in
+  Alcotest.(check bool) "potential satisfies" true (d 0 - d 1 <= -1 && d 1 - d 2 <= -1)
+
+let test_graph_negative_cycle () =
+  let g = Diff_graph.create 2 in
+  ignore (Diff_graph.add_constraint g ~u:0 ~v:1 ~k:(-1) ~tag:7);
+  (match Diff_graph.add_constraint g ~u:1 ~v:0 ~k:(-1) ~tag:8 with
+  | Error tags ->
+    Alcotest.(check bool) "reports both tags" true (List.mem 7 tags && List.mem 8 tags)
+  | Ok () -> Alcotest.fail "cycle not detected")
+
+let test_graph_zero_cycle_ok () =
+  let g = Diff_graph.create 2 in
+  Alcotest.(check bool) "x0<=x1" true (Diff_graph.add_constraint g ~u:0 ~v:1 ~k:0 ~tag:0 = Ok ());
+  Alcotest.(check bool) "x1<=x0" true (Diff_graph.add_constraint g ~u:1 ~v:0 ~k:0 ~tag:1 = Ok ())
+
+let test_graph_push_pop () =
+  let g = Diff_graph.create 3 in
+  ignore (Diff_graph.add_constraint g ~u:0 ~v:1 ~k:(-1) ~tag:0);
+  let d0 = Diff_graph.potential g 0 in
+  Diff_graph.push g;
+  ignore (Diff_graph.add_constraint g ~u:1 ~v:2 ~k:(-5) ~tag:1);
+  Diff_graph.push g;
+  (match Diff_graph.add_constraint g ~u:2 ~v:0 ~k:0 ~tag:2 with
+  | Error _ -> Diff_graph.pop g  (* would close a negative cycle: -1-5+0 *)
+  | Ok () -> Diff_graph.pop g);
+  Diff_graph.pop g;
+  Alcotest.(check int) "potential restored" d0 (Diff_graph.potential g 0);
+  Alcotest.(check int) "one edge left" 1 (Diff_graph.num_edges g);
+  (* the graph is reusable after popping *)
+  Alcotest.(check bool) "re-add ok" true
+    (Diff_graph.add_constraint g ~u:1 ~v:2 ~k:(-1) ~tag:3 = Ok ())
+
+let test_graph_growth () =
+  let g = Diff_graph.create 1 in
+  Alcotest.(check bool) "grows on demand" true
+    (Diff_graph.add_constraint g ~u:100 ~v:200 ~k:(-1) ~tag:0 = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Idl                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_model (p : Idl.problem) (m : int array) (chosen_ok : bool) =
+  List.iter
+    (fun (a : Idl.atom) ->
+      if not (m.(a.u) - m.(a.v) <= a.k) then Alcotest.fail "hard atom violated")
+    p.hard;
+  if chosen_ok then
+    Array.iter
+      (fun clause ->
+        if
+          not
+            (Array.exists (fun (a : Idl.atom) -> m.(a.u) - m.(a.v) <= a.k) clause)
+        then Alcotest.fail "clause unsatisfied")
+      p.clauses
+
+let test_idl_chain () =
+  let p = { Idl.nvars = 4; hard = [ Idl.lt 0 1; Idl.lt 1 2; Idl.lt 2 3 ]; clauses = [||] } in
+  match Idl.solve p with
+  | Sat (m, _) -> check_model p m true
+  | _ -> Alcotest.fail "expected sat"
+
+let test_idl_unsat () =
+  let p = { Idl.nvars = 3; hard = [ Idl.lt 0 1; Idl.lt 1 2; Idl.lt 2 0 ]; clauses = [||] } in
+  Alcotest.(check bool) "cycle unsat" true
+    (match Idl.solve p with Idl.Unsat _ -> true | _ -> false)
+
+let test_idl_clause_backtracking () =
+  (* first literal of the first clause conflicts only after the second
+     clause commits, forcing a backtrack *)
+  let p =
+    {
+      Idl.nvars = 4;
+      hard = [ Idl.lt 0 1 ];
+      clauses =
+        [|
+          [| Idl.lt 1 2; Idl.lt 2 1 |];
+          [| Idl.lt 2 1; Idl.lt 3 0 |];
+          [| Idl.lt 1 2 |];
+        |];
+    }
+  in
+  match Idl.solve p with
+  | Sat (m, _) -> check_model p m true
+  | _ -> Alcotest.fail "expected sat after backtracking"
+
+let test_idl_unsat_clauses () =
+  let p =
+    {
+      Idl.nvars = 2;
+      hard = [ Idl.lt 0 1 ];
+      clauses = [| [| Idl.lt 1 0 |] |];
+    }
+  in
+  Alcotest.(check bool) "contradicting clause" true
+    (match Idl.solve p with Idl.Unsat _ -> true | _ -> false)
+
+let test_idl_le_and_lt () =
+  let p =
+    { Idl.nvars = 2; hard = [ Idl.le 0 1; Idl.le 1 0 ]; clauses = [||] }
+  in
+  match Idl.solve p with
+  | Sat (m, _) -> Alcotest.(check int) "x0 = x1 allowed" m.(0) m.(1)
+  | _ -> Alcotest.fail "expected sat"
+
+(* qcheck: random permutation orders are satisfiable and the model agrees *)
+let perm_gen =
+  QCheck.make
+    ~print:(fun l -> String.concat "," (List.map string_of_int l))
+    QCheck.Gen.(
+      int_range 2 9 >>= fun n ->
+      shuffle_l (List.init n (fun i -> i)))
+
+let prop_perm_order =
+  QCheck.Test.make ~count:200 ~name:"total orders are satisfiable, model respects them"
+    perm_gen (fun perm ->
+      let n = List.length perm in
+      let rec chain = function
+        | a :: (b :: _ as rest) -> Idl.lt a b :: chain rest
+        | _ -> []
+      in
+      let p = { Idl.nvars = n; hard = chain perm; clauses = [||] } in
+      match Idl.solve p with
+      | Sat (m, _) ->
+        let rec ok = function
+          | a :: (b :: _ as rest) -> m.(a) < m.(b) && ok rest
+          | _ -> true
+        in
+        ok perm
+      | _ -> false)
+
+(* qcheck: random DAG edges + random binary clauses consistent with a hidden
+   total order are satisfiable and the model satisfies everything *)
+let dag_gen =
+  QCheck.make
+    ~print:(fun (n, es) ->
+      Printf.sprintf "n=%d edges=%s" n
+        (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d<%d" a b) es)))
+    QCheck.Gen.(
+      int_range 3 10 >>= fun n ->
+      list_size (int_range 1 20)
+        (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      >>= fun raw ->
+      (* orient each edge by a hidden order (identity) to guarantee sat *)
+      let es =
+        List.filter_map (fun (a, b) -> if a < b then Some (a, b) else if b < a then Some (b, a) else None) raw
+      in
+      return (n, es))
+
+let prop_dag_sat =
+  QCheck.Test.make ~count:200 ~name:"order-consistent constraint systems are satisfiable"
+    dag_gen (fun (n, es) ->
+      let hard = List.map (fun (a, b) -> Idl.lt a b) es in
+      (* clauses whose first literal follows the hidden order *)
+      let clauses =
+        List.filteri (fun i _ -> i mod 2 = 0) es
+        |> List.map (fun (a, b) -> [| Idl.lt a b; Idl.lt b a |])
+        |> Array.of_list
+      in
+      let p = { Idl.nvars = n; hard; clauses } in
+      match Idl.solve p with
+      | Sat (m, _) ->
+        List.for_all (fun (a, b) -> m.(a) < m.(b)) es
+        && Array.for_all
+             (fun cl -> Array.exists (fun (a : Idl.atom) -> m.(a.u) - m.(a.v) <= a.k) cl)
+             clauses
+      | _ -> false)
+
+let prop_cycle_unsat =
+  QCheck.Test.make ~count:100 ~name:"strict cycles are unsatisfiable"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 12))
+    (fun n ->
+      let hard = List.init n (fun i -> Idl.lt i ((i + 1) mod n)) in
+      match Idl.solve { Idl.nvars = n; hard; clauses = [||] } with
+      | Idl.Unsat _ -> true
+      | _ -> false)
+
+let () =
+  Alcotest.run "solver"
+    [
+      ( "diff-graph",
+        [
+          Alcotest.test_case "feasible potentials" `Quick test_graph_feasible;
+          Alcotest.test_case "negative cycle detection" `Quick test_graph_negative_cycle;
+          Alcotest.test_case "zero cycles feasible" `Quick test_graph_zero_cycle_ok;
+          Alcotest.test_case "push/pop restores" `Quick test_graph_push_pop;
+          Alcotest.test_case "grows on demand" `Quick test_graph_growth;
+        ] );
+      ( "idl",
+        [
+          Alcotest.test_case "chains" `Quick test_idl_chain;
+          Alcotest.test_case "unsat cycle" `Quick test_idl_unsat;
+          Alcotest.test_case "clause backtracking" `Quick test_idl_clause_backtracking;
+          Alcotest.test_case "unsat via clause" `Quick test_idl_unsat_clauses;
+          Alcotest.test_case "non-strict atoms" `Quick test_idl_le_and_lt;
+          QCheck_alcotest.to_alcotest prop_perm_order;
+          QCheck_alcotest.to_alcotest prop_dag_sat;
+          QCheck_alcotest.to_alcotest prop_cycle_unsat;
+        ] );
+    ]

@@ -1,0 +1,96 @@
+(* Workload suite: all 24 benchmarks generate valid programs, run to
+   completion deterministically, exhibit their intended sharing signatures,
+   and (sampled) replay faithfully under Light. *)
+
+open Runtime
+
+let test_count () = Alcotest.(check int) "24 benchmarks" 24 (List.length Workloads.all)
+
+let test_suites () =
+  let count s =
+    List.length (List.filter (fun (b : Workloads.benchmark) -> b.suite = s) Workloads.all)
+  in
+  Alcotest.(check int) "3 JGF" 3 (count "JGF");
+  Alcotest.(check int) "8 STAMP" 8 (count "STAMP");
+  Alcotest.(check int) "7 servers" 7 (count "Server");
+  Alcotest.(check int) "6 DaCapo" 6 (count "DaCapo")
+
+let test_all_generate_and_run () =
+  List.iter
+    (fun (bm : Workloads.benchmark) ->
+      let p = Workloads.program bm in
+      let o = Interp.run ~sched:(Workloads.scheduler bm) p in
+      Alcotest.(check bool) (bm.name ^ " finishes") true (o.status = Interp.AllFinished);
+      Alcotest.(check int) (bm.name ^ " crash-free") 0 (List.length o.crashes);
+      Alcotest.(check int) (bm.name ^ " spawns 8 workers") 9 (List.length o.counters))
+    Workloads.all
+
+let test_deterministic_given_seed () =
+  let bm = List.hd Workloads.all in
+  let p = Workloads.program bm in
+  let run () = (Interp.run ~sched:(Workloads.scheduler ~seed:5 bm) p).reads in
+  Alcotest.(check bool) "same seed, same run" true (run () = run ())
+
+let test_scale_parameter () =
+  let bm = Option.get (Workloads.by_name "cache4j") in
+  let s1 = (Interp.run ~sched:(Workloads.scheduler bm) (Workloads.program ~scale:1 bm)).steps in
+  let s2 = (Interp.run ~sched:(Workloads.scheduler bm) (Workloads.program ~scale:2 bm)).steps in
+  Alcotest.(check bool) "scale grows the run" true (s2 > s1 * 3 / 2)
+
+let test_signatures () =
+  (* partitioned scientific kernels share far less than server workloads *)
+  let density bm_name =
+    let bm = Option.get (Workloads.by_name bm_name) in
+    let p = Workloads.program bm in
+    let plan = (Instrument.Transformer.transform p).Instrument.Transformer.plan in
+    let o = Interp.run ~plan ~sched:(Workloads.scheduler bm) p in
+    let accs = List.fold_left (fun a (_, c) -> a + c) 0 o.counters in
+    float_of_int accs /. float_of_int o.steps
+  in
+  Alcotest.(check bool) "series shares least" true
+    (density "jgf-series" < density "cache4j");
+  Alcotest.(check bool) "avrora is hot" true (density "dacapo-avrora" > density "jgf-series")
+
+let test_light_replays_workloads () =
+  (* sampled: one benchmark per suite, small scale *)
+  List.iter
+    (fun name ->
+      let bm = Option.get (Workloads.by_name name) in
+      let p = Workloads.program bm in
+      match
+        Light_core.Light.record_and_replay ~sched:(Workloads.scheduler bm) p
+      with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok (_, rr) ->
+        Alcotest.(check bool) (name ^ " replay finished") true
+          (rr.replay_outcome.status = Interp.AllFinished);
+        Alcotest.(check (list string)) (name ^ " faithful") [] rr.faithful)
+    [ "jgf-series"; "stamp-ssca2"; "weblech"; "dacapo-avrora" ]
+
+let test_measure_benchmark_fields () =
+  let bm = Option.get (Workloads.by_name "jgf-series") in
+  let m = Report.Experiments.measure_benchmark bm in
+  Alcotest.(check bool) "leap slower than light" true
+    (m.leap.overhead > m.light_both.overhead);
+  Alcotest.(check bool) "light space smaller" true
+    (m.light_both.space_longs < m.leap.space_longs);
+  Alcotest.(check bool) "positive steps" true (m.steps > 0)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "24 benchmarks" `Quick test_count;
+          Alcotest.test_case "suite composition" `Quick test_suites;
+          Alcotest.test_case "all run crash-free" `Quick test_all_generate_and_run;
+          Alcotest.test_case "seeded determinism" `Quick test_deterministic_given_seed;
+          Alcotest.test_case "scale parameter" `Quick test_scale_parameter;
+          Alcotest.test_case "sharing signatures" `Quick test_signatures;
+        ] );
+      ( "measurement",
+        [
+          Alcotest.test_case "Light replays workloads" `Slow test_light_replays_workloads;
+          Alcotest.test_case "measure_benchmark" `Slow test_measure_benchmark_fields;
+        ] );
+    ]
