@@ -3,21 +3,41 @@
     the core components.
 
     Usage:
-      dune exec bench/main.exe              # everything (E1-E9)
+      dune exec bench/main.exe              # all experiments (E1-E9)
       dune exec bench/main.exe fig4         # one experiment
       dune exec bench/main.exe fig4 fig5 table1
-      dune exec bench/main.exe bechamel     # wall-clock microbenches only
-    Experiments: fig4 fig5 fig6 fig7 table1 running-example bechamel *)
+      dune exec bench/main.exe bechamel     # wall-clock microbenches
+    Experiments: fig4 fig5 fig6 fig7 table1 running-example bechamel
+
+    Experiments fan out across the engine's domain pool; set LIGHT_JOBS=N
+    to choose the pool size (default: one worker per core, capped at 8).
+    The experiment output on stdout is deterministic — byte-identical for
+    any LIGHT_JOBS — because results merge in job order and wall-clock
+    values go to stderr (or are gated behind LIGHT_TIMINGS=1).  The
+    bechamel microbenchmarks measure wall-clock by nature and only run when
+    named explicitly. *)
 
 let ppf = Format.std_formatter
 
-let measurements = lazy (Report.Experiments.measure_all ())
+let pool = Engine.Pool.get_default ()
 
-let run_fig4 () = Report.Experiments.fig4 (Lazy.force measurements) ppf
-let run_fig5 () = Report.Experiments.fig5 (Lazy.force measurements) ppf
-let run_fig7 () = Report.Experiments.fig7 (Lazy.force measurements) ppf
-let run_fig6 () = Report.Experiments.fig6 () ppf
-let run_table1 () = Report.Experiments.table1 () ppf
+(* explicit memo rather than [lazy]: a lazy forced from several domains
+   raises [Lazy.Undefined]; the engine audit removed the pattern *)
+let measurements =
+  let memo = ref None in
+  fun () ->
+    match !memo with
+    | Some ms -> ms
+    | None ->
+      let ms = Report.Experiments.measure_all ~pool () in
+      memo := Some ms;
+      ms
+
+let run_fig4 () = Report.Experiments.fig4 (measurements ()) ppf
+let run_fig5 () = Report.Experiments.fig5 (measurements ()) ppf
+let run_fig7 () = Report.Experiments.fig7 (measurements ()) ppf
+let run_fig6 () = Report.Experiments.fig6 ~pool () ppf
+let run_table1 () = Report.Experiments.table1 ~pool () ppf
 let run_example () = Report.Experiments.running_example () ppf
 
 (* ------------------------------------------------------------------ *)
@@ -90,17 +110,18 @@ let run_bechamel () =
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
-      Hashtbl.iter
-        (fun name raw ->
-          let stats =
-            Analyze.one
-              (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
-              Toolkit.Instance.monotonic_clock raw
-          in
-          match Analyze.OLS.estimates stats with
-          | Some [ est ] -> Format.printf "  %-32s %12.0f ns/run@." name est
-          | _ -> Format.printf "  %-32s (no estimate)@." name)
-        results)
+      (* sort: Hashtbl.iter order is not stable across runs *)
+      Hashtbl.fold (fun name raw acc -> (name, raw) :: acc) results []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (name, raw) ->
+             let stats =
+               Analyze.one
+                 (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+                 Toolkit.Instance.monotonic_clock raw
+             in
+             match Analyze.OLS.estimates stats with
+             | Some [ est ] -> Format.printf "  %-32s %12.0f ns/run@." name est
+             | _ -> Format.printf "  %-32s (no estimate)@." name))
     tests;
   Format.printf "@."
 
@@ -120,9 +141,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let t0 = Unix.gettimeofday () in
   (match args with
-  | [] ->
-    List.iter (fun (_, f) -> f ()) all_experiments;
-    run_bechamel ()
+  | [] -> List.iter (fun (_, f) -> f ()) all_experiments
   | names ->
     List.iter
       (fun n ->
@@ -133,4 +152,7 @@ let () =
           Format.printf "unknown experiment %s (have: %s bechamel)@." n
             (String.concat " " (List.map fst all_experiments)))
       names);
-  Format.printf "total bench time: %.1fs@." (Unix.gettimeofday () -. t0)
+  (* wall-clock on stderr: stdout stays byte-identical across runs/pools *)
+  Format.eprintf "total bench time: %.1fs (jobs=%d)@."
+    (Unix.gettimeofday () -. t0)
+    (Engine.Pool.size pool)

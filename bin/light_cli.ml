@@ -68,6 +68,18 @@ let variant_arg =
   Arg.(value & opt variant_conv Light_core.Light.v_both
        & info [ "variant" ] ~doc:"Recorder variant: basic | o1 | both")
 
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "j"; "jobs" ]
+           ~doc:
+             "Worker domains for batch experiments (0 = honor LIGHT_JOBS, \
+              else one per core capped at 8).  Results are merged in job \
+              order, so output is identical for any value.")
+
+(* 0 = the shared default pool (sized from LIGHT_JOBS / core count) *)
+let pool_of jobs =
+  if jobs <= 0 then Engine.Pool.get_default () else Engine.Pool.create ~size:jobs ()
+
 (* ---- subcommands ---- *)
 
 let run_cmd =
@@ -186,22 +198,22 @@ let weave_cmd =
     Term.(const run $ file_arg)
 
 let bugs_cmd =
-  let run tries =
-    Report.Experiments.fig6 ~tries () Format.std_formatter
+  let run tries jobs =
+    Report.Experiments.fig6 ~tries ~pool:(pool_of jobs) () Format.std_formatter
   in
   let tries = Arg.(value & opt int 60 & info [ "tries" ] ~doc:"Trigger search budget") in
   Cmd.v (Cmd.info "bugs" ~doc:"Reproduce the 8-bug suite (Figure 6)")
-    Term.(const run $ tries)
+    Term.(const run $ tries $ jobs_arg)
 
 let bench_cmd =
-  let run () =
-    let ms = Report.Experiments.measure_all () in
+  let run jobs =
+    let ms = Report.Experiments.measure_all ~pool:(pool_of jobs) () in
     Report.Experiments.fig4 ms Format.std_formatter;
     Report.Experiments.fig5 ms Format.std_formatter;
     Report.Experiments.fig7 ms Format.std_formatter
   in
   Cmd.v (Cmd.info "bench" ~doc:"Run the 24-benchmark overhead comparison (Figures 4/5/7)")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let main =
   Cmd.group

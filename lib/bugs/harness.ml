@@ -132,7 +132,7 @@ let try_chimera ?(tries = 60) (b : Defs.bug) (_tr : trigger) : attempt =
     let log = Baselines.Chimera.finalize_recorder rec_ ~outcome:orig in
     let rep =
       Interp.run ~hooks:(Baselines.Chimera.replay_hooks log) ~plan
-        ~sched:Sched.round_robin pi.patched
+        ~sched:(Sched.round_robin ()) pi.patched
     in
     let ok = crashes_match orig rep in
     {
@@ -155,9 +155,12 @@ type row = {
   chimera : attempt;
 }
 
-let reproduce_all ?(tries = 60) ?(clap_budget = 30_000) () : row list =
-  List.filter_map
-    (fun (b : Defs.bug) ->
+(* One bug is one independent job: trigger search plus the three tool
+   attempts share nothing across bugs, so the matrix fans out across the
+   engine pool; [Batch.map] merges rows back in [Defs.all] order, keeping
+   the output independent of the pool size. *)
+let reproduce_all ?(tries = 60) ?(clap_budget = 30_000) ?pool () : row list =
+  Engine.Batch.map ?pool Defs.all ~f:(fun (b : Defs.bug) ->
       let p = Defs.program_of b () in
       match find_trigger ~tries p with
       | None -> None
@@ -170,4 +173,4 @@ let reproduce_all ?(tries = 60) ?(clap_budget = 30_000) () : row list =
             clap = try_clap ~budget:clap_budget b tr;
             chimera = try_chimera ~tries b tr;
           })
-    Defs.all
+  |> List.filter_map Fun.id

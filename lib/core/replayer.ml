@@ -204,4 +204,4 @@ let driver (sch : schedule) ~(plan : Plan.t) : driver =
 let replay ?(max_steps = 10_000_000) (program : Lang.Ast.program) ~(plan : Plan.t)
     (sch : schedule) : Interp.outcome =
   let d = driver sch ~plan in
-  Interp.run ~hooks:d.hooks ~plan ~max_steps ~sched:Sched.round_robin program
+  Interp.run ~hooks:d.hooks ~plan ~max_steps ~sched:(Sched.round_robin ()) program

@@ -1,0 +1,57 @@
+(** Batch record/replay driver.  See the interface for the contract. *)
+
+open Runtime
+
+type job = {
+  label : string;
+  program : Lang.Ast.program;
+  variant : Light_core.Light.variant;
+  make_sched : unit -> Sched.t;
+  interp_seed : int;
+  max_steps : int;
+}
+
+let job ?(label = "job") ?(variant = Light_core.Light.v_both) ?(interp_seed = 0)
+    ?(max_steps = 5_000_000) ~make_sched program =
+  { label; program; variant; make_sched; interp_seed; max_steps }
+
+let grid ?(variants = Light_core.Light.[ v_basic; v_o1; v_both ]) ?interp_seed
+    ~(seeds : int list) ~(sched : seed:int -> Sched.t) ~label program : job list =
+  List.concat_map
+    (fun seed ->
+      List.map
+        (fun variant ->
+          job
+            ~label:
+              (Printf.sprintf "%s seed=%d %s" label seed
+                 (Light_core.Recorder.variant_name variant))
+            ~variant ?interp_seed
+            ~make_sched:(fun () -> sched ~seed)
+            program)
+        variants)
+    seeds
+
+let map ?pool ~f xs =
+  let pool = match pool with Some p -> p | None -> Pool.get_default () in
+  Pool.map_list pool ~f xs
+
+let records ?pool (jobs : job list) : Light_core.Light.recording list =
+  map ?pool jobs ~f:(fun j ->
+      Light_core.Light.record ~variant:j.variant ~sched:(j.make_sched ())
+        ~max_steps:j.max_steps ~seed:j.interp_seed j.program)
+
+type roundtrip = {
+  rt_job : job;
+  rt_result :
+    (Light_core.Light.recording * Light_core.Light.replay_result, string) result;
+}
+
+let roundtrips ?pool (jobs : job list) : roundtrip list =
+  map ?pool jobs ~f:(fun j ->
+      {
+        rt_job = j;
+        rt_result =
+          Light_core.Light.record_and_replay ~variant:j.variant
+            ~sched:(j.make_sched ()) ~max_steps:j.max_steps ~seed:j.interp_seed
+            j.program;
+      })

@@ -1,0 +1,59 @@
+(** Batch record/replay driver: fans independent Light jobs — one
+    (program, scheduler, recorder-variant) roundtrip each — across a
+    {!Pool} and merges results in job order.
+
+    Every job carries a {e scheduler constructor} rather than a scheduler
+    value: schedulers are stateful, and the job must build its own instance
+    inside the worker domain that runs it.  Interpreter state, recorder
+    state and the job's RNG are likewise created per job, so jobs share no
+    mutable state and the merged result is independent of the pool size. *)
+
+open Runtime
+
+type job = {
+  label : string;                    (** for test/diagnostic messages *)
+  program : Lang.Ast.program;
+  variant : Light_core.Light.variant;
+  make_sched : unit -> Sched.t;      (** fresh scheduler per job *)
+  interp_seed : int;                 (** seeds program-visible nondeterminism *)
+  max_steps : int;
+}
+
+val job :
+  ?label:string ->
+  ?variant:Light_core.Light.variant ->
+  ?interp_seed:int ->
+  ?max_steps:int ->
+  make_sched:(unit -> Sched.t) ->
+  Lang.Ast.program ->
+  job
+(** [variant] defaults to [v_both], [interp_seed] to 0, [max_steps] to the
+    recorder's default. *)
+
+val grid :
+  ?variants:Light_core.Light.variant list ->
+  ?interp_seed:int ->
+  seeds:int list ->
+  sched:(seed:int -> Sched.t) ->
+  label:string ->
+  Lang.Ast.program ->
+  job list
+(** The roundtrip matrix [seeds x variants] (seeds outermost), in
+    deterministic order.  [variants] defaults to basic/O1/O1+O2. *)
+
+val map : ?pool:Pool.t -> f:('a -> 'b) -> 'a list -> 'b list
+(** Generic deterministic fan-out over the pool ({!Pool.get_default} if
+    none is given): results are merged in input order regardless of the
+    pool size.  The per-item closure must not touch shared mutable state. *)
+
+val records : ?pool:Pool.t -> job list -> Light_core.Light.recording list
+(** Record every job (no replay), merged in job order. *)
+
+type roundtrip = {
+  rt_job : job;
+  rt_result :
+    (Light_core.Light.recording * Light_core.Light.replay_result, string) result;
+}
+
+val roundtrips : ?pool:Pool.t -> job list -> roundtrip list
+(** Record, solve and replay every job, merged in job order. *)

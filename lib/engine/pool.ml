@@ -1,0 +1,159 @@
+(** Fixed-size Domain worker pool.  See the interface for the determinism
+    contract.
+
+    Implementation notes: the pool keeps [size - 1] long-lived worker
+    domains blocked on a task queue.  A [map_array] call claims job indices
+    from an atomic counter (work stealing over a static index range), writes
+    each result into a dedicated slot of a results array, and merges by
+    reading the array left to right — merge order therefore never depends on
+    completion order.  The calling domain claims indices like any worker, so
+    nested maps cannot deadlock: the caller of the inner map drains its own
+    index range even if every helper task is stuck behind other work. *)
+
+type task = unit -> unit
+
+type t = {
+  pool_size : int;
+  tasks : task Queue.t;
+  m : Mutex.t;
+  task_ready : Condition.t;
+  mutable live : bool;
+  mutable domains : unit Domain.t list;
+  is_default : bool;
+}
+
+let size t = t.pool_size
+
+let default_size () =
+  match Sys.getenv_opt "LIGHT_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 1)
+  | None -> min 8 (Domain.recommended_domain_count ())
+
+let rec worker_loop (p : t) : unit =
+  Mutex.lock p.m;
+  while Queue.is_empty p.tasks && p.live do
+    Condition.wait p.task_ready p.m
+  done;
+  if Queue.is_empty p.tasks then Mutex.unlock p.m (* shutdown *)
+  else begin
+    let task = Queue.pop p.tasks in
+    Mutex.unlock p.m;
+    task ();
+    worker_loop p
+  end
+
+let make ~is_default size =
+  let size = max 1 size in
+  let p =
+    {
+      pool_size = size;
+      tasks = Queue.create ();
+      m = Mutex.create ();
+      task_ready = Condition.create ();
+      live = true;
+      domains = [];
+      is_default;
+    }
+  in
+  p.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p));
+  p
+
+let create ?size () =
+  make ~is_default:false (match size with Some s -> s | None -> default_size ())
+
+let shutdown (p : t) : unit =
+  if p.is_default then invalid_arg "Pool.shutdown: cannot shut down the default pool";
+  Mutex.lock p.m;
+  p.live <- false;
+  Condition.broadcast p.task_ready;
+  Mutex.unlock p.m;
+  List.iter Domain.join p.domains;
+  p.domains <- []
+
+let with_pool ?size f =
+  let p = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+let default_m = Mutex.create ()
+let default_pool : t option ref = ref None
+
+let get_default () =
+  Mutex.lock default_m;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+      let p = make ~is_default:true (default_size ()) in
+      default_pool := Some p;
+      p
+  in
+  Mutex.unlock default_m;
+  p
+
+(* Fan [f 0 .. f (n-1)] across the pool; returns when all calls finished.
+   [f] must not raise (map_array wraps). *)
+let run_indexed (p : t) (n : int) ~(f : int -> unit) : unit =
+  if n > 0 then begin
+    let next = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let fin_m = Mutex.create () in
+    let fin_c = Condition.create () in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          f i;
+          if Atomic.fetch_and_add completed 1 + 1 = n then begin
+            Mutex.lock fin_m;
+            Condition.broadcast fin_c;
+            Mutex.unlock fin_m
+          end;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = min (p.pool_size - 1) (n - 1) in
+    if helpers > 0 then begin
+      Mutex.lock p.m;
+      for _ = 1 to helpers do
+        Queue.push worker p.tasks
+      done;
+      Condition.broadcast p.task_ready;
+      Mutex.unlock p.m
+    end;
+    worker ();
+    Mutex.lock fin_m;
+    while Atomic.get completed < n do
+      Condition.wait fin_c fin_m
+    done;
+    Mutex.unlock fin_m
+  end
+
+let map_array (p : t) ~(f : int -> 'a -> 'b) (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let results : ('b, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
+    in
+    run_indexed p n ~f:(fun i ->
+        results.(i) <-
+          Some
+            (match f i xs.(i) with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+    (* deterministic merge: scan in index order, first failure wins *)
+    for i = 0 to n - 1 do
+      match results.(i) with
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | _ -> ()
+    done;
+    Array.map (function Some (Ok v) -> v | _ -> assert false) results
+  end
+
+let map_list (p : t) ~(f : 'a -> 'b) (xs : 'a list) : 'b list =
+  Array.to_list (map_array p ~f:(fun _ x -> f x) (Array.of_list xs))

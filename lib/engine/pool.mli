@@ -1,0 +1,51 @@
+(** Fixed-size Domain worker pool with a deterministic fan-out/merge
+    discipline.
+
+    The pool runs independent jobs across OCaml 5 domains and merges their
+    results in {e job-index order}, so the merged output of
+    {!map_array}/{!map_list} is identical for pool sizes 1 and N — the
+    engine's determinism contract (see DESIGN.md).  The contract requires
+    jobs to be self-contained: each job owns its scheduler, RNG and
+    interpreter state and touches no mutable state shared with other jobs.
+    Every stateful scheduler in this repository is a [unit -> t] constructor
+    for exactly this reason.
+
+    The caller participates as a worker, so a pool of size 1 spawns no
+    domains at all and executes jobs inline, in order — byte-for-byte the
+    serial behavior.  Exceptions raised by jobs are re-raised in the caller,
+    lowest job index first. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [size] is the total number of workers including the calling domain
+    ([size - 1] domains are spawned); it defaults to {!default_size}.
+    Values below 1 are clamped to 1. *)
+
+val size : t -> int
+
+val default_size : unit -> int
+(** The [LIGHT_JOBS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()] capped at 8. *)
+
+val get_default : unit -> t
+(** The process-wide shared pool (created on first use with
+    {!default_size}).  Batch consumers default to this pool so that one
+    process never spawns more than one set of worker domains. *)
+
+val map_array : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_array pool ~f xs] computes [f i xs.(i)] for every [i], fanning the
+    calls across the pool's workers, and returns the results indexed exactly
+    like the input.  If any job raised, the exception of the lowest-indexed
+    failing job is re-raised after all jobs have settled. *)
+
+val map_list : t -> f:('a -> 'b) -> 'a list -> 'b list
+(** {!map_array} over a list, preserving order. *)
+
+val shutdown : t -> unit
+(** Terminate and join the pool's domains.  The pool must not be used
+    afterwards.  Shutting down the shared default pool is not allowed. *)
+
+val with_pool : ?size:int -> (t -> 'b) -> 'b
+(** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,
+    also on exceptions. *)

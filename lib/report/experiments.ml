@@ -65,8 +65,17 @@ let measure_benchmark ?(scale = 1) ?(seed = 7) (bm : Workloads.benchmark) :
     light_both;
   }
 
-let measure_all ?scale ?seed () : bench_measure list =
-  List.map (measure_benchmark ?scale ?seed) Workloads.all
+(* Each benchmark measurement is self-contained (fresh parse, plan,
+   recorders, interpreter and scheduler state), so the 24 measurements fan
+   out across the engine pool; the merge preserves [Workloads.all] order, so
+   the figures are byte-identical for any pool size. *)
+let measure_all ?scale ?seed ?pool () : bench_measure list =
+  Engine.Batch.map ?pool Workloads.all ~f:(measure_benchmark ?scale ?seed)
+
+(* Wall-clock columns (solver/replay seconds) are hidden unless LIGHT_TIMINGS
+   is set: default output must not depend on machine speed or pool size. *)
+let show_timings () = Sys.getenv_opt "LIGHT_TIMINGS" <> None
+let timing_cell s = if show_timings () then s else "-"
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4 / aggregate time table                                      *)
@@ -184,8 +193,8 @@ let fig7 (ms : bench_measure list) ppf : unit =
 (* Figure 6: real-world bugs                                            *)
 (* ------------------------------------------------------------------ *)
 
-let fig6 ?(tries = 60) ?(clap_budget = 60_000) () ppf : unit =
-  let rows = Bugs.Harness.reproduce_all ~tries ~clap_budget () in
+let fig6 ?(tries = 60) ?(clap_budget = 60_000) ?pool () ppf : unit =
+  let rows = Bugs.Harness.reproduce_all ~tries ~clap_budget ?pool () in
   Chart.table
     ~title:"Figure 6: real-world bug reproduction (Light vs Clap vs Chimera)"
     ~header:[ "bug"; "failure"; "Light"; "Clap"; "Chimera"; "trigger" ]
@@ -211,10 +220,9 @@ let fig6 ?(tries = 60) ?(clap_budget = 60_000) () ppf : unit =
 (* Table 1: replay measurement                                          *)
 (* ------------------------------------------------------------------ *)
 
-let table1 ?(scale_factor = 1) () ppf : unit =
+let table1 ?(scale_factor = 1) ?pool () ppf : unit =
   let rows =
-    List.filter_map
-      (fun (b : Bugs.Defs.bug) ->
+    Engine.Batch.map ?pool Bugs.Defs.all ~f:(fun (b : Bugs.Defs.bug) ->
         let scale = max 1 (b.table1_scale * scale_factor) in
         let p = Bugs.Defs.program_of b ~scale ~background:true () in
         match Bugs.Harness.find_trigger ~tries:40 p with
@@ -234,11 +242,11 @@ let table1 ?(scale_factor = 1) () ppf : unit =
               [
                 b.name;
                 Printf.sprintf "%.1f" (float_of_int r.space_longs /. 1000.);
-                Printf.sprintf "%.3f" rr.report.solve_time_s;
-                Printf.sprintf "%.3f" replay_s;
+                timing_cell (Printf.sprintf "%.3f" rr.report.solve_time_s);
+                timing_cell (Printf.sprintf "%.3f" replay_s);
                 (if faithful then "reproduced" else "NOT reproduced");
               ]))
-      Bugs.Defs.all
+    |> List.filter_map Fun.id
   in
   Chart.table
     ~title:"Table 1: replay measurement (Light; per-bug recording at Table-1 scale)"

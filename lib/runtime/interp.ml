@@ -38,6 +38,11 @@ type outcome = {
   counters : (int * int) list;         (** final D(t) per thread *)
   syscalls : (int * int * string * Value.t) list;
       (** (tid, idx, name, value) in per-thread order *)
+  final_heap : (Value.objid * (string * Value.t) list) list;
+      (** the heap at termination: per object (ascending id), fields sorted
+          by name.  Object ids are thread-deterministic, so two runs of the
+          same program are comparable.  Used by the differential tests; not
+          a Theorem-1 observable (replay may suppress blind writes). *)
   trace : Event.access list;           (** full access trace if requested *)
 }
 
@@ -876,6 +881,13 @@ let run ?(hooks = default_hooks) ?(plan = Plan.all_shared) ?(max_steps = 5_000_0
     outputs = per_thread (fun t -> List.rev t.outputs_rev);
     counters = per_thread (fun t -> t.d);
     syscalls = List.rev st.syscalls_rev;
+    final_heap =
+      Hashtbl.fold (fun id (o : obj) acc -> (id, o) :: acc) st.heap []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> List.map (fun (id, o) ->
+             ( id,
+               Hashtbl.fold (fun f v acc -> (f, v) :: acc) o.fields []
+               |> List.sort compare ));
     trace = List.rev st.trace_rev;
   }
 

@@ -13,7 +13,12 @@ type t = {
       (** chooses among the runnable thread ids (non-empty list) *)
 }
 
-let round_robin : t =
+(* Every scheduler here is a [unit -> t]-style constructor: a [t] value
+   carries mutable pick state, and sharing one instance across runs (or
+   across domains) leaks schedule state from one run into the next.
+   [round_robin] used to be a top-level [t] whose [last] ref was allocated
+   once at module init — the archetype of that bug. *)
+let round_robin () : t =
   let last = ref (-1) in
   {
     name = "round-robin";

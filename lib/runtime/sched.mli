@@ -3,7 +3,12 @@
 
     Seeded schedulers make "original runs" reproducible; [sticky] models
     realistic OS quanta (long uninterleaved runs — the pattern optimization
-    O1 exploits); [pct] is a priority-based bug-finding scheduler. *)
+    O1 exploits); [pct] is a priority-based bug-finding scheduler.
+
+    A [t] value carries mutable pick state, so every scheduler is exposed
+    as a constructor: build a fresh instance per run, and never share an
+    instance across runs or across domains (the batch engine's determinism
+    contract depends on this). *)
 
 type t = {
   name : string;
@@ -11,7 +16,9 @@ type t = {
       (** choose among the runnable thread ids (non-empty) *)
 }
 
-val round_robin : t
+val round_robin : unit -> t
+(** Lowest thread id above the previously picked one, wrapping around.
+    A constructor: the rotation cursor is per-instance state. *)
 
 val random : seed:int -> t
 (** Uniform choice at every step. *)

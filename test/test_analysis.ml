@@ -177,7 +177,7 @@ let test_weave_output () =
   Alcotest.(check bool) "hooks woven" true (hooks > 0);
   (* the woven program still validates and runs *)
   let woven = Lang.Check.validate_exn woven in
-  let o = Runtime.Interp.run ~sched:Runtime.Sched.round_robin woven in
+  let o = Runtime.Interp.run ~sched:Runtime.(Sched.round_robin ()) woven in
   Alcotest.(check bool) "woven program runs" true (o.status = Runtime.Interp.AllFinished)
 
 let () =

@@ -34,21 +34,22 @@ let leap_roundtrip p seed =
   let rep =
     Interp.run
       ~hooks:(Baselines.Leap.replay_hooks log ~syscalls:orig.syscalls)
-      ~plan ~sched:Sched.round_robin p
+      ~plan ~sched:(Sched.round_robin ()) p
   in
   (orig, log, rep)
 
+(* the seed x program grid used by the Leap/Stride fidelity tests,
+   fanned out through the engine's batch driver *)
+let baseline_grid roundtrip =
+  List.concat_map (fun seed -> List.map (fun p -> (p, seed)) [ racy; locked ]) [ 1; 2; 3; 4; 5 ]
+  |> Engine.Batch.map ~f:(fun (p, seed) -> roundtrip p seed)
+
 let test_leap_faithful () =
-  List.iter
-    (fun seed ->
-      List.iter
-        (fun p ->
-          let orig, _, rep = leap_roundtrip p seed in
-          Alcotest.(check bool) "replay finished" true (rep.status = Interp.AllFinished);
-          Alcotest.(check (list string)) "faithful" []
-            (Interp.replay_matches ~original:orig ~replay:rep))
-        [ racy; locked ])
-    [ 1; 2; 3; 4; 5 ]
+  baseline_grid leap_roundtrip
+  |> List.iter (fun ((orig : Interp.outcome), _, (rep : Interp.outcome)) ->
+         Alcotest.(check bool) "replay finished" true (rep.status = Interp.AllFinished);
+         Alcotest.(check (list string)) "faithful" []
+           (Interp.replay_matches ~original:orig ~replay:rep))
 
 let test_leap_space_is_one_long_per_access () =
   let orig, log, _ = leap_roundtrip racy 1 in
@@ -68,21 +69,16 @@ let stride_roundtrip p seed =
   let rep =
     Interp.run
       ~hooks:(Baselines.Stride.replay_hooks log ~syscalls:orig.syscalls)
-      ~plan ~sched:Sched.round_robin p
+      ~plan ~sched:(Sched.round_robin ()) p
   in
   (orig, log, rep)
 
 let test_stride_faithful () =
-  List.iter
-    (fun seed ->
-      List.iter
-        (fun p ->
-          let orig, _, rep = stride_roundtrip p seed in
-          Alcotest.(check bool) "replay finished" true (rep.status = Interp.AllFinished);
-          Alcotest.(check (list string)) "faithful" []
-            (Interp.replay_matches ~original:orig ~replay:rep))
-        [ racy; locked ])
-    [ 1; 2; 3; 4; 5 ]
+  baseline_grid stride_roundtrip
+  |> List.iter (fun ((orig : Interp.outcome), _, (rep : Interp.outcome)) ->
+         Alcotest.(check bool) "replay finished" true (rep.status = Interp.AllFinished);
+         Alcotest.(check (list string)) "faithful" []
+           (Interp.replay_matches ~original:orig ~replay:rep))
 
 let test_stride_space_half () =
   let orig, log, _ = stride_roundtrip racy 1 in
@@ -107,7 +103,7 @@ let test_clap_scope_check () =
 let test_clap_records_branches () =
   let p = parse "main { i = 0; while (i < 5) { if (i % 2 == 0) { nop; } i = i + 1; } }" in
   let r = Baselines.Clap.create () in
-  let outcome = Interp.run ~hooks:(Baselines.Clap.hooks r) ~sched:Sched.round_robin p in
+  let outcome = Interp.run ~hooks:(Baselines.Clap.hooks r) ~sched:(Sched.round_robin ()) p in
   let log = Baselines.Clap.finalize r ~outcome in
   (* 6 while evaluations + 5 if evaluations *)
   let total = List.fold_left (fun a (_, b) -> a + Array.length b) 0 log.branches in
@@ -145,7 +141,7 @@ let test_clap_synthesis_finds_race () =
 let test_clap_no_failure () =
   let p = parse "global x; main { x = 1; print x; }" in
   let r = Baselines.Clap.create () in
-  let o = Interp.run ~hooks:(Baselines.Clap.hooks r) ~sched:Sched.round_robin p in
+  let o = Interp.run ~hooks:(Baselines.Clap.hooks r) ~sched:(Sched.round_robin ()) p in
   let log = Baselines.Clap.finalize r ~outcome:o in
   Alcotest.(check bool) "no failure to synthesize" true
     (Baselines.Clap.synthesize p log = Baselines.Clap.NoFailureRecorded)
@@ -162,7 +158,7 @@ let test_chimera_patches_races () =
     (List.mem "w1" fns && List.mem "w2" fns);
   (* the patched program validates and runs *)
   let patched = Lang.Check.validate_exn pi.patched in
-  let o = Interp.run ~sched:Sched.round_robin patched in
+  let o = Interp.run ~sched:(Sched.round_robin ()) patched in
   Alcotest.(check bool) "patched program runs" true (o.status = Interp.AllFinished)
 
 let test_chimera_no_patch_when_locked () =
@@ -190,7 +186,7 @@ let test_chimera_replay () =
   let orig = Interp.run ~hooks:(Baselines.Chimera.recorder_hooks r) ~plan ~sched pi.patched in
   let log = Baselines.Chimera.finalize_recorder r ~outcome:orig in
   let rep =
-    Interp.run ~hooks:(Baselines.Chimera.replay_hooks log) ~plan ~sched:Sched.round_robin
+    Interp.run ~hooks:(Baselines.Chimera.replay_hooks log) ~plan ~sched:(Sched.round_robin ())
       pi.patched
   in
   Alcotest.(check bool) "replay finished" true (rep.status = Interp.AllFinished);

@@ -1,5 +1,12 @@
 (* The Figure-6 matrix: every bug model triggers, Light reproduces all 8,
-   Clap and Chimera succeed/fail exactly as the paper reports. *)
+   Clap and Chimera succeed/fail exactly as the paper reports.
+
+   Each bug's trigger search and tool attempts are independent, so the
+   heavy matrix tests fan out per bug through the engine's batch driver;
+   assertions run after the deterministic merge, in bug order. *)
+
+let per_bug (f : Bugs.Defs.bug -> 'a) : 'a list =
+  Engine.Batch.map Bugs.Defs.all ~f
 
 let all_programs_validate () =
   List.iter
@@ -27,66 +34,62 @@ let trigger_of (b : Bugs.Defs.bug) =
   | None -> Alcotest.failf "%s: no triggering schedule found" b.name
 
 let test_triggers_exist () =
-  List.iter
-    (fun (b : Bugs.Defs.bug) ->
-      let tr = trigger_of b in
-      Alcotest.(check bool) (b.name ^ " crashes") true (tr.outcome.crashes <> []))
-    Bugs.Defs.all
+  per_bug (fun b -> (b.name, (trigger_of b).outcome.crashes <> []))
+  |> List.iter (fun (name, crashed) ->
+         Alcotest.(check bool) (name ^ " crashes") true crashed)
 
 let test_light_reproduces_all () =
-  List.iter
-    (fun (b : Bugs.Defs.bug) ->
+  per_bug (fun b ->
       let tr = trigger_of b in
-      List.iter
-        (fun variant ->
-          let a = Bugs.Harness.try_light ~variant b tr in
-          Alcotest.(check bool)
-            (Printf.sprintf "%s under %s: %s" b.name
-               (Light_core.Recorder.variant_name variant)
-               a.detail)
-            true a.reproduced)
+      List.map
+        (fun variant -> (b.name, variant, Bugs.Harness.try_light ~variant b tr))
         [ Light_core.Light.v_basic; Light_core.Light.v_both ])
-    Bugs.Defs.all
+  |> List.concat
+  |> List.iter (fun (name, variant, (a : Bugs.Harness.attempt)) ->
+         Alcotest.(check bool)
+           (Printf.sprintf "%s under %s: %s" name
+              (Light_core.Recorder.variant_name variant)
+              a.detail)
+           true a.reproduced)
 
 let test_clap_matrix () =
-  List.iter
-    (fun (b : Bugs.Defs.bug) ->
+  per_bug (fun b ->
       let tr = trigger_of b in
-      let a = Bugs.Harness.try_clap ~budget:60_000 b tr in
-      Alcotest.(check bool)
-        (Printf.sprintf "%s: Clap expected %b, got %b (%s)" b.name b.clap_supported
-           a.reproduced a.detail)
-        b.clap_supported a.reproduced)
-    Bugs.Defs.all
+      (b, Bugs.Harness.try_clap ~budget:60_000 b tr))
+  |> List.iter (fun ((b : Bugs.Defs.bug), (a : Bugs.Harness.attempt)) ->
+         Alcotest.(check bool)
+           (Printf.sprintf "%s: Clap expected %b, got %b (%s)" b.name b.clap_supported
+              a.reproduced a.detail)
+           b.clap_supported a.reproduced)
 
 let test_chimera_matrix () =
-  List.iter
-    (fun (b : Bugs.Defs.bug) ->
+  per_bug (fun b ->
       let tr = trigger_of b in
-      let a = Bugs.Harness.try_chimera ~tries:60 b tr in
-      Alcotest.(check bool)
-        (Printf.sprintf "%s: Chimera expected %b, got %b (%s)" b.name
-           (not b.chimera_hidden) a.reproduced a.detail)
-        (not b.chimera_hidden) a.reproduced)
-    Bugs.Defs.all
+      (b, Bugs.Harness.try_chimera ~tries:60 b tr))
+  |> List.iter (fun ((b : Bugs.Defs.bug), (a : Bugs.Harness.attempt)) ->
+         Alcotest.(check bool)
+           (Printf.sprintf "%s: Chimera expected %b, got %b (%s)" b.name
+              (not b.chimera_hidden) a.reproduced a.detail)
+           (not b.chimera_hidden) a.reproduced)
 
 let test_scaled_bugs_still_reproduce () =
   (* Table 1 runs the bugs with background load; Light's guarantee must
      survive the scaling *)
-  List.iter
-    (fun name ->
+  Engine.Batch.map [ "Cache4j"; "Ftpserver"; "Weblech" ] ~f:(fun name ->
       let b = Option.get (Bugs.Defs.by_name name) in
       let p = Bugs.Defs.program_of b ~scale:5 () in
       match Bugs.Harness.find_trigger ~tries:40 p with
-      | None -> Alcotest.failf "%s@5x: no trigger" b.name
+      | None -> Error (b.name ^ "@5x: no trigger")
       | Some tr ->
         let r = Light_core.Light.record ~sched:(tr.make_sched ()) p in
         (match Light_core.Light.replay r with
-        | Error e -> Alcotest.failf "%s@5x: %s" b.name e
+        | Error e -> Error (Printf.sprintf "%s@5x: %s" b.name e)
         | Ok rr ->
-          Alcotest.(check bool) (b.name ^ "@5x reproduced") true
-            (Bugs.Harness.crashes_match r.outcome rr.replay_outcome)))
-    [ "Cache4j"; "Ftpserver"; "Weblech" ]
+          Ok (b.name, Bugs.Harness.crashes_match r.outcome rr.replay_outcome)))
+  |> List.iter (function
+       | Error msg -> Alcotest.fail msg
+       | Ok (name, reproduced) ->
+         Alcotest.(check bool) (name ^ "@5x reproduced") true reproduced)
 
 let () =
   Alcotest.run "bugs"

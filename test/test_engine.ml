@@ -1,0 +1,149 @@
+(* Engine tests: the deterministic-merge contract.  A pool of any size
+   must merge results in job-index order, so every observable below is
+   byte-identical for pool sizes 1 (fully inline) and N; exceptions
+   propagate deterministically (lowest job index wins); nested maps on one
+   pool cannot deadlock because the caller participates as a worker. *)
+
+open Runtime
+
+let parse src = Lang.Check.validate_exn (Lang.Parser.parse_program src)
+
+let racy = parse {|
+  global x; global y;
+  fn w1() { x = 1; y = x + 1; x = y * 2; }
+  fn w2() { x = 5; y = x + 3; x = y * 7; }
+  main { x = 0; y = 0; spawn a = w1(); spawn b = w2(); join a; join b; print x; print y; }
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_default_size () =
+  Alcotest.(check bool) "default size positive" true (Engine.Pool.default_size () >= 1);
+  Alcotest.(check bool) "default pool sized" true
+    (Engine.Pool.size (Engine.Pool.get_default ()) >= 1)
+
+let test_map_array_indexed_order () =
+  Engine.Pool.with_pool ~size:3 (fun pool ->
+      let input = Array.init 50 (fun i -> i * 3) in
+      let out = Engine.Pool.map_array pool ~f:(fun i x -> (i, x + 1)) input in
+      Alcotest.(check bool) "results in index order" true
+        (out = Array.init 50 (fun i -> (i, (i * 3) + 1))))
+
+let test_map_list_order () =
+  Engine.Pool.with_pool ~size:4 (fun pool ->
+      let out = Engine.Pool.map_list pool ~f:(fun x -> x * x) (List.init 17 (fun i -> i)) in
+      Alcotest.(check (list int)) "order preserved" (List.init 17 (fun i -> i * i)) out)
+
+let test_edge_sizes () =
+  Engine.Pool.with_pool ~size:2 (fun pool ->
+      Alcotest.(check (list int)) "empty input" [] (Engine.Pool.map_list pool ~f:succ []);
+      Alcotest.(check (list int)) "singleton" [ 42 ] (Engine.Pool.map_list pool ~f:succ [ 41 ]);
+      Alcotest.(check bool) "more jobs than workers" true
+        (Engine.Pool.map_list pool ~f:succ (List.init 100 Fun.id)
+        = List.init 100 (fun i -> i + 1)))
+
+let test_pool_size_invariance () =
+  let compute size =
+    Engine.Pool.with_pool ~size (fun pool ->
+        Engine.Pool.map_list pool ~f:(fun x -> (x * x) - x) (List.init 31 Fun.id))
+  in
+  let serial = List.init 31 (fun x -> (x * x) - x) in
+  Alcotest.(check (list int)) "size 1 = serial" serial (compute 1);
+  Alcotest.(check (list int)) "size 4 = serial" serial (compute 4)
+
+let test_exception_lowest_index () =
+  (* several jobs fail; the merge must re-raise the lowest-index failure
+     regardless of which domain hit its failure first *)
+  Engine.Pool.with_pool ~size:4 (fun pool ->
+      match
+        Engine.Pool.map_array pool
+          ~f:(fun i () -> if i mod 3 = 2 then failwith (string_of_int i) else i)
+          (Array.make 10 ())
+      with
+      | exception Failure msg -> Alcotest.(check string) "index 2 raised" "2" msg
+      | _ -> Alcotest.fail "expected a propagated exception")
+
+let test_nested_maps_no_deadlock () =
+  (* inner maps run from worker domains of the same pool; the caller of
+     each inner map drains its own index range, so this terminates even
+     with a single helper domain *)
+  Engine.Pool.with_pool ~size:2 (fun pool ->
+      let out =
+        Engine.Pool.map_list pool
+          ~f:(fun a -> Engine.Pool.map_list pool ~f:(fun b -> (a * 10) + b) [ 1; 2; 3 ])
+          [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check bool) "nested results correct" true
+        (out = List.init 4 (fun i -> List.map (fun b -> ((i + 1) * 10) + b) [ 1; 2; 3 ])))
+
+(* ------------------------------------------------------------------ *)
+(* Batch                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_grid_shape () =
+  let jobs =
+    Engine.Batch.grid ~seeds:[ 1; 2 ]
+      ~sched:(fun ~seed -> Sched.sticky ~seed ~stickiness:4)
+      ~label:"racy" racy
+  in
+  (* seeds outer x default three variants inner *)
+  Alcotest.(check int) "2 seeds x 3 variants" 6 (List.length jobs)
+
+let rt_summary (rt : Engine.Batch.roundtrip) =
+  match rt.rt_result with
+  | Error e -> (rt.rt_job.label, Error e)
+  | Ok (r, rr) ->
+    let o = r.Light_core.Light.outcome in
+    let ro = rr.Light_core.Light.replay_outcome in
+    ( rt.rt_job.label,
+      Ok (o.Interp.outputs, o.Interp.reads, ro.Interp.outputs, rr.faithful) )
+
+let test_batch_pool_size_invariant () =
+  let run size =
+    Engine.Pool.with_pool ~size (fun pool ->
+        Engine.Batch.grid ~seeds:[ 1; 2 ]
+          ~sched:(fun ~seed -> Sched.sticky ~seed ~stickiness:4)
+          ~label:"racy" racy
+        |> Engine.Batch.roundtrips ~pool
+        |> List.map rt_summary)
+  in
+  let one = run 1 and four = run 4 in
+  Alcotest.(check bool) "pool sizes 1 and 4 merge identically" true (one = four);
+  List.iter
+    (fun (label, s) ->
+      match s with
+      | Error e -> Alcotest.failf "%s: %s" label e
+      | Ok (_, _, _, faithful) ->
+        Alcotest.(check (list string)) (label ^ " faithful") [] faithful)
+    one
+
+let test_batch_map_is_deterministic () =
+  (* the generic fan-out merges in input order under any pool size *)
+  let xs = List.init 40 (fun i -> i * 7) in
+  let f x = Printf.sprintf "%d:%d" x (x mod 13) in
+  let via size = Engine.Pool.with_pool ~size (fun pool -> Engine.Batch.map ~pool ~f xs) in
+  Alcotest.(check (list string)) "matches serial map" (List.map f xs) (via 3);
+  Alcotest.(check bool) "sizes agree" true (via 1 = via 5)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "default size" `Quick test_default_size;
+          Alcotest.test_case "map_array index order" `Quick test_map_array_indexed_order;
+          Alcotest.test_case "map_list order" `Quick test_map_list_order;
+          Alcotest.test_case "edge sizes" `Quick test_edge_sizes;
+          Alcotest.test_case "pool-size invariance" `Quick test_pool_size_invariance;
+          Alcotest.test_case "lowest-index exception" `Quick test_exception_lowest_index;
+          Alcotest.test_case "nested maps terminate" `Quick test_nested_maps_no_deadlock;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "grid shape" `Quick test_grid_shape;
+          Alcotest.test_case "roundtrips pool-size invariant" `Quick test_batch_pool_size_invariant;
+          Alcotest.test_case "map deterministic" `Quick test_batch_map_is_deterministic;
+        ] );
+    ]

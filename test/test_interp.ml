@@ -3,7 +3,7 @@
 
 open Runtime
 
-let run ?(seed = 1) ?(sched = Sched.round_robin) src =
+let run ?(seed = 1) ?(sched = (Sched.round_robin ())) src =
   let p = Lang.Check.validate_exn (Lang.Parser.parse_program src) in
   Interp.run ~seed ~sched p
 
@@ -212,10 +212,29 @@ let counters_count_ghosts () =
 
 let step_limit () =
   let o =
-    Interp.run ~max_steps:100 ~sched:Sched.round_robin
+    Interp.run ~max_steps:100 ~sched:(Sched.round_robin ())
       (Lang.Check.validate_exn (Lang.Parser.parse_program "main { x = 0; while (true) { x = x + 1; } }"))
   in
   Alcotest.(check bool) "hits limit" true (o.status = Interp.StepLimit)
+
+let round_robin_runs_identical () =
+  (* regression: [round_robin] used to be a top-level value whose rotation
+     cursor was allocated once at module init, so the schedule of one run
+     leaked into the next (and across domains).  As a [unit -> t]
+     constructor, two fresh instances must produce identical schedules. *)
+  let src =
+    "global x; fn w(v) { x = x + v; x = x * v; } \
+     main { x = 0; spawn a = w(2); spawn b = w(3); join a; join b; print x; }"
+  in
+  let p = Lang.Check.validate_exn (Lang.Parser.parse_program src) in
+  let go () = Interp.run ~collect_trace:true ~sched:(Sched.round_robin ()) p in
+  let o1 = go () in
+  let o2 = go () in
+  let sched_of (o : Interp.outcome) =
+    List.map (fun (a : Event.access) -> (a.tid, a.c)) o.trace
+  in
+  Alcotest.(check (list (pair int int))) "identical schedules" (sched_of o1) (sched_of o2);
+  Alcotest.(check (list string)) "identical outputs" (outputs_of o1) (outputs_of o2)
 
 let oracle_detects_difference () =
   let src =
@@ -270,6 +289,8 @@ let () =
           Alcotest.test_case "syscalls captured" `Quick syscall_capture;
           Alcotest.test_case "ghost accesses tick counters" `Quick counters_count_ghosts;
           Alcotest.test_case "step limit" `Quick step_limit;
+          Alcotest.test_case "fresh round-robin runs identical" `Quick
+            round_robin_runs_identical;
           Alcotest.test_case "oracle detects divergence" `Quick oracle_detects_difference;
         ] );
     ]

@@ -110,7 +110,7 @@ let test_counters_match_outcome () =
 let test_syscalls_recorded () =
   let src = "main { t1 = @time(); t2 = @time(); r = @rand(5); print t1 + t2 + r; }" in
   let p = Lang.Check.validate_exn (Lang.Parser.parse_program src) in
-  let r = Light.record ~sched:Sched.round_robin p in
+  let r = Light.record ~sched:(Sched.round_robin ()) p in
   Alcotest.(check int) "three syscalls" 3 (List.length r.log.syscalls)
 
 let test_overhead_positive () =
@@ -168,7 +168,7 @@ let test_log_roundtrip_tricky_values () =
     {|global m; main { m = newmap; m{"k 1%x"} = "v 2%y"; a = m{"k 1%x"}; print a; }|}
   in
   let p = Lang.Check.validate_exn (Lang.Parser.parse_program src) in
-  let r = Light.record ~sched:Sched.round_robin p in
+  let r = Light.record ~sched:(Sched.round_robin ()) p in
   let log' = Log.of_string (Log.to_string r.log) in
   Alcotest.(check bool) "tricky fields roundtrip" true (r.log.deps = log'.deps && r.log.ranges = log'.ranges)
 

@@ -12,26 +12,26 @@ let parse src = Lang.Check.validate_exn (Lang.Parser.parse_program src)
 let roundtrip ?(seed = 1) ?(stickiness = 4) ?(variant = Light.v_both) p =
   Light.record_and_replay ~variant ~sched:(Sched.sticky ~seed ~stickiness) p
 
+(* The seeds x variants matrix fans out across the engine's batch driver —
+   this both exercises the engine under tier-1 and cuts the suite's
+   wall-clock when LIGHT_JOBS > 1.  Failure messages come from job labels,
+   so diagnostics are identical for any pool size. *)
 let assert_faithful name p ~seeds ~variants =
-  List.iter
-    (fun seed ->
-      List.iter
-        (fun variant ->
-          match roundtrip ~seed ~variant p with
-          | Error e -> Alcotest.failf "%s seed=%d %s: solver: %s" name seed
-                         (Recorder.variant_name variant) e
-          | Ok (_, rr) ->
-            (match rr.replay_outcome.status with
-            | Interp.AllFinished -> ()
-            | Deadlock _ -> Alcotest.failf "%s seed=%d: replay deadlock" name seed
-            | GateStuck _ -> Alcotest.failf "%s seed=%d: replay gate stuck" name seed
-            | StepLimit -> Alcotest.failf "%s seed=%d: replay step limit" name seed);
-            if rr.faithful <> [] then
-              Alcotest.failf "%s seed=%d %s: %s" name seed
-                (Recorder.variant_name variant)
-                (String.concat "; " rr.faithful))
-        variants)
-    seeds
+  Engine.Batch.grid ~variants ~seeds
+    ~sched:(fun ~seed -> Sched.sticky ~seed ~stickiness:4)
+    ~label:name p
+  |> Engine.Batch.roundtrips
+  |> List.iter (fun (rt : Engine.Batch.roundtrip) ->
+         match rt.rt_result with
+         | Error e -> Alcotest.failf "%s: solver: %s" rt.rt_job.label e
+         | Ok (_, rr) ->
+           (match rr.replay_outcome.status with
+           | Interp.AllFinished -> ()
+           | Deadlock _ -> Alcotest.failf "%s: replay deadlock" rt.rt_job.label
+           | GateStuck _ -> Alcotest.failf "%s: replay gate stuck" rt.rt_job.label
+           | StepLimit -> Alcotest.failf "%s: replay step limit" rt.rt_job.label);
+           if rr.faithful <> [] then
+             Alcotest.failf "%s: %s" rt.rt_job.label (String.concat "; " rr.faithful))
 
 let all_variants = [ Light.v_basic; Light.v_o1; Light.v_both ]
 let seeds = [ 1; 2; 3; 5; 8; 13 ]

@@ -182,6 +182,93 @@ let prop_dag_sat =
              clauses
       | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Brute-force oracle                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A satisfiable difference-logic system over n variables with constants
+   bounded by K has a model in [0, n*K]^n: the Bellman-Ford potentials
+   certifying feasibility span at most n*K after shifting the minimum to
+   zero.  So for tiny random problems, exhaustive enumeration over that
+   cube is a complete decision procedure to check the DPLL(T) solver
+   against. *)
+
+let sat_assignment (p : Idl.problem) (m : int array) =
+  List.for_all (fun (a : Idl.atom) -> m.(a.u) - m.(a.v) <= a.k) p.hard
+  && Array.for_all
+       (fun cl -> Array.exists (fun (a : Idl.atom) -> m.(a.u) - m.(a.v) <= a.k) cl)
+       p.clauses
+
+let brute_force_sat (p : Idl.problem) =
+  let atom_k acc (a : Idl.atom) = max acc (abs a.k) in
+  let kmax =
+    Array.fold_left
+      (fun acc cl -> Array.fold_left atom_k acc cl)
+      (List.fold_left atom_k 1 p.hard)
+      p.clauses
+  in
+  let bound = (p.nvars * kmax) + 1 in
+  let m = Array.make p.nvars 0 in
+  let rec go i =
+    if i = p.nvars then sat_assignment p m
+    else
+      let rec try_v v =
+        v < bound
+        && (m.(i) <- v;
+            go (i + 1) || try_v (v + 1))
+      in
+      try_v 0
+  in
+  go 0
+
+let atom_str (a : Idl.atom) = Printf.sprintf "x%d-x%d<=%d" a.u a.v a.k
+
+let problem_print (p : Idl.problem) =
+  Printf.sprintf "n=%d hard=[%s] clauses=[%s]" p.nvars
+    (String.concat "; " (List.map atom_str p.hard))
+    (String.concat " & "
+       (Array.to_list
+          (Array.map
+             (fun cl ->
+               "(" ^ String.concat " | " (Array.to_list (Array.map atom_str cl)) ^ ")")
+             p.clauses)))
+
+(* n in 2..4 and |k| <= 3 keep the oracle cube small (<= 13^4 points)
+   while still generating self-loops, contradictions, zero cycles, and
+   clause-driven backtracking *)
+let problem_gen =
+  let atom n =
+    QCheck.Gen.(
+      map3
+        (fun u v k -> { Idl.u; v; k })
+        (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range (-3) 3))
+  in
+  QCheck.Gen.(
+    int_range 2 4 >>= fun n ->
+    list_size (int_range 0 5) (atom n) >>= fun hard ->
+    list_size (int_range 0 3) (map Array.of_list (list_size (int_range 1 3) (atom n)))
+    >>= fun clauses -> return { Idl.nvars = n; hard; clauses = Array.of_list clauses })
+
+let prop_oracle_sat_agreement =
+  QCheck.Test.make ~count:400 ~name:"solver agrees with brute-force oracle"
+    (QCheck.make ~print:problem_print problem_gen)
+    (fun p ->
+      match Idl.solve p with
+      | Sat (m, _) -> sat_assignment p m && brute_force_sat p
+      | Unsat _ -> not (brute_force_sat p)
+      | Aborted _ -> false (* cannot happen at this size *))
+
+let prop_oracle_hard_only =
+  (* hard atoms alone exercise the theory solver without DPLL search *)
+  QCheck.Test.make ~count:400 ~name:"theory-only problems agree with oracle"
+    (QCheck.make ~print:problem_print
+       QCheck.Gen.(map (fun p -> { p with Idl.clauses = [||] }) problem_gen))
+    (fun p ->
+      match Idl.solve p with
+      | Sat (m, _) -> sat_assignment p m && brute_force_sat p
+      | Unsat _ -> not (brute_force_sat p)
+      | Aborted _ -> false)
+
 let prop_cycle_unsat =
   QCheck.Test.make ~count:100 ~name:"strict cycles are unsatisfiable"
     (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 12))
@@ -212,5 +299,10 @@ let () =
           QCheck_alcotest.to_alcotest prop_perm_order;
           QCheck_alcotest.to_alcotest prop_dag_sat;
           QCheck_alcotest.to_alcotest prop_cycle_unsat;
+        ] );
+      ( "oracle",
+        [
+          QCheck_alcotest.to_alcotest prop_oracle_sat_agreement;
+          QCheck_alcotest.to_alcotest prop_oracle_hard_only;
         ] );
     ]
