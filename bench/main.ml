@@ -7,7 +7,12 @@
       dune exec bench/main.exe fig4         # one experiment
       dune exec bench/main.exe fig4 fig5 table1
       dune exec bench/main.exe bechamel     # wall-clock microbenches
-    Experiments: fig4 fig5 fig6 fig7 table1 running-example bechamel
+    Experiments: fig4 fig5 fig6 fig7 table1 running-example solver bechamel
+
+    The [solver] experiment additionally writes BENCH_solver.json — the
+    per-workload constraint-pipeline measurement (pre/post-pruning clause
+    counts, search statistics, generation and solve times) that CI uploads
+    as an artifact.
 
     Experiments fan out across the engine's domain pool; set LIGHT_JOBS=N
     to choose the pool size (default: one worker per core, capped at 8).
@@ -39,6 +44,7 @@ let run_fig7 () = Report.Experiments.fig7 (measurements ()) ppf
 let run_fig6 () = Report.Experiments.fig6 ~pool () ppf
 let run_table1 () = Report.Experiments.table1 ~pool () ppf
 let run_example () = Report.Experiments.running_example () ppf
+let run_solver () = Report.Experiments.solver_bench ~pool () ppf
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks                                  *)
@@ -135,6 +141,7 @@ let all_experiments =
     ("fig7", run_fig7);
     ("table1", run_table1);
     ("running-example", run_example);
+    ("solver", run_solver);
   ]
 
 let () =

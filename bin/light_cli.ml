@@ -150,11 +150,19 @@ let replay_cmd =
     in
     let report = Light_core.Replayer.solve log in
     (match report.schedule with
-    | None -> or_die (Error "constraint system unsatisfiable")
+    | None ->
+      or_die
+        (Error
+           (match report.result_kind with
+           | Light_core.Replayer.SolverAborted -> "solver budget exhausted"
+           | _ -> "constraint system unsatisfiable"))
     | Some sch ->
-      Printf.printf "solved %d vars, %d clauses in %.3fs (%d decisions, %d backtracks)\n"
+      Printf.printf "generated %d noninterference pairs -> %d clauses (%d entailed, %d unit, %d dedup)\n"
+        report.gen_stats.n_pairs report.n_clauses report.gen_stats.n_pruned
+        report.gen_stats.n_unit report.gen_stats.n_dedup;
+      Printf.printf "solved %d vars, %d clauses in %.3fs (%d decisions, %d backtracks, %d conflicts)\n"
         report.n_vars report.n_clauses report.solve_time_s report.solver_stats.decisions
-        report.solver_stats.backtracks;
+        report.solver_stats.backtracks report.solver_stats.theory_conflicts;
       let plan = (Instrument.Transformer.transform p).plan in
       let o = Light_core.Replayer.replay p ~plan sch in
       print_outcome o)

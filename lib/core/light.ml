@@ -59,10 +59,17 @@ type replay_result = {
 }
 
 (** Compute a replay schedule offline and execute the replay run. *)
-let replay ?max_steps (r : recording) : (replay_result, string) result =
-  let report = Replayer.solve r.log in
+let replay ?max_steps ?solver_budget (r : recording) : (replay_result, string) result =
+  let report = Replayer.solve ?budget:solver_budget r.log in
   match report.schedule with
-  | None -> Error "constraint system unsatisfiable or solver aborted"
+  | None ->
+    let s = report.solver_stats in
+    Error
+      (Printf.sprintf "%s (%d decisions, %d backtracks, %d conflicts, %.1fs)"
+         (match report.result_kind with
+         | Replayer.SolverAborted -> "solver budget exhausted"
+         | _ -> "constraint system unsatisfiable")
+         s.decisions s.backtracks s.theory_conflicts report.solve_time_s)
   | Some sch ->
     let replay_outcome = Replayer.replay ?max_steps r.program ~plan:r.plan sch in
     Ok
@@ -74,9 +81,9 @@ let replay ?max_steps (r : recording) : (replay_result, string) result =
 
 (** Record under [sched], replay, and report whether the Theorem-1
     observables (per-thread read values, outputs, crashes) were reproduced. *)
-let record_and_replay ?variant ?sched ?max_steps ?seed (program : Lang.Ast.program) :
-    (recording * replay_result, string) result =
+let record_and_replay ?variant ?sched ?max_steps ?seed ?solver_budget
+    (program : Lang.Ast.program) : (recording * replay_result, string) result =
   let r = record ?variant ?sched ?max_steps ?seed program in
-  match replay ?max_steps r with
+  match replay ?max_steps ?solver_budget r with
   | Ok rr -> Ok (r, rr)
   | Error e -> Error e

@@ -62,16 +62,24 @@ type replay_result = {
   report : Replayer.solve_report;  (** solver statistics and timings *)
 }
 
-val replay : ?max_steps:int -> recording -> (replay_result, string) result
+val replay :
+  ?max_steps:int ->
+  ?solver_budget:Dlsolver.Idl.budget ->
+  recording ->
+  (replay_result, string) result
 (** Generate constraints, solve offline, and execute the replay run.
     [Error _] only if the constraint system is unsatisfiable or the solver
-    aborts — which Lemma 4.1 rules out for logs this library records. *)
+    exhausts [solver_budget] — unsatisfiability is ruled out by Lemma 4.1
+    for logs this library records, and the budget exists so a generator or
+    solver regression aborts loudly (with the solver's statistics in the
+    message) instead of hanging the caller. *)
 
 val record_and_replay :
   ?variant:variant ->
   ?sched:Sched.t ->
   ?max_steps:int ->
   ?seed:int ->
+  ?solver_budget:Dlsolver.Idl.budget ->
   Lang.Ast.program ->
   (recording * replay_result, string) result
 (** [record] followed by [replay]. *)

@@ -22,9 +22,11 @@
     grouped per location as Leap's vectors are (location id amortized):
     dep = w + rf (2) + 1 when the span is non-trivial;
     range = lo + hi + w_in (3);
-    syscall = 2.  [obs] fields are global observation stamps used only as a
-    solver heuristic (clause ordering); a real deployment would get the same
-    effect from Z3's internal heuristics, so they are not charged. *)
+    syscall = 2.  [*_obs] fields are global access-clock stamps (the index
+    of the access in the recorded run) used only as a solver heuristic: they
+    let the offline phase reconstruct the recorded schedule as a search
+    witness, which Z3's internal heuristics approximate for the paper's
+    prototype — so they are not charged. *)
 
 open Runtime
 
@@ -38,7 +40,8 @@ type dep = {
   w : evt option;  (** [None]: virtual initialization write *)
   rf : evt;        (** first read of this write by the reading thread *)
   rl_c : int;      (** counter of the last such read (>= snd rf) *)
-  dep_obs : int;
+  dep_obs : int;   (** access-clock stamp of the last read *)
+  w_obs : int;     (** access-clock stamp of [w] (0 for the virtual write) *)
 }
 
 type range = {
@@ -49,7 +52,9 @@ type range = {
   w_in : evt option;  (** write feeding the prefix reads; [None] = initial value *)
   prefix_reads : bool;  (** the run begins with reads (before any own write) *)
   has_write : bool;
-  rng_obs : int;
+  rng_obs : int;  (** access-clock stamp of the last access *)
+  lo_obs : int;   (** access-clock stamp of the first access *)
+  w_obs : int;    (** access-clock stamp of [w_in] (0 when absent) *)
 }
 
 type t = {
@@ -149,17 +154,17 @@ let value_of_string s : Value.t =
 let to_string (l : t) : string =
   let buf = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
-  line "light-log v1 o1=%b o2=%b" l.o1 l.o2;
+  line "light-log v2 o1=%b o2=%b" l.o1 l.o2;
   List.iter (fun (t, c) -> line "T %d %d" t c) l.counters;
   List.iter
     (fun (d : dep) ->
-      line "D %s %s %s %d %d" (loc_str d.loc) (evt_str d.w) (evt_str (Some d.rf)) d.rl_c
-        d.dep_obs)
+      line "D %s %s %s %d %d %d" (loc_str d.loc) (evt_str d.w) (evt_str (Some d.rf))
+        d.rl_c d.dep_obs d.w_obs)
     l.deps;
   List.iter
     (fun (r : range) ->
-      line "R %s %d %d %d %s %b %b %d" (loc_str r.loc) r.rt r.lo r.hi (evt_str r.w_in)
-        r.prefix_reads r.has_write r.rng_obs)
+      line "R %s %d %d %d %s %b %b %d %d %d" (loc_str r.loc) r.rt r.lo r.hi
+        (evt_str r.w_in) r.prefix_reads r.has_write r.rng_obs r.lo_obs r.w_obs)
     l.ranges;
   List.iter (fun (t, i, n, v) -> line "S %d %d %s %s" t i n (value_str v)) l.syscalls;
   Buffer.contents buf
@@ -170,13 +175,13 @@ let of_string (s : string) : t =
   | [] -> failwith "empty log"
   | header :: rest ->
     let o1 = ref false and o2 = ref false in
-    Scanf.sscanf header "light-log v1 o1=%B o2=%B" (fun a b -> o1 := a; o2 := b);
+    Scanf.sscanf header "light-log v2 o1=%B o2=%B" (fun a b -> o1 := a; o2 := b);
     let deps = ref [] and ranges = ref [] and sys = ref [] and counters = ref [] in
     List.iter
       (fun line ->
         match String.split_on_char ' ' line with
         | "T" :: t :: c :: [] -> counters := (int_of_string t, int_of_string c) :: !counters
-        | "D" :: loc :: w :: rf :: rl :: obs :: [] ->
+        | "D" :: loc :: w :: rf :: rl :: obs :: wobs :: [] ->
           deps :=
             {
               loc = loc_of_string loc;
@@ -184,9 +189,10 @@ let of_string (s : string) : t =
               rf = Option.get (evt_of_string rf);
               rl_c = int_of_string rl;
               dep_obs = int_of_string obs;
+              w_obs = int_of_string wobs;
             }
             :: !deps
-        | "R" :: loc :: rt :: lo :: hi :: w_in :: pr :: hw :: obs :: [] ->
+        | "R" :: loc :: rt :: lo :: hi :: w_in :: pr :: hw :: obs :: loobs :: wobs :: [] ->
           ranges :=
             {
               loc = loc_of_string loc;
@@ -197,6 +203,8 @@ let of_string (s : string) : t =
               prefix_reads = bool_of_string pr;
               has_write = bool_of_string hw;
               rng_obs = int_of_string obs;
+              lo_obs = int_of_string loobs;
+              w_obs = int_of_string wobs;
             }
             :: !ranges
         | "S" :: t :: i :: n :: v :: [] ->

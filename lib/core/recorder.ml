@@ -34,8 +34,15 @@ let variant_name v =
   | false, true -> "O2"
   | true, true -> "O1+O2"
 
-(* open dep being extended by the prec optimization *)
-type open_dep = { od_w : Log.evt option; od_rf : Log.evt; mutable od_rl : int }
+(* open dep being extended by the prec optimization; the [_obs] fields
+   carry access-clock stamps for the solver's witness reconstruction *)
+type open_dep = {
+  od_w : Log.evt option;
+  od_w_obs : int;
+  od_rf : Log.evt;
+  mutable od_rl : int;
+  mutable od_rl_obs : int;
+}
 
 (* open O1 run.  The shape fields classify the run so that closing can pick
    the cheapest sound encoding:
@@ -48,14 +55,19 @@ type open_dep = { od_w : Log.evt option; od_rf : Log.evt; mutable od_rl : int }
 type open_run = {
   or_t : int;
   or_lo : int;
+  or_lo_obs : int;                      (* access clock at the first access *)
   mutable or_hi : int;
+  mutable or_hi_obs : int;              (* access clock at the last access *)
   or_w_in : Log.evt option;
+  or_w_obs : int;                       (* access clock of [or_w_in], or 0 *)
   or_prefix_reads : bool;
   mutable or_has_write : bool;
   mutable or_has_read : bool;
   mutable or_middle_read : bool;        (* a read between two own writes *)
   mutable or_last_prefix_read : int;    (* last read before any own write, or 0 *)
+  mutable or_last_prefix_read_obs : int;
   mutable or_last_write : int;          (* counter of the last own write, or 0 *)
+  mutable or_last_write_obs : int;
   mutable or_first_read_after_w : int;  (* first read after the last own write, or 0 *)
 }
 
@@ -64,15 +76,14 @@ type t = {
   plan : Plan.t;
   meter : Metrics.Cost.meter;
   stripes : Metrics.Cost.stripes;
-  lw : Log.evt Loc.Tbl.t;  (* last write per location *)
+  lw : (Log.evt * int) Loc.Tbl.t;  (* last write per location, with its clock *)
   (* V_basic path: prec per (thread, loc) *)
   prec : (int, open_dep Loc.Tbl.t) Hashtbl.t;
   (* O1 path: current run per location *)
   runs : open_run Loc.Tbl.t;
   mutable deps : Log.dep list;     (* merged thread-local buffers *)
   mutable ranges : Log.range list;
-  mutable obs : int;
-  mutable accesses : int;
+  mutable accesses : int;  (* global access clock; stamps the [_obs] fields *)
   mutable skipped_guarded : int;
 }
 
@@ -87,17 +98,22 @@ let create ?(variant = v_both) ?(weights = Metrics.Cost.default_weights) (plan :
     runs = Loc.Tbl.create 1024;
     deps = [];
     ranges = [];
-    obs = 0;
     accesses = 0;
     skipped_guarded = 0;
   }
 
-let next_obs (r : t) = r.obs <- r.obs + 1; r.obs
-
 let emit_dep (r : t) (loc : Loc.t) (od : open_dep) : unit =
   Metrics.Cost.charge r.meter DepAppend;
   r.deps <-
-    { Log.loc; w = od.od_w; rf = od.od_rf; rl_c = od.od_rl; dep_obs = next_obs r } :: r.deps
+    {
+      Log.loc;
+      w = od.od_w;
+      rf = od.od_rf;
+      rl_c = od.od_rl;
+      dep_obs = od.od_rl_obs;
+      w_obs = od.od_w_obs;
+    }
+    :: r.deps
 
 let prec_of (r : t) (tid : int) : open_dep Loc.Tbl.t =
   match Hashtbl.find_opt r.prec tid with
@@ -123,13 +139,20 @@ let emit_range (r : t) (loc : Loc.t) (run : open_run) : unit =
       match Loc.Tbl.find_opt prec loc with
       | Some od when od.od_w = run.or_w_in ->
         Metrics.Cost.charge r.meter PrecHit;
-        od.od_rl <- run.or_hi
+        od.od_rl <- run.or_hi;
+        od.od_rl_obs <- run.or_hi_obs
       | prev ->
         (match prev with
         | Some od -> emit_dep r loc od
         | None -> ());
         Loc.Tbl.replace prec loc
-          { od_w = run.or_w_in; od_rf = (run.or_t, run.or_lo); od_rl = run.or_hi }
+          {
+            od_w = run.or_w_in;
+            od_w_obs = run.or_w_obs;
+            od_rf = (run.or_t, run.or_lo);
+            od_rl = run.or_hi;
+            od_rl_obs = run.or_hi_obs;
+          }
     end
     else if
       (not run.or_middle_read)
@@ -147,13 +170,23 @@ let emit_range (r : t) (loc : Loc.t) (run : open_run) : unit =
         Loc.Tbl.remove prec loc
       | None -> ());
       Metrics.Cost.charge r.meter DepAppend;
-      let w, rf, rl =
+      let w, w_obs, rf, rl, rl_obs =
         if run.or_first_read_after_w > 0 then
-          (Some (run.or_t, run.or_last_write), run.or_first_read_after_w, run.or_hi)
-        else (run.or_w_in, run.or_lo, run.or_last_prefix_read)
+          ( Some (run.or_t, run.or_last_write),
+            run.or_last_write_obs,
+            run.or_first_read_after_w,
+            run.or_hi,
+            run.or_hi_obs )
+        else
+          ( run.or_w_in,
+            run.or_w_obs,
+            run.or_lo,
+            run.or_last_prefix_read,
+            run.or_last_prefix_read_obs )
       in
       r.deps <-
-        { Log.loc; w; rf = (run.or_t, rf); rl_c = rl; dep_obs = next_obs r } :: r.deps
+        { Log.loc; w; w_obs; rf = (run.or_t, rf); rl_c = rl; dep_obs = rl_obs }
+        :: r.deps
     end
     else begin
       (* write-containing run: the prec entry for this (thread, loc) must be
@@ -174,7 +207,9 @@ let emit_range (r : t) (loc : Loc.t) (run : open_run) : unit =
           w_in = run.or_w_in;
           prefix_reads = run.or_prefix_reads;
           has_write = run.or_has_write;
-          rng_obs = next_obs r;
+          rng_obs = run.or_hi_obs;
+          lo_obs = run.or_lo_obs;
+          w_obs = run.or_w_obs;
         }
         :: r.ranges
     end
@@ -198,6 +233,7 @@ let on_access (r : t) (a : Event.access) : unit =
   else begin
     charge r.meter CounterTick;
     let e : Log.evt = (a.tid, a.c) in
+    let now = r.accesses in  (* this access's clock stamp *)
     if r.variant.o1 then begin
       (* O1 run tracking: extending the thread's own run is a thread-local
          fast path; breaking another thread's run takes the striped atomic *)
@@ -205,15 +241,20 @@ let on_access (r : t) (a : Event.access) : unit =
       | Some run when run.or_t = a.tid ->
         charge r.meter RunExtend;
         run.or_hi <- snd e;
+        run.or_hi_obs <- now;
         (match a.kind with
         | Write ->
           if run.or_first_read_after_w > 0 then run.or_middle_read <- true;
           run.or_has_write <- true;
           run.or_last_write <- snd e;
+          run.or_last_write_obs <- now;
           run.or_first_read_after_w <- 0
         | Read ->
           run.or_has_read <- true;
-          if not run.or_has_write then run.or_last_prefix_read <- snd e
+          if not run.or_has_write then begin
+            run.or_last_prefix_read <- snd e;
+            run.or_last_prefix_read_obs <- now
+          end
           else if run.or_first_read_after_w = 0 then run.or_first_read_after_w <- snd e)
       | prev ->
         let level = touch r.stripes a.loc ~tid:a.tid in
@@ -226,17 +267,22 @@ let on_access (r : t) (a : Event.access) : unit =
           {
             or_t = a.tid;
             or_lo = snd e;
+            or_lo_obs = now;
             or_hi = snd e;
-            or_w_in = w_in;
+            or_hi_obs = now;
+            or_w_in = Option.map fst w_in;
+            or_w_obs = (match w_in with Some (_, o) -> o | None -> 0);
             or_prefix_reads = a.kind = Read;
             or_has_write = a.kind = Write;
             or_has_read = a.kind = Read;
             or_middle_read = false;
             or_last_prefix_read = (if a.kind = Read then snd e else 0);
+            or_last_prefix_read_obs = (if a.kind = Read then now else 0);
             or_last_write = (if a.kind = Write then snd e else 0);
+            or_last_write_obs = (if a.kind = Write then now else 0);
             or_first_read_after_w = 0;
           });
-      if a.kind = Write then Loc.Tbl.replace r.lw a.loc e
+      if a.kind = Write then Loc.Tbl.replace r.lw a.loc (e, now)
     end
     else begin
       (* Algorithm 1 verbatim *)
@@ -244,22 +290,30 @@ let on_access (r : t) (a : Event.access) : unit =
       | Write ->
         let level = touch r.stripes a.loc ~tid:a.tid in
         charge r.meter (LwUpdate { level });
-        Loc.Tbl.replace r.lw a.loc e
+        Loc.Tbl.replace r.lw a.loc (e, now)
       | Read ->
         let level = touch r.stripes a.loc ~tid:a.tid in
         charge r.meter (ValidateRead { level });
         let cw = Loc.Tbl.find_opt r.lw a.loc in
         let prec = prec_of r a.tid in
         (match Loc.Tbl.find_opt prec a.loc with
-        | Some od when od.od_w = cw ->
+        | Some od when od.od_w = Option.map fst cw ->
           (* same write as the previous read: extend the span (line 7) *)
           charge r.meter PrecHit;
-          od.od_rl <- snd e
+          od.od_rl <- snd e;
+          od.od_rl_obs <- now
         | prev ->
           (match prev with
           | Some od -> emit_dep r a.loc od
           | None -> ());
-          Loc.Tbl.replace prec a.loc { od_w = cw; od_rf = e; od_rl = snd e })
+          Loc.Tbl.replace prec a.loc
+            {
+              od_w = Option.map fst cw;
+              od_w_obs = (match cw with Some (_, o) -> o | None -> 0);
+              od_rf = e;
+              od_rl = snd e;
+              od_rl_obs = now;
+            })
     end
   end
 

@@ -32,9 +32,14 @@ type schedule = {
   notify_pairs : (Log.evt, int) Hashtbl.t;  (** notify write event -> waiter tid *)
 }
 
+type solve_result_kind = Solved | Unsatisfiable | SolverAborted
+
 type solve_report = {
   schedule : schedule option;
+  result_kind : solve_result_kind;
   solver_stats : Dlsolver.Idl.stats;
+  gen_stats : Constraints.gen_stats;
+      (** clause counts before/after pruning and generation time *)
   n_vars : int;
   n_hard : int;
   n_clauses : int;
@@ -90,16 +95,21 @@ let build_schedule (log : Log.t) (cs : Constraints.t) (model : int array) : sche
     log.ranges;
   { rank_of; order; thread_cs; thread_intervals; syscall_values; notify_pairs }
 
-(** Generate constraints, solve, and build the schedule. *)
-let solve (log : Log.t) : solve_report =
-  let cs = Constraints.generate log in
+(** Generate constraints, solve, and build the schedule.  [budget] bounds
+    the solver's work so a pathological constraint system aborts with
+    honest statistics instead of hanging; [naive] switches to the
+    unpruned quadratic generator (differential oracle). *)
+let solve ?(naive = false) ?budget (log : Log.t) : solve_report =
+  let cs = Constraints.generate ~naive log in
   let t0 = Unix.gettimeofday () in
-  let result = Dlsolver.Idl.solve cs.problem in
+  let result = Dlsolver.Idl.solve ?budget ?hint:cs.hint cs.problem in
   let dt = Unix.gettimeofday () -. t0 in
-  let mk stats schedule =
+  let mk kind stats schedule =
     {
       schedule;
+      result_kind = kind;
       solver_stats = stats;
+      gen_stats = cs.gen_stats;
       n_vars = cs.problem.nvars;
       n_hard = cs.n_hard;
       n_clauses = cs.n_clauses;
@@ -107,8 +117,9 @@ let solve (log : Log.t) : solve_report =
     }
   in
   match result with
-  | Sat (model, stats) -> mk stats (Some (build_schedule log cs model))
-  | Unsat stats | Aborted stats -> mk stats None
+  | Sat (model, stats) -> mk Solved stats (Some (build_schedule log cs model))
+  | Unsat stats -> mk Unsatisfiable stats None
+  | Aborted stats -> mk SolverAborted stats None
 
 (* ------------------------------------------------------------------ *)
 (* Replay-run driver                                                   *)

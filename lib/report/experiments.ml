@@ -190,6 +190,133 @@ let fig7 (ms : bench_measure list) ppf : unit =
     (count (fun b o1 both -> o1 -. both >= 0.2 *. b) space)
 
 (* ------------------------------------------------------------------ *)
+(* Solver pipeline measurement (BENCH_solver.json)                      *)
+(* ------------------------------------------------------------------ *)
+
+type solver_measure = {
+  sm_bm : string;
+  sm_variant : string;
+  sm_vars : int;
+  sm_hard : int;
+  sm_pairs : int;    (* pre-pruning: clauses the naive generator would emit *)
+  sm_clauses : int;  (* post-pruning *)
+  sm_pruned : int;
+  sm_unit : int;
+  sm_dedup : int;
+  sm_result : string;
+  sm_decisions : int;
+  sm_backtracks : int;
+  sm_conflicts : int;
+  sm_gen_s : float;
+  sm_solve_s : float;
+}
+
+let solver_variants =
+  [ Light_core.Light.v_basic; Light_core.Light.v_both ]
+
+let measure_solver ?(seed = 3)
+    ((bm : Workloads.benchmark), (variant : Light_core.Light.variant)) :
+    solver_measure =
+  let p = Workloads.program bm in
+  let r =
+    Light_core.Light.record ~variant ~sched:(Workloads.scheduler ~seed bm) ~seed p
+  in
+  let report = Light_core.Replayer.solve r.log in
+  let g = report.gen_stats and s = report.solver_stats in
+  {
+    sm_bm = bm.name;
+    sm_variant = Light_core.Recorder.variant_name variant;
+    sm_vars = report.n_vars;
+    sm_hard = report.n_hard;
+    sm_pairs = g.n_pairs;
+    sm_clauses = report.n_clauses;
+    sm_pruned = g.n_pruned;
+    sm_unit = g.n_unit;
+    sm_dedup = g.n_dedup;
+    sm_result =
+      (match report.result_kind with
+      | Light_core.Replayer.Solved -> "sat"
+      | Unsatisfiable -> "unsat"
+      | SolverAborted -> "aborted");
+    sm_decisions = s.decisions;
+    sm_backtracks = s.backtracks;
+    sm_conflicts = s.theory_conflicts;
+    sm_gen_s = g.gen_time_s;
+    sm_solve_s = report.solve_time_s;
+  }
+
+let solver_json (ms : solver_measure list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"rows\": [\n";
+  List.iteri
+    (fun i m ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": %S, \"variant\": %S, \"vars\": %d, \"hard\": %d, \
+            \"pairs_pre_pruning\": %d, \"clauses\": %d, \"pruned\": %d, \
+            \"unit_reduced\": %d, \"deduped\": %d, \"result\": %S, \
+            \"decisions\": %d, \"backtracks\": %d, \"conflicts\": %d, \
+            \"gen_s\": %.4f, \"solve_s\": %.4f}%s\n"
+           m.sm_bm m.sm_variant m.sm_vars m.sm_hard m.sm_pairs m.sm_clauses
+           m.sm_pruned m.sm_unit m.sm_dedup m.sm_result m.sm_decisions
+           m.sm_backtracks m.sm_conflicts m.sm_gen_s m.sm_solve_s
+           (if i = List.length ms - 1 then "" else ",")))
+    ms;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+(* Per-workload constraint pipeline report: generation pruning ratios and
+   solver search statistics for the uncompressed (v_basic) and default
+   (O1+O2) logs.  Counts on stdout are deterministic; the wall-clock
+   columns hide behind LIGHT_TIMINGS, and the full measurement — times
+   included — lands in [json_path] for the CI artifact. *)
+let solver_bench ?(seed = 3) ?(json_path = "BENCH_solver.json") ?pool () ppf :
+    unit =
+  let grid =
+    List.concat_map
+      (fun bm -> List.map (fun v -> (bm, v)) solver_variants)
+      Workloads.all
+  in
+  let ms = Engine.Batch.map ?pool grid ~f:(measure_solver ~seed) in
+  Chart.table
+    ~title:
+      "Constraint pipeline (per-workload: noninterference pairs before pruning, \
+       clauses after, solver work)"
+    ~header:
+      [ "workload"; "variant"; "vars"; "pairs"; "clauses"; "dec"; "bt"; "conf";
+        "result"; "gen (s)"; "solve (s)" ]
+    (List.map
+       (fun m ->
+         [
+           m.sm_bm;
+           m.sm_variant;
+           string_of_int m.sm_vars;
+           string_of_int m.sm_pairs;
+           string_of_int m.sm_clauses;
+           string_of_int m.sm_decisions;
+           string_of_int m.sm_backtracks;
+           string_of_int m.sm_conflicts;
+           m.sm_result;
+           timing_cell (Printf.sprintf "%.3f" m.sm_gen_s);
+           timing_cell (Printf.sprintf "%.3f" m.sm_solve_s);
+         ])
+       ms)
+    ppf;
+  let tot f = List.fold_left (fun a m -> a + f m) 0 ms in
+  Fmt.pf ppf
+    "  pruning: %d pairs -> %d clauses (%d entailed, %d unit-reduced, %d deduped)@."
+    (tot (fun m -> m.sm_pairs))
+    (tot (fun m -> m.sm_clauses))
+    (tot (fun m -> m.sm_pruned))
+    (tot (fun m -> m.sm_unit))
+    (tot (fun m -> m.sm_dedup));
+  let aborted = List.filter (fun m -> m.sm_result <> "sat") ms in
+  Fmt.pf ppf "  unsolved cells: %d/%d@." (List.length aborted) (List.length ms);
+  Out_channel.with_open_text json_path (fun oc ->
+      Out_channel.output_string oc (solver_json ms));
+  Fmt.pf ppf "  full measurement (with timings) written to %s@.@." json_path
+
+(* ------------------------------------------------------------------ *)
 (* Figure 6: real-world bugs                                            *)
 (* ------------------------------------------------------------------ *)
 

@@ -12,9 +12,19 @@
     Supports chronological backtracking via [push]/[pop] (trail of edge
     additions and potential updates), and tags every edge so that negative
     cycles can be reported as sets of responsible constraint tags (used by
-    the DPLL(T) driver for conflict analysis). *)
+    the DPLL(T) driver for conflict-driven backjumping). *)
 
 type edge = { target : int; weight : int; tag : int }
+
+type conflict = {
+  tags : int list;
+      (** tags of the edges on a negative cycle (deduplicated, includes the
+          tag of the edge whose addition closed the cycle) *)
+  complete : bool;
+      (** the cycle walk terminated normally; when [false] the tag set may
+          miss responsible constraints and callers must fall back to
+          chronological backtracking *)
+}
 
 type t = {
   mutable nvars : int;
@@ -59,6 +69,15 @@ let ensure (g : t) (n : int) : unit =
   end
 
 let potential (g : t) (v : int) : int = g.d.(v)
+
+(** Initialize the potential function from a hint — e.g. a topological
+    order of a subgraph the caller expects to assert, which then asserts
+    with zero relaxation.  Only sensible on a graph with no constraints
+    yet; a wrong hint costs extra relaxation work but never affects
+    correctness (the potentials are repaired on every addition). *)
+let seed (g : t) (hint : int array) : unit =
+  ensure g (Array.length hint - 1);
+  Array.iteri (fun v x -> g.d.(v) <- x) hint
 let num_edges (g : t) : int = g.nedges
 
 let push (g : t) : unit = g.levels <- (g.edge_trail_len, g.d_trail_len) :: g.levels
@@ -92,12 +111,12 @@ let set_d (g : t) (v : int) (x : int) : unit =
   g.d.(v) <- x
 
 (** [add_constraint g ~u ~v ~k ~tag] asserts [x_u - x_v <= k].
-    Returns [Ok ()] and updates the potential, or [Error tags] where [tags]
-    are edge tags involved in a negative cycle (including [tag]).  On error
-    the graph state is inconsistent; the caller must [pop] back to the
-    enclosing level (which undoes the failed addition). *)
+    Returns [Ok ()] and updates the potential, or [Error conflict] where
+    [conflict.tags] are edge tags involved in a negative cycle (including
+    [tag]).  On error the graph state is inconsistent; the caller must [pop]
+    back to the enclosing level (which undoes the failed addition). *)
 let add_constraint (g : t) ~(u : int) ~(v : int) ~(k : int) ~(tag : int) :
-    (unit, int list) result =
+    (unit, conflict) result =
   ensure g (max u v);
   (* record the edge v -> u *)
   g.out.(v) <- { target = u; weight = k; tag } :: g.out.(v);
@@ -119,20 +138,27 @@ let add_constraint (g : t) ~(u : int) ~(v : int) ~(k : int) ~(tag : int) :
         (fun (e : edge) ->
           if !conflict = None && g.d.(e.target) > dx + e.weight then begin
             if e.target = v then begin
-              (* negative cycle: new edge + path u .. x + edge x->v.
-                 Parent pointers may be stale after repeated relaxations, so
-                 the walk is bounded; the tag set is advisory (used for
-                 conflict reporting, not learning). *)
+              (* negative cycle: new edge + path u .. x + edge x->v.  Every
+                 improvement in this relaxation wave stems from u, so parent
+                 pointers trace a path of improving edges back to u; the
+                 fuel bound is a safety net against a corrupted parent chain
+                 (reported via [complete = false] so the DPLL(T) driver
+                 falls back to chronological backtracking). *)
               let tags = ref [ tag; e.tag ] in
               let cur = ref x in
               let fuel = ref (g.nvars + 1) in
-              while !cur <> u && !fuel > 0 do
+              while !cur <> u && !cur >= 0 && !fuel > 0 do
                 decr fuel;
                 let p, ptag = g.parent.(!cur) in
                 tags := ptag :: !tags;
                 cur := p
               done;
-              conflict := Some !tags
+              conflict :=
+                Some
+                  {
+                    tags = List.sort_uniq compare !tags;
+                    complete = !cur = u;
+                  }
             end
             else begin
               g.parent.(e.target) <- (x, e.tag);
@@ -142,5 +168,5 @@ let add_constraint (g : t) ~(u : int) ~(v : int) ~(k : int) ~(tag : int) :
           end)
         g.out.(x)
     done;
-    match !conflict with None -> Ok () | Some tags -> Error tags
+    match !conflict with None -> Ok () | Some c -> Error c
   end

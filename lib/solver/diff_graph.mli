@@ -13,8 +13,18 @@ val create : int -> t
 (** [create n] makes a graph over variables [0 .. n-1]; it grows on demand
     when larger indices are used. *)
 
-val add_constraint : t -> u:int -> v:int -> k:int -> tag:int -> (unit, int list) result
-(** Assert [x_u - x_v <= k].  [Ok ()] updates the potential; [Error tags]
+type conflict = {
+  tags : int list;
+      (** deduplicated tags of the edges on a negative cycle, including the
+          tag of the edge whose addition closed it *)
+  complete : bool;
+      (** the cycle walk terminated normally; [false] means the tag set may
+          be missing responsible constraints, so conflict-driven backjumping
+          over it would be unsound — fall back to chronological *)
+}
+
+val add_constraint : t -> u:int -> v:int -> k:int -> tag:int -> (unit, conflict) result
+(** Assert [x_u - x_v <= k].  [Ok ()] updates the potential; [Error c]
     reports the edge tags involved in a negative cycle (including [tag]).
     After an error the graph state is inconsistent until the caller [pop]s
     back to the enclosing level. *)
@@ -29,5 +39,12 @@ val pop : t -> unit
 val potential : t -> int -> int
 (** The current potential of a variable — a satisfying assignment of all
     asserted constraints. *)
+
+val seed : t -> int array -> unit
+(** [seed g hint] initializes the potential of variable [v] to [hint.(v)]
+    — e.g. a topological order of constraints the caller is about to
+    assert, which then assert with zero relaxation.  Call before any
+    constraints are added; a wrong hint only costs relaxation work, never
+    correctness. *)
 
 val num_edges : t -> int

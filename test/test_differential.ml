@@ -7,17 +7,17 @@
      run's observables — outputs, shared-read values, counters, crashes,
      syscalls, and the final heap — are identical whichever variant is
      installed.  Checked for all three variants on every workload.
-   - {e replay agreement}: each variant's replay is faithful, and the
-     Theorem-1 observables of the replays coincide across variants.
-     O1 and O1+O2 are replayed on every workload.  V_basic replay is
-     gated to an allowlist: its uncompressed constraint systems grow
-     quadratically with interleaved-access density, which at workload
-     scale means minutes of solving for the hot benchmarks (measured:
-     stamp-vacation 187s, jigsaw 153s, cache4j 87s) and a solver abort
-     on stamp-intruder — pre-existing behavior of the unoptimized
-     encoding, which the paper never replays at this scale either
-     (Figure 7's ablation is record-only).  Small-program v_basic
-     replay is covered exhaustively in test_replay.ml.
+   - {e replay agreement}: each variant's replay is faithful, its solved
+     schedule validates as a linearization of its log (thread-local order
+     plus every recorded flow dependence), and the Theorem-1 observables
+     of the replays coincide across variants.  All three variants are
+     replayed on every workload: the pruned constraint generator and the
+     witness-seeded solver keep even the uncompressed v_basic systems
+     (tens of thousands of clauses on the DaCapo workloads) solvable in
+     milliseconds, so the full 24 x seeds x 3 matrix runs un-gated.  Each
+     cell carries a solver budget; a generator or solver regression
+     aborts that cell loudly with the solver's statistics instead of
+     hanging the suite.
 
    The replay {e final heap} is deliberately not compared: replay
    suppresses blind writes (Section 4.2), so heaps may legitimately
@@ -35,17 +35,21 @@ let seeds = [ 3; 11 ]
 let variants =
   [ Light_core.Light.v_basic; Light_core.Light.v_o1; Light_core.Light.v_both ]
 
-(* workloads whose v_basic constraint system solves in a few seconds
-   (measured on the full suite; everything absent costs 10s-190s) *)
-let vbasic_replay_allowlist =
-  [ "jgf-series"; "jgf-sparse"; "stamp-ssca2"; "stamp-kmeans"; "stamp-labyrinth" ]
+(* Generous against the measured behavior (every workload solves with zero
+   backtracks) yet tight enough that a pipeline regression fails the cell
+   in seconds, not hours. *)
+let cell_budget =
+  {
+    Dlsolver.Idl.max_backtracks = 100_000;
+    max_conflicts = 100_000;
+    max_time_s = 60.0;
+  }
 
 type cell = {
   label : string;
   originals : (string * Interp.outcome) list;  (* variant name -> recorded run *)
   replays : (string * Interp.outcome) list;    (* variant name -> replay run *)
-  vbasic_replayed : bool;
-  errors : string list;  (* replay failures and unfaithful roundtrips *)
+  errors : string list;  (* replay failures, invalid schedules, unfaithful roundtrips *)
 }
 
 let run_cell ((bm : Workloads.benchmark), seed) : cell =
@@ -60,30 +64,35 @@ let run_cell ((bm : Workloads.benchmark), seed) : cell =
             ~seed p ))
       variants
   in
-  let basic_name = Light_core.Recorder.variant_name Light_core.Light.v_basic in
-  let replay_this (name, _) =
-    name <> basic_name || List.mem bm.name vbasic_replay_allowlist
-  in
   let errors = ref [] in
   let replays =
-    List.filter replay_this recs
-    |> List.filter_map (fun (name, r) ->
-           match Light_core.Light.replay r with
-           | Error e ->
-             errors := Printf.sprintf "%s %s: replay failed: %s" label name e :: !errors;
-             None
-           | Ok rr ->
-             List.iter
-               (fun m ->
-                 errors := Printf.sprintf "%s %s: unfaithful: %s" label name m :: !errors)
-               rr.Light_core.Light.faithful;
-             Some (name, rr.Light_core.Light.replay_outcome))
+    List.filter_map
+      (fun (name, (r : Light_core.Light.recording)) ->
+        match Light_core.Light.replay ~solver_budget:cell_budget r with
+        | Error e ->
+          errors := Printf.sprintf "%s %s: replay failed: %s" label name e :: !errors;
+          None
+        | Ok rr ->
+          List.iter
+            (fun m ->
+              errors := Printf.sprintf "%s %s: unfaithful: %s" label name m :: !errors)
+            rr.Light_core.Light.faithful;
+          (match rr.report.schedule with
+          | None ->
+            errors := Printf.sprintf "%s %s: no schedule in report" label name :: !errors
+          | Some sch ->
+            List.iter
+              (fun v ->
+                errors :=
+                  Printf.sprintf "%s %s: invalid schedule: %s" label name v :: !errors)
+              (Light_core.Validate.check r.log sch));
+          Some (name, rr.Light_core.Light.replay_outcome))
+      recs
   in
   {
     label;
     originals = List.map (fun (n, r) -> (n, r.Light_core.Light.outcome)) recs;
     replays;
-    vbasic_replayed = List.exists (fun (n, _) -> n = basic_name) replays;
     errors = List.rev !errors;
   }
 
@@ -101,13 +110,13 @@ let test_replays_faithful () =
   List.iter
     (fun c -> List.iter (fun e -> Alcotest.fail e) c.errors)
     (Lazy.force matrix);
-  (* the allowlist gate must not silently drop all v_basic coverage *)
-  let basic_cells =
-    List.length (List.filter (fun c -> c.vbasic_replayed) (Lazy.force matrix))
-  in
-  Alcotest.(check int) "v_basic replayed on the allowlist"
-    (List.length vbasic_replay_allowlist * List.length seeds)
-    basic_cells
+  (* every cell must have replayed every variant — nothing silently dropped *)
+  List.iter
+    (fun c ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: all variants replayed" c.label)
+        (List.length variants) (List.length c.replays))
+    (Lazy.force matrix)
 
 (* compare a named field of every variant's outcome against the first's *)
 let agree (what : string) (cells : cell list) (select : cell -> (string * Interp.outcome) list)
@@ -151,6 +160,46 @@ let test_replays_agree () =
       ("crashes", fun a b -> a.Interp.crashes = b.Interp.crashes);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Solver-statistics regression pins                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The witness-seeded search solves every workload's v_basic system on the
+   first descent: one decision per clause, zero backtracks, zero
+   conflicts.  Pin the two historically pathological workloads — vacation
+   (hundreds of seconds of solving before pruning) and intruder (solver
+   abort at the 2M-backtrack cap) — with small slack so an ordering or
+   pruning regression shows up as a stats blowup, not a wall-clock
+   mystery. *)
+let test_solver_stats_pinned () =
+  List.iter
+    (fun wname ->
+      let bm = Option.get (Workloads.by_name wname) in
+      let r =
+        Light_core.Light.record ~variant:Light_core.Light.v_basic
+          ~sched:(Workloads.scheduler ~seed:3 bm)
+          ~seed:3 (Workloads.program bm)
+      in
+      let report = Light_core.Replayer.solve ~budget:cell_budget r.log in
+      (match report.result_kind with
+      | Light_core.Replayer.Solved -> ()
+      | Unsatisfiable -> Alcotest.failf "%s: unsat" wname
+      | SolverAborted -> Alcotest.failf "%s: solver aborted" wname);
+      let s = report.solver_stats in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: decisions (%d) bounded by clauses (%d)" wname s.decisions
+           report.n_clauses)
+        true
+        (s.decisions <= report.n_clauses);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: backtracks (%d) within pin" wname s.backtracks)
+        true (s.backtracks <= 64);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: conflicts (%d) within pin" wname s.theory_conflicts)
+        true
+        (s.theory_conflicts <= 64))
+    [ "stamp-vacation"; "stamp-intruder" ]
+
 let () =
   Alcotest.run "differential"
     [
@@ -160,5 +209,6 @@ let () =
           Alcotest.test_case "replays faithful" `Slow test_replays_faithful;
           Alcotest.test_case "originals identical" `Slow test_originals_agree;
           Alcotest.test_case "replays agree" `Slow test_replays_agree;
+          Alcotest.test_case "solver stats pinned" `Slow test_solver_stats_pinned;
         ] );
     ]

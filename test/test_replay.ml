@@ -24,14 +24,23 @@ let assert_faithful name p ~seeds ~variants =
   |> List.iter (fun (rt : Engine.Batch.roundtrip) ->
          match rt.rt_result with
          | Error e -> Alcotest.failf "%s: solver: %s" rt.rt_job.label e
-         | Ok (_, rr) ->
+         | Ok (r, rr) ->
            (match rr.replay_outcome.status with
            | Interp.AllFinished -> ()
            | Deadlock _ -> Alcotest.failf "%s: replay deadlock" rt.rt_job.label
            | GateStuck _ -> Alcotest.failf "%s: replay gate stuck" rt.rt_job.label
            | StepLimit -> Alcotest.failf "%s: replay step limit" rt.rt_job.label);
            if rr.faithful <> [] then
-             Alcotest.failf "%s: %s" rt.rt_job.label (String.concat "; " rr.faithful))
+             Alcotest.failf "%s: %s" rt.rt_job.label (String.concat "; " rr.faithful);
+           (* the solved schedule must be a valid linearization of the log *)
+           match rr.report.schedule with
+           | None -> Alcotest.failf "%s: no schedule" rt.rt_job.label
+           | Some sch ->
+             (match Validate.check ~zones:true r.log sch with
+             | [] -> ()
+             | vs ->
+               Alcotest.failf "%s: invalid schedule: %s" rt.rt_job.label
+                 (String.concat "; " vs)))
 
 let all_variants = [ Light.v_basic; Light.v_o1; Light.v_both ]
 let seeds = [ 1; 2; 3; 5; 8; 13 ]
@@ -292,8 +301,95 @@ let prop_replay_faithful =
       let p = parse (List.assoc name family) in
       match roundtrip ~seed ~stickiness ~variant p with
       | Error _ -> false
-      | Ok (_, rr) ->
-        rr.faithful = [] && rr.replay_outcome.status = Interp.AllFinished)
+      | Ok (r, rr) ->
+        rr.faithful = []
+        && rr.replay_outcome.status = Interp.AllFinished
+        && (match rr.report.schedule with
+           | Some sch -> Validate.check ~zones:true r.log sch = []
+           | None -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Pruned generation vs the naive pairwise oracle                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Random bounded synthetic logs, unconstrained by recorder invariants:
+   overlapping and nested intervals, dangling sources, self-feeding
+   writes, and unsatisfiable tangles all appear, exercising both
+   directions of the equisatisfiability claim (see constraints.ml,
+   "Pruning").  Both generators assign variable indices by the same
+   interval scan, so a model of one problem can be evaluated directly
+   against the other. *)
+let synth_log_gen =
+  QCheck.Gen.(
+    let evt = pair (int_range 0 2) (int_range 0 6) in
+    let loc_g = map (fun o -> { Runtime.Loc.obj = o; field = "f" }) (int_range 0 2) in
+    let dep_g =
+      loc_g >>= fun loc ->
+      opt evt >>= fun w ->
+      evt >>= fun rf ->
+      int_range 0 2 >>= fun span ->
+      int_range 0 40 >>= fun dep_obs ->
+      int_range 0 40 >>= fun w_obs ->
+      return { Log.loc; w; rf; rl_c = snd rf + span; dep_obs; w_obs }
+    in
+    let range_g =
+      loc_g >>= fun loc ->
+      int_range 0 2 >>= fun rt ->
+      int_range 0 5 >>= fun lo ->
+      int_range 0 3 >>= fun span ->
+      opt evt >>= fun w_in ->
+      bool >>= fun prefix_reads ->
+      bool >>= fun has_write ->
+      int_range 0 40 >>= fun rng_obs ->
+      int_range 0 40 >>= fun lo_obs ->
+      int_range 0 40 >>= fun w_obs ->
+      return
+        {
+          Log.loc;
+          rt;
+          lo;
+          hi = lo + span;
+          w_in;
+          prefix_reads;
+          has_write;
+          rng_obs;
+          lo_obs;
+          w_obs;
+        }
+    in
+    pair (list_size (int_range 0 5) dep_g) (list_size (int_range 0 4) range_g)
+    >>= fun (deps, ranges) -> return { Log.empty with deps; ranges })
+
+let sat_in (p : Dlsolver.Idl.problem) (m : int array) =
+  List.for_all (fun (a : Dlsolver.Idl.atom) -> m.(a.u) - m.(a.v) <= a.k) p.hard
+  && Array.for_all
+       (fun cl ->
+         Array.exists (fun (a : Dlsolver.Idl.atom) -> m.(a.u) - m.(a.v) <= a.k) cl)
+       p.clauses
+
+let prop_pruned_equisat =
+  QCheck.Test.make ~count:400
+    ~name:"pruned constraint generation equisatisfiable with the naive oracle"
+    (QCheck.make ~print:Log.to_string synth_log_gen)
+    (fun log ->
+      let pruned = Constraints.generate log in
+      let naive = Constraints.generate ~naive:true log in
+      let budget =
+        { Dlsolver.Idl.max_backtracks = 100_000; max_conflicts = max_int; max_time_s = 10.0 }
+      in
+      match
+        ( Dlsolver.Idl.solve ~budget ?hint:pruned.hint pruned.problem,
+          Dlsolver.Idl.solve ~budget ?hint:naive.hint naive.problem )
+      with
+      | Sat (m, _), Sat _ ->
+        (* stronger than sat-agreement: the pruned model must satisfy the
+           naive system verbatim (every dropped clause was entailed), and
+           the schedule built from it must validate against the log *)
+        sat_in naive.problem m
+        && Validate.check ~zones:true log (Replayer.build_schedule log pruned m) = []
+      | Unsat _, Unsat _ -> true
+      | Aborted _, _ | _, Aborted _ -> QCheck.assume_fail ()
+      | _ -> false)
 
 let () =
   Alcotest.run "replay"
@@ -306,5 +402,9 @@ let () =
           Alcotest.test_case "schedule respects deps" `Quick test_schedule_respects_deps;
           Alcotest.test_case "torture mix" `Slow test_torture;
         ] );
-      ("property", [ QCheck_alcotest.to_alcotest ~long:false prop_replay_faithful ]);
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest ~long:false prop_replay_faithful;
+          QCheck_alcotest.to_alcotest ~long:false prop_pruned_equisat;
+        ] );
     ]

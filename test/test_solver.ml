@@ -21,8 +21,10 @@ let test_graph_negative_cycle () =
   let g = Diff_graph.create 2 in
   ignore (Diff_graph.add_constraint g ~u:0 ~v:1 ~k:(-1) ~tag:7);
   (match Diff_graph.add_constraint g ~u:1 ~v:0 ~k:(-1) ~tag:8 with
-  | Error tags ->
-    Alcotest.(check bool) "reports both tags" true (List.mem 7 tags && List.mem 8 tags)
+  | Error c ->
+    Alcotest.(check bool) "reports both tags" true
+      (List.mem 7 c.Diff_graph.tags && List.mem 8 c.Diff_graph.tags);
+    Alcotest.(check bool) "cycle walk complete" true c.Diff_graph.complete
   | Ok () -> Alcotest.fail "cycle not detected")
 
 let test_graph_zero_cycle_ok () =
@@ -118,6 +120,94 @@ let test_idl_le_and_lt () =
   match Idl.solve p with
   | Sat (m, _) -> Alcotest.(check int) "x0 = x1 allowed" m.(0) m.(1)
   | _ -> Alcotest.fail "expected sat"
+
+let test_idl_resume_index () =
+  (* Deciding c0 asserts its first literal; c1's only literal then conflicts
+     with it, and the backjump reopens c0.  The resume index makes the
+     re-decision continue at c0's SECOND literal: re-scanning from the
+     first — which is theory-consistent in isolation — would re-assert it
+     and loop forever.  Pinning [theory_adds] checks each literal was
+     pushed into the theory exactly once along this trace:
+     c0.lit0, c1.lit0 (conflict), c0.lit1, c1.lit0 = 4 additions. *)
+  let p =
+    {
+      Idl.nvars = 2;
+      hard = [];
+      clauses = [| [| Idl.lt 0 1; Idl.lt 1 0 |]; [| Idl.lt 1 0 |] |];
+    }
+  in
+  match Idl.solve p with
+  | Sat (m, s) ->
+    check_model p m true;
+    Alcotest.(check int) "theory adds (no literal re-scanned)" 4 s.theory_adds;
+    Alcotest.(check int) "decisions" 3 s.decisions;
+    Alcotest.(check int) "backtracks" 1 s.backtracks;
+    Alcotest.(check int) "conflicts" 1 s.theory_conflicts
+  | _ -> Alcotest.fail "expected sat"
+
+let test_idl_backjump_skips_levels () =
+  (* The conflict at c2 names only c0 (the negative cycle uses c0's and
+     c2's edges); the middle decision c1 is unrelated.  Backjumping returns
+     straight to c0 without flipping c1, so the same conflict is never
+     rediscovered: exactly one theory conflict on the whole trace, where
+     chronological backtracking would re-try c2 against both polarities of
+     c1 and fail at least twice. *)
+  let p =
+    {
+      Idl.nvars = 6;
+      hard = [];
+      clauses =
+        [|
+          [| Idl.lt 0 1; Idl.lt 1 0 |];
+          [| Idl.lt 4 5; Idl.lt 5 4 |];
+          [| Idl.lt 1 0 |];
+        |];
+    }
+  in
+  match Idl.solve p with
+  | Sat (m, s) ->
+    check_model p m true;
+    Alcotest.(check int) "single conflict (no re-discovery)" 1 s.theory_conflicts;
+    Alcotest.(check int) "backtracks (pop c1, reopen c0)" 2 s.backtracks
+  | _ -> Alcotest.fail "expected sat"
+
+let conflicting_pair =
+  (* needs one backtrack and one conflict to solve *)
+  {
+    Idl.nvars = 2;
+    hard = [];
+    clauses = [| [| Idl.lt 0 1; Idl.lt 1 0 |]; [| Idl.lt 1 0 |] |];
+  }
+
+let test_idl_budget_backtracks () =
+  let budget = { Idl.default_budget with max_backtracks = 0 } in
+  match Idl.solve ~budget conflicting_pair with
+  | Aborted s ->
+    Alcotest.(check bool) "stats honest: work was done" true
+      (s.theory_conflicts >= 1 && s.backtracks >= 1)
+  | _ -> Alcotest.fail "expected abort on backtrack budget"
+
+let test_idl_budget_conflicts () =
+  let budget = { Idl.default_budget with max_conflicts = 0 } in
+  match Idl.solve ~budget conflicting_pair with
+  | Aborted s -> Alcotest.(check int) "stopped at first conflict" 1 s.theory_conflicts
+  | _ -> Alcotest.fail "expected abort on conflict budget"
+
+let test_idl_hint_seeding () =
+  let p =
+    {
+      Idl.nvars = 4;
+      hard = [ Idl.lt 0 1; Idl.lt 1 2; Idl.lt 2 3 ];
+      clauses = [| [| Idl.lt 0 3 |] |];
+    }
+  in
+  (match Idl.solve ~hint:[| 0; 16; 32; 48 |] p with
+  | Sat (m, _) -> check_model p m true
+  | _ -> Alcotest.fail "expected sat with good hint");
+  (* a wrong hint costs relaxation work but never soundness *)
+  match Idl.solve ~hint:[| 48; 32; 16; 0 |] p with
+  | Sat (m, _) -> check_model p m true
+  | _ -> Alcotest.fail "expected sat with bad hint"
 
 (* qcheck: random permutation orders are satisfiable and the model agrees *)
 let perm_gen =
@@ -296,6 +386,12 @@ let () =
           Alcotest.test_case "clause backtracking" `Quick test_idl_clause_backtracking;
           Alcotest.test_case "unsat via clause" `Quick test_idl_unsat_clauses;
           Alcotest.test_case "non-strict atoms" `Quick test_idl_le_and_lt;
+          Alcotest.test_case "per-clause resume index" `Quick test_idl_resume_index;
+          Alcotest.test_case "backjump skips unrelated levels" `Quick
+            test_idl_backjump_skips_levels;
+          Alcotest.test_case "backtrack budget aborts" `Quick test_idl_budget_backtracks;
+          Alcotest.test_case "conflict budget aborts" `Quick test_idl_budget_conflicts;
+          Alcotest.test_case "potential hint seeding" `Quick test_idl_hint_seeding;
           QCheck_alcotest.to_alcotest prop_perm_order;
           QCheck_alcotest.to_alcotest prop_dag_sat;
           QCheck_alcotest.to_alcotest prop_cycle_unsat;
