@@ -12,7 +12,10 @@
     The [solver] experiment additionally writes BENCH_solver.json — the
     per-workload constraint-pipeline measurement (pre/post-pruning clause
     counts, search statistics, generation and solve times) that CI uploads
-    as an artifact.
+    as an artifact.  The [interp] experiment writes BENCH_interp.json —
+    per-workload interpreter throughput (reference vs slot-resolved, native
+    and under each recording variant) with LIGHT_BENCH_ITERS controlling
+    the iteration budget.
 
     Experiments fan out across the engine's domain pool; set LIGHT_JOBS=N
     to choose the pool size (default: one worker per core, capped at 8).
@@ -45,6 +48,7 @@ let run_fig6 () = Report.Experiments.fig6 ~pool () ppf
 let run_table1 () = Report.Experiments.table1 ~pool () ppf
 let run_example () = Report.Experiments.running_example () ppf
 let run_solver () = Report.Experiments.solver_bench ~pool () ppf
+let run_interp () = Report.Experiments.interp_bench () ppf
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks                                  *)
@@ -142,6 +146,7 @@ let all_experiments =
     ("table1", run_table1);
     ("running-example", run_example);
     ("solver", run_solver);
+    ("interp", run_interp);
   ]
 
 let () =

@@ -132,7 +132,8 @@ let recorder_hooks (r : recorder) : Interp.hooks =
   {
     Interp.default_hooks with
     observe =
-      (fun ev ->
+      Some
+        (fun ev ->
         match ev with
         | Event.Access (a, _) when a.ghost <> Event.NotGhost ->
           r.ops <- r.ops + 1;
@@ -177,7 +178,7 @@ let replay_hooks (l : log) : Interp.hooks =
   in
   {
     Interp.default_hooks with
-    gate;
-    observe;
-    syscall_override = (fun ~tid ~idx ~name:_ -> Hashtbl.find_opt sys (tid, idx));
+    gate = Some gate;
+    observe = Some observe;
+    syscall_override = Some (fun ~tid ~idx ~name:_ -> Hashtbl.find_opt sys (tid, idx));
   }

@@ -48,7 +48,8 @@ let hooks (r : recorder) : Interp.hooks =
   {
     Interp.default_hooks with
     on_branch =
-      (fun ~tid ~taken ->
+      Some
+        (fun ~tid ~taken ->
         r.nbranches <- r.nbranches + 1;
         Metrics.Cost.charge r.meter LocalAppend;
         match Hashtbl.find_opt r.branch_logs tid with
@@ -146,8 +147,8 @@ let run_candidate (p : Ast.program) (l : log) (switches : (int * int) list)
   let hooks =
     {
       Interp.default_hooks with
-      on_branch;
-      syscall_override = (fun ~tid ~idx ~name:_ -> Hashtbl.find_opt sys (tid, idx));
+      on_branch = Some on_branch;
+      syscall_override = Some (fun ~tid ~idx ~name:_ -> Hashtbl.find_opt sys (tid, idx));
     }
   in
   match Interp.run ~hooks ~max_steps ~sched:(preemptive switches) p with

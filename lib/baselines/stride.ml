@@ -80,7 +80,7 @@ let finalize (r : t) : log =
 let hooks (r : t) : Interp.hooks =
   {
     Interp.default_hooks with
-    observe = (fun ev -> match ev with Event.Access (a, _) -> on_access r a | _ -> ());
+    observe = Some (fun ev -> match ev with Event.Access (a, _) -> on_access r a | _ -> ());
   }
 
 (* ------------------------------------------------------------------ *)
@@ -161,7 +161,7 @@ let replay_hooks (l : log) ~(syscalls : (int * int * string * Value.t) list) : I
   in
   {
     Interp.default_hooks with
-    gate;
-    observe;
-    syscall_override = (fun ~tid ~idx ~name:_ -> Hashtbl.find_opt sys (tid, idx));
+    gate = Some gate;
+    observe = Some observe;
+    syscall_override = Some (fun ~tid ~idx ~name:_ -> Hashtbl.find_opt sys (tid, idx));
   }

@@ -121,13 +121,33 @@ let dec_field (s : string) : string =
   done;
   Buffer.contents buf
 
-let loc_str (l : Loc.t) = Printf.sprintf "%d/%s" l.obj (enc_field l.field)
+(* v2 spells the field by name; v3 ships the intern table once in the header
+   (F lines) and writes integer field ids in events.  Array-element ids
+   (negative, arithmetic encoding) are process-independent and appear
+   verbatim; interned ids (>= 0) are remapped through the F table on load,
+   since intern ids are only meaningful within one process. *)
 
-let loc_of_string s : Loc.t =
+let loc_str_v2 (l : Loc.t) = Printf.sprintf "%d/%s" l.obj (enc_field (Loc.fld_name l.fld))
+
+let loc_of_string_v2 s : Loc.t =
   match String.index_opt s '/' with
   | Some i ->
     { obj = int_of_string (String.sub s 0 i);
-      field = dec_field (String.sub s (i + 1) (String.length s - i - 1)) }
+      fld = Loc.fld_of_name (dec_field (String.sub s (i + 1) (String.length s - i - 1))) }
+  | None -> failwith ("bad location: " ^ s)
+
+let loc_str_v3 (l : Loc.t) = Printf.sprintf "%d/%d" l.obj l.fld
+
+let loc_of_string_v3 (fmap : (int, int) Hashtbl.t) s : Loc.t =
+  match String.index_opt s '/' with
+  | Some i ->
+    let obj = int_of_string (String.sub s 0 i) in
+    let fld = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    if fld < 0 then { obj; fld }
+    else (
+      match Hashtbl.find_opt fmap fld with
+      | Some fld -> { obj; fld }
+      | None -> failwith (Printf.sprintf "bad location (field id %d not in intern table): %s" fld s))
   | None -> failwith ("bad location: " ^ s)
 
 let value_str (v : Value.t) =
@@ -151,40 +171,80 @@ let value_of_string s : Value.t =
     | 't' -> VThread (int_of_string body)
     | _ -> failwith ("bad value: " ^ s)
 
-let to_string (l : t) : string =
-  let buf = Buffer.create 4096 in
-  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
-  line "light-log v2 o1=%b o2=%b" l.o1 l.o2;
-  List.iter (fun (t, c) -> line "T %d %d" t c) l.counters;
+let body_lines ~(loc_str : Loc.t -> string) (l : t) line : unit =
+  List.iter (fun (t, c) -> line (Printf.sprintf "T %d %d" t c)) l.counters;
   List.iter
     (fun (d : dep) ->
-      line "D %s %s %s %d %d %d" (loc_str d.loc) (evt_str d.w) (evt_str (Some d.rf))
-        d.rl_c d.dep_obs d.w_obs)
+      line
+        (Printf.sprintf "D %s %s %s %d %d %d" (loc_str d.loc) (evt_str d.w)
+           (evt_str (Some d.rf)) d.rl_c d.dep_obs d.w_obs))
     l.deps;
   List.iter
     (fun (r : range) ->
-      line "R %s %d %d %d %s %b %b %d %d %d" (loc_str r.loc) r.rt r.lo r.hi
-        (evt_str r.w_in) r.prefix_reads r.has_write r.rng_obs r.lo_obs r.w_obs)
+      line
+        (Printf.sprintf "R %s %d %d %d %s %b %b %d %d %d" (loc_str r.loc) r.rt r.lo r.hi
+           (evt_str r.w_in) r.prefix_reads r.has_write r.rng_obs r.lo_obs r.w_obs))
     l.ranges;
-  List.iter (fun (t, i, n, v) -> line "S %d %d %s %s" t i n (value_str v)) l.syscalls;
+  List.iter (fun (t, i, n, v) -> line (Printf.sprintf "S %d %d %s %s" t i n (value_str v)))
+    l.syscalls
+
+(** Current (v3) serialization: the intern table is stored once as F lines
+    in the header, events carry integer field ids. *)
+let to_string (l : t) : string =
+  let buf = Buffer.create 4096 in
+  let line s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
+  line (Printf.sprintf "light-log v3 o1=%b o2=%b" l.o1 l.o2);
+  (* the intern-table header: every named (non-element) field id in use *)
+  let seen = Hashtbl.create 16 in
+  let note (loc : Loc.t) =
+    if loc.fld >= 0 && not (Hashtbl.mem seen loc.fld) then begin
+      Hashtbl.add seen loc.fld ();
+      line (Printf.sprintf "F %d %s" loc.fld (enc_field (Loc.fld_name loc.fld)))
+    end
+  in
+  List.iter (fun (d : dep) -> note d.loc) l.deps;
+  List.iter (fun (r : range) -> note r.loc) l.ranges;
+  body_lines ~loc_str:loc_str_v3 l line;
   Buffer.contents buf
 
+(** Legacy (v2) serialization: fields spelled by name in every event.  Kept
+    so fixtures and older tooling can still produce/read the old format. *)
+let to_string_v2 (l : t) : string =
+  let buf = Buffer.create 4096 in
+  let line s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
+  line (Printf.sprintf "light-log v2 o1=%b o2=%b" l.o1 l.o2);
+  body_lines ~loc_str:loc_str_v2 l line;
+  Buffer.contents buf
+
+(** Reads both v3 (intern-table header, integer field ids) and legacy v2
+    (field names in events) logs; either way, locations come back keyed by
+    this process's intern ids. *)
 let of_string (s : string) : t =
   let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
   match lines with
   | [] -> failwith "empty log"
   | header :: rest ->
     let o1 = ref false and o2 = ref false in
-    Scanf.sscanf header "light-log v2 o1=%B o2=%B" (fun a b -> o1 := a; o2 := b);
+    let v3 =
+      if String.length header >= 12 && String.sub header 0 12 = "light-log v3" then true
+      else if String.length header >= 12 && String.sub header 0 12 = "light-log v2" then false
+      else failwith ("bad log header: " ^ header)
+    in
+    Scanf.sscanf header "light-log v%_d o1=%B o2=%B" (fun a b -> o1 := a; o2 := b);
+    (* v3: file-local intern ids -> this process's ids *)
+    let fmap : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let loc_of = if v3 then loc_of_string_v3 fmap else loc_of_string_v2 in
     let deps = ref [] and ranges = ref [] and sys = ref [] and counters = ref [] in
     List.iter
       (fun line ->
         match String.split_on_char ' ' line with
+        | "F" :: id :: name :: [] when v3 ->
+          Hashtbl.replace fmap (int_of_string id) (Loc.fld_of_name (dec_field name))
         | "T" :: t :: c :: [] -> counters := (int_of_string t, int_of_string c) :: !counters
         | "D" :: loc :: w :: rf :: rl :: obs :: wobs :: [] ->
           deps :=
             {
-              loc = loc_of_string loc;
+              loc = loc_of loc;
               w = evt_of_string w;
               rf = Option.get (evt_of_string rf);
               rl_c = int_of_string rl;
@@ -195,7 +255,7 @@ let of_string (s : string) : t =
         | "R" :: loc :: rt :: lo :: hi :: w_in :: pr :: hw :: obs :: loobs :: wobs :: [] ->
           ranges :=
             {
-              loc = loc_of_string loc;
+              loc = loc_of loc;
               rt = int_of_string rt;
               lo = int_of_string lo;
               hi = int_of_string hi;

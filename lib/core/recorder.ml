@@ -342,10 +342,11 @@ let hooks (r : t) : Interp.hooks =
   {
     Interp.default_hooks with
     observe =
-      (fun ev ->
-        match ev with
-        | Event.Access (a, _) -> on_access r a
-        | _ -> ());
+      Some
+        (fun ev ->
+          match ev with
+          | Event.Access (a, _) -> on_access r a
+          | _ -> ());
   }
 
 let meter (r : t) : Metrics.Cost.meter = r.meter

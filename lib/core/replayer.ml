@@ -85,12 +85,12 @@ let build_schedule (log : Log.t) (cs : Constraints.t) (model : int array) : sche
   let notify_pairs = Hashtbl.create 16 in
   List.iter
     (fun (d : Log.dep) ->
-      if d.loc.field = "$cond" then
+      if d.loc.fld = Loc.cond_fld then
         match d.w with Some w -> Hashtbl.replace notify_pairs w (fst d.rf) | None -> ())
     log.deps;
   List.iter
     (fun (r : Log.range) ->
-      if r.loc.field = "$cond" then
+      if r.loc.fld = Loc.cond_fld then
         match r.w_in with Some w -> Hashtbl.replace notify_pairs w r.rt | None -> ())
     log.ranges;
   { rank_of; order; thread_cs; thread_intervals; syscall_values; notify_pairs }
@@ -201,12 +201,12 @@ let driver (sch : schedule) ~(plan : Plan.t) : driver =
   {
     hooks =
       {
-        Interp.gate;
-        observe;
-        syscall_override;
+        Interp.gate = Some gate;
+        observe = Some observe;
+        syscall_override = Some syscall_override;
         choose_wakeup = Some choose_wakeup;
-        suppress_write;
-        on_branch = (fun ~tid:_ ~taken:_ -> ());
+        suppress_write = Some suppress_write;
+        on_branch = None;
       };
     progress = (fun () -> Hashtbl.length executed);
   }

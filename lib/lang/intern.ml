@@ -1,0 +1,48 @@
+(** Global string interning table.
+
+    Every field name, global name, map-key tag and ghost-field name is
+    interned once into a dense integer id, so the hot paths (location
+    equality, hashing, heap field tables) work on immediates instead of
+    strings.  The table is process-global and append-only.
+
+    Domain safety: [id] takes a mutex (experiments fan out across the
+    engine's domain pool, and two domains may intern concurrently).  [name]
+    is lock-free: the id->string array is copy-on-write and published through
+    an [Atomic.t], so readers always see a fully initialized prefix.  Ids are
+    assignment-order dependent and therefore only meaningful within one
+    process; serialized forms (logs) must ship the name, not the id. *)
+
+let mutex = Mutex.create ()
+let table : (string, int) Hashtbl.t = Hashtbl.create 256
+let names : string array Atomic.t = Atomic.make [||]
+
+let id (s : string) : int =
+  Mutex.lock mutex;
+  let i =
+    match Hashtbl.find_opt table s with
+    | Some i -> i
+    | None ->
+      let arr = Atomic.get names in
+      let n = Array.length arr in
+      let arr' = Array.make (n + 1) s in
+      Array.blit arr 0 arr' 0 n;
+      Atomic.set names arr';
+      Hashtbl.add table s n;
+      n
+  in
+  Mutex.unlock mutex;
+  i
+
+let name (i : int) : string =
+  let arr = Atomic.get names in
+  if i < 0 || i >= Array.length arr then
+    invalid_arg (Printf.sprintf "Intern.name: unknown id %d" i)
+  else arr.(i)
+
+let mem (s : string) : bool =
+  Mutex.lock mutex;
+  let r = Hashtbl.mem table s in
+  Mutex.unlock mutex;
+  r
+
+let count () = Array.length (Atomic.get names)

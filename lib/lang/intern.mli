@@ -1,0 +1,16 @@
+(** Global string interning table: dense integer ids for field names,
+    global names, map-key tags and ghost-field names.  Append-only and
+    domain-safe ([id] is mutexed, [name] is lock-free).  Ids are
+    process-local; serialized forms must ship names. *)
+
+val id : string -> int
+(** Intern a string, returning its id.  Idempotent. *)
+
+val name : int -> string
+(** The string behind an id.  Raises [Invalid_argument] on unknown ids. *)
+
+val mem : string -> bool
+(** Has this string been interned already?  (Diagnostics only.) *)
+
+val count : unit -> int
+(** Number of interned strings so far. *)

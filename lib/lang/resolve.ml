@@ -1,0 +1,171 @@
+(** One-shot resolution pass between checking and execution.
+
+    Replaces every string-keyed lookup the interpreter would otherwise do at
+    runtime with an integer computed once here:
+    - local variables become frame slots ([RVar (slot, name)]; the name is
+      kept for the "unbound local variable" diagnostic), and every function
+      carries its frame size so a frame is a [Value.t array];
+    - field names, global names and class field lists are interned
+      ({!Intern}), matching the field-id space of [Runtime.Loc];
+    - callees ([call]/[spawn]) are resolved to indices into a function
+      array (index [-1] = undefined, preserving the runtime crash).
+
+    The pass performs no checking of its own: unvalidated programs resolve
+    fine and crash at execution exactly where the seed interpreter crashed
+    (undefined callee, unbound variable, unknown class = no field inits). *)
+
+type rexpr =
+  | RInt of int
+  | RBool of bool
+  | RNull
+  | RStr of string
+  | RVar of int * string  (** slot, source name (diagnostics only) *)
+  | RBinop of Ast.binop * rexpr * rexpr
+  | RUnop of Ast.unop * rexpr
+
+type rstmt = { rsid : int; rline : int; rnode : rnode }
+
+and rblock = rstmt list
+
+and rnode =
+  | RAssign of int * rexpr
+  | RLoad of int * rexpr * int            (* x = e.f      (slot, obj, fld id) *)
+  | RStore of rexpr * int * rexpr
+  | RLoadIdx of int * rexpr * rexpr
+  | RStoreIdx of rexpr * rexpr * rexpr
+  | RGlobalLoad of int * int              (* x = g        (slot, fld id) *)
+  | RGlobalStore of int * rexpr
+  | RNew of int * string * int array      (* slot, class name, field ids to null-init *)
+  | RNewArray of int * rexpr
+  | RNewMap of int
+  | RMapGet of int * rexpr * rexpr
+  | RMapPut of rexpr * rexpr * rexpr
+  | RMapHas of int * rexpr * rexpr
+  | RIf of rexpr * rblock * rblock
+  | RWhile of rexpr * rblock
+  | RCall of int option * int * string * rexpr list   (* ret slot, fn idx, name *)
+  | RReturn of rexpr option
+  | RSpawn of int * int * string * rexpr list         (* handle slot, fn idx, name *)
+  | RJoin of rexpr
+  | RSync of rexpr * rblock
+  | RLock of rexpr
+  | RUnlock of rexpr
+  | RWait of rexpr
+  | RNotify of rexpr
+  | RNotifyAll of rexpr
+  | RAssert of rexpr
+  | RPrint of rexpr
+  | RSyscall of int * string * rexpr list
+  | ROpaque of int * string * rexpr list
+  | RYield
+  | RNop
+
+type rfn = {
+  rf_name : string;
+  rf_nparams : int;  (** params occupy slots [0 .. rf_nparams-1] in order *)
+  rf_frame : int;    (** total slot count *)
+  rf_body : rblock;
+}
+
+type compiled = {
+  cp_fns : rfn array;
+  cp_main : rfn;
+  cp_globals : int array;  (** interned ids of declared globals, decl order *)
+  cp_max_sid : int;
+  cp_src : Ast.program;    (** the source program, for tooling *)
+}
+
+(* ------------------------------------------------------------------ *)
+
+let resolve_block (p : Ast.program) (params : string list) (body : Ast.block) :
+    int * rblock =
+  let slots : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let next = ref 0 in
+  let slot_of (x : string) : int =
+    match Hashtbl.find_opt slots x with
+    | Some i -> i
+    | None ->
+      let i = !next in
+      incr next;
+      Hashtbl.add slots x i;
+      i
+  in
+  List.iter (fun prm -> ignore (slot_of prm)) params;
+  let fn_idx (f : string) : int =
+    let rec go i = function
+      | [] -> -1
+      | (fd : Ast.fndef) :: _ when fd.fname = f -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 p.fns
+  in
+  let rec rex (e : Ast.expr) : rexpr =
+    match e with
+    | Int n -> RInt n
+    | Bool b -> RBool b
+    | Null -> RNull
+    | Str s -> RStr s
+    | Var x -> RVar (slot_of x, x)
+    | Binop (op, a, b) -> RBinop (op, rex a, rex b)
+    | Unop (op, a) -> RUnop (op, rex a)
+  in
+  let rec rstmt (s : Ast.stmt) : rstmt =
+    let node =
+      match s.node with
+      | Assign (x, e) -> RAssign (slot_of x, rex e)
+      | Load (x, o, f) -> RLoad (slot_of x, rex o, Intern.id f)
+      | Store (o, f, e) -> RStore (rex o, Intern.id f, rex e)
+      | LoadIdx (x, a, i) -> RLoadIdx (slot_of x, rex a, rex i)
+      | StoreIdx (a, i, e) -> RStoreIdx (rex a, rex i, rex e)
+      | GlobalLoad (x, g) -> RGlobalLoad (slot_of x, Intern.id g)
+      | GlobalStore (g, e) -> RGlobalStore (Intern.id g, rex e)
+      | New (x, cls) ->
+        let fids =
+          match Ast.class_fields p cls with
+          | Some fields -> Array.of_list (List.map Intern.id fields)
+          | None -> [||]
+        in
+        RNew (slot_of x, cls, fids)
+      | NewArray (x, n) -> RNewArray (slot_of x, rex n)
+      | NewMap x -> RNewMap (slot_of x)
+      | MapGet (x, m, k) -> RMapGet (slot_of x, rex m, rex k)
+      | MapPut (m, k, v) -> RMapPut (rex m, rex k, rex v)
+      | MapHas (x, m, k) -> RMapHas (slot_of x, rex m, rex k)
+      | If (c, b1, b2) -> RIf (rex c, rblockl b1, rblockl b2)
+      | While (c, b) -> RWhile (rex c, rblockl b)
+      | Call (ret, f, args) ->
+        RCall (Option.map slot_of ret, fn_idx f, f, List.map rex args)
+      | Return e -> RReturn (Option.map rex e)
+      | Spawn (h, f, args) -> RSpawn (slot_of h, fn_idx f, f, List.map rex args)
+      | Join e -> RJoin (rex e)
+      | Sync (m, b) -> RSync (rex m, rblockl b)
+      | Lock e -> RLock (rex e)
+      | Unlock e -> RUnlock (rex e)
+      | Wait e -> RWait (rex e)
+      | Notify e -> RNotify (rex e)
+      | NotifyAll e -> RNotifyAll (rex e)
+      | Assert e -> RAssert (rex e)
+      | Print e -> RPrint (rex e)
+      | Syscall (x, name, args) -> RSyscall (slot_of x, name, List.map rex args)
+      | Opaque (x, name, args) -> ROpaque (slot_of x, name, List.map rex args)
+      | Yield -> RYield
+      | Nop -> RNop
+    in
+    { rsid = s.sid; rline = s.line; rnode = node }
+  and rblockl (b : Ast.block) : rblock = List.map rstmt b in
+  let rb = rblockl body in
+  (!next, rb)
+
+let resolve_fn (p : Ast.program) (fd : Ast.fndef) : rfn =
+  let frame, body = resolve_block p fd.params fd.body in
+  { rf_name = fd.fname; rf_nparams = List.length fd.params; rf_frame = frame; rf_body = body }
+
+let compile (p : Ast.program) : compiled =
+  let main_frame, main_body = resolve_block p [] p.main in
+  {
+    cp_fns = Array.of_list (List.map (resolve_fn p) p.fns);
+    cp_main = { rf_name = "$main"; rf_nparams = 0; rf_frame = main_frame; rf_body = main_body };
+    cp_globals = Array.of_list (List.map Intern.id p.globals);
+    cp_max_sid = Ast.max_sid p;
+    cp_src = p;
+  }

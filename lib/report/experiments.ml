@@ -317,6 +317,143 @@ let solver_bench ?(seed = 3) ?(json_path = "BENCH_solver.json") ?pool () ppf :
   Fmt.pf ppf "  full measurement (with timings) written to %s@.@." json_path
 
 (* ------------------------------------------------------------------ *)
+(* Interpreter throughput (BENCH_interp.json)                           *)
+(* ------------------------------------------------------------------ *)
+
+type interp_measure = {
+  im_bm : string;
+  im_steps : int;        (* steps of one uninstrumented run *)
+  im_ref_sps : float;    (* reference interpreter (string-keyed), native *)
+  im_native_sps : float; (* slot-resolved interpreter, native *)
+  im_basic_sps : float;  (* under Light recording, uncompressed *)
+  im_o1_sps : float;
+  im_both_sps : float;
+}
+
+(* CI runs with a reduced budget via LIGHT_BENCH_ITERS *)
+let bench_iters () =
+  match Sys.getenv_opt "LIGHT_BENCH_ITERS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 5)
+  | None -> 5
+
+(* steps/second of [run]: one warmup execution (whose step count is
+   returned), then [iters] timed executions *)
+let steps_per_sec ~iters (run : unit -> Interp.outcome) : int * float =
+  let o0 = run () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (run ())
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  (o0.steps, float_of_int (o0.steps * iters) /. Float.max dt 1e-9)
+
+let measure_interp ?(seed = 7) ~iters (bm : Workloads.benchmark) : interp_measure =
+  let p = Workloads.program bm in
+  let sched () = Workloads.scheduler ~seed bm in
+  let cp = Interp.compile p in
+  let steps, native_sps =
+    steps_per_sec ~iters (fun () -> Interp.run_compiled ~sched:(sched ()) cp)
+  in
+  let _, ref_sps = steps_per_sec ~iters (fun () -> Interp_ref.run ~sched:(sched ()) p) in
+  let record variant () =
+    (Light_core.Light.record ~variant ~sched:(sched ()) ~seed p).outcome
+  in
+  let _, basic_sps = steps_per_sec ~iters (record Light_core.Light.v_basic) in
+  let _, o1_sps = steps_per_sec ~iters (record Light_core.Light.v_o1) in
+  let _, both_sps = steps_per_sec ~iters (record Light_core.Light.v_both) in
+  {
+    im_bm = bm.name;
+    im_steps = steps;
+    im_ref_sps = ref_sps;
+    im_native_sps = native_sps;
+    im_basic_sps = basic_sps;
+    im_o1_sps = o1_sps;
+    im_both_sps = both_sps;
+  }
+
+let geomean (f : interp_measure -> float) (ms : interp_measure list) : float =
+  exp (List.fold_left (fun a m -> a +. log (f m)) 0. ms /. float_of_int (List.length ms))
+
+let interp_json ~iters (ms : interp_measure list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "{\n  \"iters\": %d,\n  \"rows\": [\n" iters);
+  List.iteri
+    (fun i m ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": %S, \"steps\": %d, \"ref_sps\": %.0f, \
+            \"native_sps\": %.0f, \"basic_sps\": %.0f, \"o1_sps\": %.0f, \
+            \"both_sps\": %.0f, \"speedup_vs_ref\": %.2f, \"ratio_basic\": %.2f, \
+            \"ratio_o1\": %.2f, \"ratio_both\": %.2f}%s\n"
+           m.im_bm m.im_steps m.im_ref_sps m.im_native_sps m.im_basic_sps
+           m.im_o1_sps m.im_both_sps
+           (m.im_native_sps /. m.im_ref_sps)
+           (m.im_native_sps /. m.im_basic_sps)
+           (m.im_native_sps /. m.im_o1_sps)
+           (m.im_native_sps /. m.im_both_sps)
+           (if i = List.length ms - 1 then "" else ",")))
+    ms;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  ],\n  \"geomean\": {\"speedup_vs_ref\": %.2f, \"ratio_basic\": %.2f, \
+        \"ratio_o1\": %.2f, \"ratio_both\": %.2f}\n}\n"
+       (geomean (fun m -> m.im_native_sps /. m.im_ref_sps) ms)
+       (geomean (fun m -> m.im_native_sps /. m.im_basic_sps) ms)
+       (geomean (fun m -> m.im_native_sps /. m.im_o1_sps) ms)
+       (geomean (fun m -> m.im_native_sps /. m.im_both_sps) ms));
+  Buffer.contents buf
+
+(* Per-workload interpreter throughput: the slot-resolved interpreter
+   against the string-keyed reference (native, uninstrumented), and the
+   per-variant recording-overhead ratios (native steps/sec divided by
+   recorded steps/sec).  Runs sequentially — timing inside the domain pool
+   would measure contention, not the interpreter.  Step counts on stdout
+   are deterministic; every wall-clock-derived column hides behind
+   LIGHT_TIMINGS, and the full measurement lands in [json_path] for CI. *)
+let interp_bench ?(seed = 7) ?(json_path = "BENCH_interp.json") () ppf : unit =
+  let iters = bench_iters () in
+  let ms = List.map (measure_interp ~seed ~iters) Workloads.all in
+  let f1 v = Printf.sprintf "%.1f" v in
+  let k sps = Printf.sprintf "%.0fk" (sps /. 1e3) in
+  Chart.table
+    ~title:
+      "Interpreter throughput (steps/sec: reference vs slot-resolved, native \
+       and under recording)"
+    ~header:
+      [ "workload"; "steps"; "ref"; "native"; "speedup"; "basic"; "o1"; "o1+o2";
+        "xbasic"; "xo1"; "xo1+o2" ]
+    (List.map
+       (fun m ->
+         [
+           m.im_bm;
+           string_of_int m.im_steps;
+           timing_cell (k m.im_ref_sps);
+           timing_cell (k m.im_native_sps);
+           timing_cell (f1 (m.im_native_sps /. m.im_ref_sps));
+           timing_cell (k m.im_basic_sps);
+           timing_cell (k m.im_o1_sps);
+           timing_cell (k m.im_both_sps);
+           timing_cell (f1 (m.im_native_sps /. m.im_basic_sps));
+           timing_cell (f1 (m.im_native_sps /. m.im_o1_sps));
+           timing_cell (f1 (m.im_native_sps /. m.im_both_sps));
+         ])
+       ms)
+    ppf;
+  Fmt.pf ppf "  total steps (one native run each): %d@."
+    (List.fold_left (fun a m -> a + m.im_steps) 0 ms);
+  if show_timings () then
+    Fmt.pf ppf
+      "  geomean: %.2fx vs reference; record overhead %.2fx basic, %.2fx O1, \
+       %.2fx O1+O2@."
+      (geomean (fun m -> m.im_native_sps /. m.im_ref_sps) ms)
+      (geomean (fun m -> m.im_native_sps /. m.im_basic_sps) ms)
+      (geomean (fun m -> m.im_native_sps /. m.im_o1_sps) ms)
+      (geomean (fun m -> m.im_native_sps /. m.im_both_sps) ms);
+  Out_channel.with_open_text json_path (fun oc ->
+      Out_channel.output_string oc (interp_json ~iters ms));
+  Fmt.pf ppf "  full measurement (with timings) written to %s@.@." json_path
+
+(* ------------------------------------------------------------------ *)
 (* Figure 6: real-world bugs                                            *)
 (* ------------------------------------------------------------------ *)
 

@@ -7,6 +7,13 @@
     Section 4.3 (lock acquire = ghost read + ghost write, release = ghost
     write, spawn/join/exit and wait/notify via thread and condition ghosts).
 
+    Programs are executed in slot-resolved form ({!Lang.Resolve}): locals
+    live in a [Value.t array] frame indexed by compile-time slots, field and
+    global names are pre-interned integers, and [Loc.t] is a pair of
+    immediates — no string hashing or per-access allocation on the hot path.
+    Hooks are optional: a native run (all hooks absent) never computes
+    pre-events or event records at all.
+
     Object ids are thread-deterministic: [objid = tid * 1_000_000 + k] where
     [k] is the allocating thread's allocation index, so Assumption 1 (thread
     determinism) covers reference values. *)
@@ -40,52 +47,69 @@ type outcome = {
       (** (tid, idx, name, value) in per-thread order *)
   final_heap : (Value.objid * (string * Value.t) list) list;
       (** the heap at termination: per object (ascending id), fields sorted
-          by name.  Object ids are thread-deterministic, so two runs of the
-          same program are comparable.  Used by the differential tests; not
-          a Theorem-1 observable (replay may suppress blind writes). *)
+          by name (field ids are rendered back to their original names, so
+          this is directly comparable with the reference interpreter).
+          Object ids are thread-deterministic, so two runs of the same
+          program are comparable.  Used by the differential tests; not a
+          Theorem-1 observable (replay may suppress blind writes). *)
   trace : Event.access list;           (** full access trace if requested *)
 }
 
+(** All hooks are optional; [None] lets the interpreter skip the
+    corresponding bookkeeping entirely (no pre-event or event-record
+    construction on native runs). *)
 type hooks = {
-  gate : Event.pre -> bool;
+  gate : (Event.pre -> bool) option;
       (** consulted before a shared access (on the first ghost access for
           compound sync transitions); [false] delays the thread *)
-  observe : Event.t -> unit;
-  syscall_override : tid:int -> idx:int -> name:string -> Value.t option;
+  observe : (Event.t -> unit) option;
+  syscall_override : (tid:int -> idx:int -> name:string -> Value.t option) option;
       (** replay-run substitution of recorded syscall values (Section 3.2) *)
   choose_wakeup : (lock:Value.objid -> waiters:int list -> int) option;
       (** pick which waiter a [notify] wakes; default FIFO *)
-  suppress_write : Event.pre -> bool;
+  suppress_write : (Event.pre -> bool) option;
       (** replay-run blind-write suppression (Section 4.2) *)
-  on_branch : tid:int -> taken:bool -> unit;
+  on_branch : (tid:int -> taken:bool -> unit) option;
       (** every if/while condition evaluation (used by path-recording tools
           such as Clap); may raise to abort the run *)
 }
 
 let default_hooks : hooks =
   {
-    gate = (fun _ -> true);
-    observe = (fun _ -> ());
-    syscall_override = (fun ~tid:_ ~idx:_ ~name:_ -> None);
+    gate = None;
+    observe = None;
+    syscall_override = None;
     choose_wakeup = None;
-    suppress_write = (fun _ -> false);
-    on_branch = (fun ~tid:_ ~taken:_ -> ());
+    suppress_write = None;
+    on_branch = None;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Runtime state                                                       *)
 (* ------------------------------------------------------------------ *)
 
-type obj = { cls : string; fields : (string, Value.t) Hashtbl.t }
+(* Fields are keyed by interned field id (see Loc); names are restored only
+   when building [final_heap]. *)
+type obj = { cls : string; fields : (int, Value.t) Hashtbl.t }
 
-type citem =
-  | S of Ast.stmt
-  | CUnlock of Value.objid * int  (* end of a sync block; sid for attribution *)
+(* The continuation is a chain of statement sequences rather than a flat
+   list: entering a block (if/while/sync body) pushes one [CSeq] node in
+   O(1) instead of map-and-appending the whole body.  [todo] walks the
+   resolved statement list in place; the invariant (restored by [norm])
+   is that an active continuation never starts with an empty [CSeq]. *)
+type cont =
+  | CDone
+  | CSeq of { mutable todo : Resolve.rstmt list; next : cont }
+  | CUnlock of Value.objid * int * cont
+      (* end of a sync block; sid for attribution *)
+
+let rec norm (c : cont) : cont =
+  match c with CSeq { todo = []; next } -> norm next | c -> c
 
 type frame = {
-  mutable cont : citem list;
-  locals : (string, Value.t) Hashtbl.t;
-  ret_to : string option;  (* variable in the caller receiving the return value *)
+  mutable cont : cont;
+  slots : Value.t array;
+  ret_to : int option;  (* caller slot receiving the return value *)
 }
 
 type tstatus =
@@ -115,15 +139,20 @@ type thread = {
 
 exception Rt_crash of int * int * string  (* site, line, message *)
 
+(* Reading this sentinel from a slot means the local was never assigned.
+   Compared physically, so no program value can collide with it. *)
+let unbound : Value.t = VStr "\000unbound\000"
+
 type state = {
-  program : Ast.program;
-  plan : Plan.t;
+  program : Resolve.compiled;
   hooks : hooks;
+  shared : bool array;  (* plan.shared_site, pre-queried per sid *)
   heap : (Value.objid, obj) Hashtbl.t;
   threads : (int, thread) Hashtbl.t;
-  mutable thread_order : int list;  (* creation order, for stable iteration *)
+  mutable order : thread array;  (* creation order, for stable iteration *)
+  mutable n_threads : int;
   locks : (Value.objid, int * int) Hashtbl.t;  (* lock -> owner tid, count *)
-  waitsets : (Value.objid, int list) Hashtbl.t;  (* FIFO: oldest first *)
+  waitsets : (Value.objid, int Queue.t) Hashtbl.t;  (* FIFO: oldest first *)
   mutable steps : int;
   mutable crashes : crash list;
   mutable syscalls_rev : (int * int * string * Value.t) list;
@@ -131,6 +160,20 @@ type state = {
   collect_trace : bool;
   rng : Random.State.t;  (* backs the @rand syscall *)
 }
+
+let shared_site st (sid : int) : bool =
+  sid >= 0 && sid < Array.length st.shared && Array.unsafe_get st.shared sid
+
+let push_thread st (t : thread) : unit =
+  Hashtbl.replace st.threads t.tid t;
+  let n = st.n_threads in
+  if n = Array.length st.order then begin
+    let bigger = Array.make (max 8 (2 * n)) t in
+    Array.blit st.order 0 bigger 0 n;
+    st.order <- bigger
+  end;
+  st.order.(n) <- t;
+  st.n_threads <- n + 1
 
 (* ------------------------------------------------------------------ *)
 (* Heap helpers                                                        *)
@@ -143,115 +186,117 @@ let new_obj st (t : thread) (cls : string) : Value.objid =
   id
 
 let heap_read st (l : Loc.t) : Value.t =
-  match Hashtbl.find_opt st.heap l.obj with
-  | None -> VNull
-  | Some o -> Option.value ~default:Value.VNull (Hashtbl.find_opt o.fields l.field)
+  match Hashtbl.find st.heap l.obj with
+  | o -> ( match Hashtbl.find o.fields l.fld with v -> v | exception Not_found -> VNull)
+  | exception Not_found -> VNull
 
 let heap_write st (l : Loc.t) (v : Value.t) : unit =
-  match Hashtbl.find_opt st.heap l.obj with
-  | None ->
+  match Hashtbl.find st.heap l.obj with
+  | o -> Hashtbl.replace o.fields l.fld v
+  | exception Not_found ->
     (* ghost objects (negative ids) are materialized on first write *)
     let o = { cls = "$ghost"; fields = Hashtbl.create 4 } in
-    Hashtbl.replace o.fields l.field v;
+    Hashtbl.replace o.fields l.fld v;
     Hashtbl.replace st.heap l.obj o
-  | Some o -> Hashtbl.replace o.fields l.field v
 
 (* ------------------------------------------------------------------ *)
-(* Expression evaluation (pure: locals and constants only)             *)
+(* Expression evaluation (pure: slots and constants only)              *)
 (* ------------------------------------------------------------------ *)
 
 let crash site line fmt = Printf.ksprintf (fun m -> raise (Rt_crash (site, line, m))) fmt
 
-let rec eval (s : Ast.stmt) (locals : (string, Value.t) Hashtbl.t) (e : Ast.expr) : Value.t =
-  match e with
-  | Int n -> VInt n
-  | Bool b -> VBool b
-  | Null -> VNull
-  | Str str -> VStr str
-  | Var x -> (
-    match Hashtbl.find_opt locals x with
-    | Some v -> v
-    | None -> crash s.sid s.line "unbound local variable %s" x)
-  | Unop (Not, a) -> (
-    match eval s locals a with
-    | VBool b -> VBool (not b)
-    | v -> crash s.sid s.line "! applied to %s" (Value.to_string v))
-  | Unop (Neg, a) -> (
-    match eval s locals a with
-    | VInt n -> VInt (-n)
-    | v -> crash s.sid s.line "unary - applied to %s" (Value.to_string v))
-  | Binop (op, a, b) -> eval_binop s locals op a b
+open Resolve
 
-and eval_binop s locals op a b : Value.t =
+let rec eval (s : rstmt) (slots : Value.t array) (e : rexpr) : Value.t =
+  match e with
+  | RInt n -> VInt n
+  | RBool b -> VBool b
+  | RNull -> VNull
+  | RStr str -> VStr str
+  | RVar (i, x) ->
+    let v = Array.unsafe_get slots i in
+    if v == unbound then crash s.rsid s.rline "unbound local variable %s" x else v
+  | RUnop (Not, a) -> (
+    match eval s slots a with
+    | VBool b -> VBool (not b)
+    | v -> crash s.rsid s.rline "! applied to %s" (Value.to_string v))
+  | RUnop (Neg, a) -> (
+    match eval s slots a with
+    | VInt n -> VInt (-n)
+    | v -> crash s.rsid s.rline "unary - applied to %s" (Value.to_string v))
+  | RBinop (op, a, b) -> eval_binop s slots op a b
+
+and eval_binop s slots op a b : Value.t =
   let open Value in
   match op with
-  | And -> (
-    match eval s locals a with
+  | Ast.And -> (
+    match eval s slots a with
     | VBool false -> VBool false
     | VBool true -> (
-      match eval s locals b with
+      match eval s slots b with
       | VBool v -> VBool v
-      | v -> crash s.sid s.line "&& applied to %s" (to_string v))
-    | v -> crash s.sid s.line "&& applied to %s" (to_string v))
+      | v -> crash s.rsid s.rline "&& applied to %s" (to_string v))
+    | v -> crash s.rsid s.rline "&& applied to %s" (to_string v))
   | Or -> (
-    match eval s locals a with
+    match eval s slots a with
     | VBool true -> VBool true
     | VBool false -> (
-      match eval s locals b with
+      match eval s slots b with
       | VBool v -> VBool v
-      | v -> crash s.sid s.line "|| applied to %s" (to_string v))
-    | v -> crash s.sid s.line "|| applied to %s" (to_string v))
-  | Eq -> VBool (Value.equal (eval s locals a) (eval s locals b))
-  | Ne -> VBool (not (Value.equal (eval s locals a) (eval s locals b)))
+      | v -> crash s.rsid s.rline "|| applied to %s" (to_string v))
+    | v -> crash s.rsid s.rline "|| applied to %s" (to_string v))
+  | Eq -> VBool (Value.equal (eval s slots a) (eval s slots b))
+  | Ne -> VBool (not (Value.equal (eval s slots a) (eval s slots b)))
   | _ -> (
-    let va = eval s locals a and vb = eval s locals b in
+    let va = eval s slots a and vb = eval s slots b in
     match op, va, vb with
     | Add, VInt x, VInt y -> VInt (x + y)
     | Add, VStr x, VStr y -> VStr (x ^ y)
     | Sub, VInt x, VInt y -> VInt (x - y)
     | Mul, VInt x, VInt y -> VInt (x * y)
-    | Div, VInt _, VInt 0 -> crash s.sid s.line "division by zero"
+    | Div, VInt _, VInt 0 -> crash s.rsid s.rline "division by zero"
     | Div, VInt x, VInt y -> VInt (x / y)
-    | Mod, VInt _, VInt 0 -> crash s.sid s.line "modulo by zero"
+    | Mod, VInt _, VInt 0 -> crash s.rsid s.rline "modulo by zero"
     | Mod, VInt x, VInt y -> VInt (x mod y)
     | Lt, VInt x, VInt y -> VBool (x < y)
     | Le, VInt x, VInt y -> VBool (x <= y)
     | Gt, VInt x, VInt y -> VBool (x > y)
     | Ge, VInt x, VInt y -> VBool (x >= y)
     | _ ->
-      crash s.sid s.line "type error: %s %s %s" (to_string va)
+      crash s.rsid s.rline "type error: %s %s %s" (to_string va)
         (Pp.binop_str op) (to_string vb))
 
-let eval_bool (s : Ast.stmt) locals e : bool =
-  match eval s locals e with
+let eval_bool (s : rstmt) slots e : bool =
+  match eval s slots e with
   | VBool b -> b
-  | v -> crash s.sid s.line "expected boolean, got %s" (Value.to_string v)
+  | v -> crash s.rsid s.rline "expected boolean, got %s" (Value.to_string v)
 
-let eval_ref (s : Ast.stmt) locals e : Value.objid =
-  match eval s locals e with
+let eval_ref (s : rstmt) slots e : Value.objid =
+  match eval s slots e with
   | VRef o -> o
-  | VNull -> crash s.sid s.line "null dereference"
-  | v -> crash s.sid s.line "expected object reference, got %s" (Value.to_string v)
+  | VNull -> crash s.rsid s.rline "null dereference"
+  | v -> crash s.rsid s.rline "expected object reference, got %s" (Value.to_string v)
 
 (* ------------------------------------------------------------------ *)
 (* Shared-access bookkeeping                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* Tick D(t), emit the event, return the access descriptor. *)
+(* Tick D(t); build the access record only if someone will look at it. *)
 let access st (t : thread) ~(loc : Loc.t) ~(kind : Event.akind) ~(site : int)
     ~(ghost : Event.ghost_kind) (value : Value.t) : unit =
   t.d <- t.d + 1;
-  let a = { Event.tid = t.tid; c = t.d; loc; kind; site; ghost } in
-  if st.collect_trace then st.trace_rev <- a :: st.trace_rev;
   (match kind, ghost with
   | Read, NotGhost -> t.reads_rev <- (t.d, value) :: t.reads_rev
   | _ -> ());
-  st.hooks.observe (Access (a, value))
+  if st.collect_trace then
+    st.trace_rev <- { Event.tid = t.tid; c = t.d; loc; kind; site; ghost } :: st.trace_rev;
+  match st.hooks.observe with
+  | None -> ()
+  | Some f -> f (Access ({ Event.tid = t.tid; c = t.d; loc; kind; site; ghost }, value))
 
 (* The pre-event of the next shared access the thread will perform, for the
    gate.  Counter value is what the access *will* get. *)
-let pre_of st (t : thread) ~loc ~kind ~site ~ghost : Event.pre =
-  ignore st;
+let pre_of (t : thread) ~loc ~kind ~site ~ghost : Event.pre =
   { Event.tid = t.tid; c = t.d + 1; loc; kind; site; ghost }
 
 (* ------------------------------------------------------------------ *)
@@ -299,68 +344,69 @@ let do_release st (t : thread) (m : Value.objid) ~(site : int) ~(ghost : Event.g
 
 (* What shared access (if any) does the thread perform next?  Used both to
    consult the replay gate and to decide blocking.  Pure evaluation may crash;
-   in that case we report no access so the thread runs and crashes properly. *)
+   in that case we report no access so the thread runs and crashes properly.
+   Only computed when a gate is installed (replay-side runs). *)
 let next_pre st (t : thread) : Event.pre option =
-  let shared site = st.plan.shared_site site in
+  let shared site = shared_site st site in
   match t.status with
   | Notified m ->
-    Some (pre_of st t ~loc:(Loc.cond_ghost m) ~kind:Read ~site:0 ~ghost:WaitCondRead)
+    Some (pre_of t ~loc:(Loc.cond_ghost m) ~kind:Read ~site:0 ~ghost:WaitCondRead)
   | Reacquiring m ->
-    Some (pre_of st t ~loc:(Loc.lock_ghost m) ~kind:Read ~site:0 ~ghost:WaitReacqRead)
+    Some (pre_of t ~loc:(Loc.lock_ghost m) ~kind:Read ~site:0 ~ghost:WaitReacqRead)
   | Runnable | BlockedLock _ | BlockedJoin _ -> (
     if not t.started then
       Some
-        (pre_of st t ~loc:(Loc.thread_ghost t.tid) ~kind:Read ~site:0 ~ghost:ThreadFirstRead)
+        (pre_of t ~loc:(Loc.thread_ghost t.tid) ~kind:Read ~site:0 ~ghost:ThreadFirstRead)
     else
       match t.frames with
       | [] -> (* next transition is the exit ghost write *)
         Some
-          (pre_of st t ~loc:(Loc.thread_ghost t.tid) ~kind:Write ~site:0 ~ghost:ThreadExitWrite)
-      | { cont = []; _ } :: _ -> None
-      | ({ cont = CUnlock (m, sid) :: _; _ } :: _) ->
-        Some (pre_of st t ~loc:(Loc.lock_ghost m) ~kind:Write ~site:sid ~ghost:LockRelWrite)
-      | ({ cont = S s :: _; locals; _ } :: _) -> (
-        let e = eval s locals in
+          (pre_of t ~loc:(Loc.thread_ghost t.tid) ~kind:Write ~site:0 ~ghost:ThreadExitWrite)
+      | { cont = CDone; _ } :: _ | { cont = CSeq { todo = []; _ }; _ } :: _ -> None
+      | { cont = CUnlock (m, sid, _); _ } :: _ ->
+        Some (pre_of t ~loc:(Loc.lock_ghost m) ~kind:Write ~site:sid ~ghost:LockRelWrite)
+      | ({ cont = CSeq { todo = s :: _; _ }; slots; _ } :: _) -> (
+        let e x = eval s slots x in
         try
-          match s.node with
-          | Load (_, o, f) when shared s.sid ->
-            Some (pre_of st t ~loc:(Loc.field (eval_ref s locals o) f) ~kind:Read ~site:s.sid ~ghost:NotGhost)
-          | Store (o, f, _) when shared s.sid ->
-            Some (pre_of st t ~loc:(Loc.field (eval_ref s locals o) f) ~kind:Write ~site:s.sid ~ghost:NotGhost)
-          | LoadIdx (_, a, i) when shared s.sid -> (
+          match s.rnode with
+          | RLoad (_, o, f) when shared s.rsid ->
+            Some (pre_of t ~loc:(Loc.field_id (eval_ref s slots o) f) ~kind:Read ~site:s.rsid ~ghost:NotGhost)
+          | RStore (o, f, _) when shared s.rsid ->
+            Some (pre_of t ~loc:(Loc.field_id (eval_ref s slots o) f) ~kind:Write ~site:s.rsid ~ghost:NotGhost)
+          | RLoadIdx (_, a, i) when shared s.rsid -> (
             match e a, e i with
-            | VRef o, VInt n -> Some (pre_of st t ~loc:(Loc.elem o n) ~kind:Read ~site:s.sid ~ghost:NotGhost)
+            | VRef o, VInt n -> Some (pre_of t ~loc:(Loc.elem o n) ~kind:Read ~site:s.rsid ~ghost:NotGhost)
             | _ -> None)
-          | StoreIdx (a, i, _) when shared s.sid -> (
+          | RStoreIdx (a, i, _) when shared s.rsid -> (
             match e a, e i with
-            | VRef o, VInt n -> Some (pre_of st t ~loc:(Loc.elem o n) ~kind:Write ~site:s.sid ~ghost:NotGhost)
+            | VRef o, VInt n -> Some (pre_of t ~loc:(Loc.elem o n) ~kind:Write ~site:s.rsid ~ghost:NotGhost)
             | _ -> None)
-          | GlobalLoad (_, g) when shared s.sid ->
-            Some (pre_of st t ~loc:(Loc.global g) ~kind:Read ~site:s.sid ~ghost:NotGhost)
-          | GlobalStore (g, _) when shared s.sid ->
-            Some (pre_of st t ~loc:(Loc.global g) ~kind:Write ~site:s.sid ~ghost:NotGhost)
-          | MapGet (_, m, k) when shared s.sid ->
-            Some (pre_of st t ~loc:(Loc.mapkey (eval_ref s locals m) (e k)) ~kind:Read ~site:s.sid ~ghost:NotGhost)
-          | MapHas (_, m, k) when shared s.sid ->
-            Some (pre_of st t ~loc:(Loc.mapkey (eval_ref s locals m) (e k)) ~kind:Read ~site:s.sid ~ghost:NotGhost)
-          | MapPut (m, k, _) when shared s.sid ->
-            Some (pre_of st t ~loc:(Loc.mapkey (eval_ref s locals m) (e k)) ~kind:Write ~site:s.sid ~ghost:NotGhost)
-          | Sync (m, _) | Lock m ->
-            Some (pre_of st t ~loc:(Loc.lock_ghost (eval_ref s locals m)) ~kind:Read ~site:s.sid ~ghost:LockAcqRead)
-          | Unlock m ->
-            Some (pre_of st t ~loc:(Loc.lock_ghost (eval_ref s locals m)) ~kind:Write ~site:s.sid ~ghost:LockRelWrite)
-          | Wait m ->
-            Some (pre_of st t ~loc:(Loc.lock_ghost (eval_ref s locals m)) ~kind:Write ~site:s.sid ~ghost:WaitRelWrite)
-          | Notify m | NotifyAll m ->
-            Some (pre_of st t ~loc:(Loc.cond_ghost (eval_ref s locals m)) ~kind:Write ~site:s.sid ~ghost:NotifyWrite)
-          | Spawn _ ->
+          | RGlobalLoad (_, g) when shared s.rsid ->
+            Some (pre_of t ~loc:(Loc.global_id g) ~kind:Read ~site:s.rsid ~ghost:NotGhost)
+          | RGlobalStore (g, _) when shared s.rsid ->
+            Some (pre_of t ~loc:(Loc.global_id g) ~kind:Write ~site:s.rsid ~ghost:NotGhost)
+          | RMapGet (_, m, k) when shared s.rsid ->
+            Some (pre_of t ~loc:(Loc.mapkey (eval_ref s slots m) (e k)) ~kind:Read ~site:s.rsid ~ghost:NotGhost)
+          | RMapHas (_, m, k) when shared s.rsid ->
+            Some (pre_of t ~loc:(Loc.mapkey (eval_ref s slots m) (e k)) ~kind:Read ~site:s.rsid ~ghost:NotGhost)
+          | RMapPut (m, k, _) when shared s.rsid ->
+            Some (pre_of t ~loc:(Loc.mapkey (eval_ref s slots m) (e k)) ~kind:Write ~site:s.rsid ~ghost:NotGhost)
+          | RSync (m, _) | RLock m ->
+            Some (pre_of t ~loc:(Loc.lock_ghost (eval_ref s slots m)) ~kind:Read ~site:s.rsid ~ghost:LockAcqRead)
+          | RUnlock m ->
+            Some (pre_of t ~loc:(Loc.lock_ghost (eval_ref s slots m)) ~kind:Write ~site:s.rsid ~ghost:LockRelWrite)
+          | RWait m ->
+            Some (pre_of t ~loc:(Loc.lock_ghost (eval_ref s slots m)) ~kind:Write ~site:s.rsid ~ghost:WaitRelWrite)
+          | RNotify m | RNotifyAll m ->
+            Some (pre_of t ~loc:(Loc.cond_ghost (eval_ref s slots m)) ~kind:Write ~site:s.rsid ~ghost:NotifyWrite)
+          | RSpawn _ ->
             (* the child's ghost id depends on the fresh tid *)
             let child = (t.tid * 100) + t.spawn_idx + 1 in
-            Some (pre_of st t ~loc:(Loc.thread_ghost child) ~kind:Write ~site:s.sid ~ghost:SpawnWrite)
-          | Join h -> (
+            Some (pre_of t ~loc:(Loc.thread_ghost child) ~kind:Write ~site:s.rsid ~ghost:SpawnWrite)
+          | RJoin h -> (
             match e h with
             | VThread target ->
-              Some (pre_of st t ~loc:(Loc.thread_ghost target) ~kind:Read ~site:s.sid ~ghost:JoinRead)
+              Some (pre_of t ~loc:(Loc.thread_ghost target) ~kind:Read ~site:s.rsid ~ghost:JoinRead)
             | _ -> None)
           | _ -> None
         with Rt_crash _ -> None))
@@ -378,29 +424,32 @@ let semantically_enabled st (t : thread) : bool =
     | Some tt -> tt.status = Finished || tt.status = Crashed
     | None -> true)
   | Runnable -> (
-    (* peek for blocking statements *)
+    (* peek for blocking statements; only the sync/join head expressions can
+       crash, so the handler is set up only on those branches *)
     if not t.started then true
     else
       match t.frames with
-      | [] -> true
-      | { cont = []; _ } :: _ -> true
-      | { cont = CUnlock _ :: _; _ } :: _ -> true
-      | ({ cont = S s :: _; locals; _ } :: _) -> (
-        try
-          match s.node with
-          | Sync (m, _) | Lock m -> lock_free_or_mine st t (eval_ref s locals m)
-          | Join h -> (
-            match eval s locals h with
+      | ({ cont = CSeq { todo = s :: _; _ }; slots; _ } :: _) -> (
+        match s.rnode with
+        | RSync (m, _) | RLock m -> (
+          try lock_free_or_mine st t (eval_ref s slots m) with Rt_crash _ -> true)
+        | RJoin h -> (
+          try
+            match eval s slots h with
             | VThread target -> (
               match Hashtbl.find_opt st.threads target with
               | Some tt -> tt.status = Finished || tt.status = Crashed
               | None -> true)
-            | _ -> true (* will crash when stepped *))
-          | _ -> true
-        with Rt_crash _ -> true))
+            | _ -> true (* will crash when stepped *)
+          with Rt_crash _ -> true)
+        | _ -> true)
+      | _ -> true)
 
 let gate_allows st (t : thread) : bool =
-  match next_pre st t with None -> true | Some pre -> st.hooks.gate pre
+  match st.hooks.gate with
+  | None -> true
+  | Some gate -> (
+    match next_pre st t with None -> true | Some pre -> gate pre)
 
 (* ------------------------------------------------------------------ *)
 (* Stepping                                                            *)
@@ -408,32 +457,41 @@ let gate_allows st (t : thread) : bool =
 
 let current_frame (t : thread) : frame = List.hd t.frames
 
-let set_local (t : thread) (x : string) (v : Value.t) : unit =
-  Hashtbl.replace (current_frame t).locals x v
+let set_local (t : thread) (slot : int) (v : Value.t) : unit =
+  (current_frame t).slots.(slot) <- v
 
+(* Advance past the current statement.  Mutates the head [CSeq] in place;
+   no allocation unless the sequence is exhausted. *)
 let pop_stmt (t : thread) : unit =
   let f = current_frame t in
-  f.cont <- List.tl f.cont
+  match f.cont with
+  | CSeq r -> (
+    match r.todo with
+    | _ :: ((_ :: _) as rest) -> r.todo <- rest
+    | _ -> f.cont <- norm r.next)
+  | _ -> assert false
 
 (* Perform a shared or local heap read; instrumented sites tick and emit. *)
-let do_read st (t : thread) (s : Ast.stmt) (loc : Loc.t) : Value.t =
+let do_read st (t : thread) (s : rstmt) (loc : Loc.t) : Value.t =
   let v = heap_read st loc in
-  if st.plan.shared_site s.sid then
-    access st t ~loc ~kind:Read ~site:s.sid ~ghost:NotGhost v;
+  if shared_site st s.rsid then
+    access st t ~loc ~kind:Read ~site:s.rsid ~ghost:NotGhost v;
   v
 
-let do_write st (t : thread) (s : Ast.stmt) (loc : Loc.t) (v : Value.t) : unit =
-  if st.plan.shared_site s.sid then begin
-    let pre = pre_of st t ~loc ~kind:Write ~site:s.sid ~ghost:NotGhost in
-    if not (st.hooks.suppress_write pre) then heap_write st loc v;
-    access st t ~loc ~kind:Write ~site:s.sid ~ghost:NotGhost v
+let do_write st (t : thread) (s : rstmt) (loc : Loc.t) (v : Value.t) : unit =
+  if shared_site st s.rsid then begin
+    (match st.hooks.suppress_write with
+    | None -> heap_write st loc v
+    | Some suppress ->
+      if not (suppress (pre_of t ~loc ~kind:Write ~site:s.rsid ~ghost:NotGhost)) then
+        heap_write st loc v);
+    access st t ~loc ~kind:Write ~site:s.rsid ~ghost:NotGhost v
   end
   else heap_write st loc v
 
-let opaque_op st (t : thread) (s : Ast.stmt) (name : string) (args : Value.t list) : Value.t =
-  ignore st; ignore t;
+let opaque_op (s : rstmt) (name : string) (args : Value.t list) : Value.t =
   let module V = Value in
-  let int1 = function [ V.VInt n ] -> n | _ -> crash s.sid s.line "#%s: expected int" name in
+  let int1 = function [ V.VInt n ] -> n | _ -> crash s.rsid s.rline "#%s: expected int" name in
   if String.length name >= 2 && String.sub name 0 2 = "__" then V.VNull
     (* woven instrumentation pseudo-hooks are no-ops when executed directly *)
   else
@@ -458,13 +516,17 @@ let opaque_op st (t : thread) (s : Ast.stmt) (name : string) (args : Value.t lis
   | "mix", [ V.VInt a; V.VInt b ] -> VInt (((a * a) + (b * b) + (a * b)) land 0x3FFFFFFF)
   | "floor_sqrt", _ ->
     let n = int1 args in
-    if n < 0 then crash s.sid s.line "#floor_sqrt of negative"
+    if n < 0 then crash s.rsid s.rline "#floor_sqrt of negative"
     else VInt (int_of_float (sqrt (float_of_int n)))
-  | _ -> crash s.sid s.line "unknown opaque operation #%s" name
+  | _ -> crash s.rsid s.rline "unknown opaque operation #%s" name
 
-let syscall_value st (t : thread) (s : Ast.stmt) (name : string) (args : Value.t list) : Value.t
-    =
-  match st.hooks.syscall_override ~tid:t.tid ~idx:t.sys_idx ~name with
+let syscall_value st (t : thread) (s : rstmt) (name : string) (args : Value.t list) : Value.t =
+  let overridden =
+    match st.hooks.syscall_override with
+    | None -> None
+    | Some f -> f ~tid:t.tid ~idx:t.sys_idx ~name
+  in
+  match overridden with
   | Some v -> v
   | None -> (
     match name, args with
@@ -473,29 +535,33 @@ let syscall_value st (t : thread) (s : Ast.stmt) (name : string) (args : Value.t
     | "rand", [ VInt n ] when n > 0 -> VInt (Random.State.int st.rng n)
     | "rand", [] -> VInt (Random.State.int st.rng 1_000_000)
     | "read_input", [] -> VInt (Random.State.int st.rng 100)
-    | _ -> crash s.sid s.line "bad syscall @%s" name)
+    | _ -> crash s.rsid s.rline "bad syscall @%s" name)
 
 let fifo_pop st (m : Value.objid) : int option =
   match Hashtbl.find_opt st.waitsets m with
-  | None | Some [] -> None
-  | Some (w :: rest) ->
-    Hashtbl.replace st.waitsets m rest;
-    Some w
+  | None -> None
+  | Some q -> if Queue.is_empty q then None else Some (Queue.pop q)
 
 let pick_wakeup st (m : Value.objid) : int option =
   match st.hooks.choose_wakeup with
   | None -> fifo_pop st m
   | Some f -> (
     match Hashtbl.find_opt st.waitsets m with
-    | None | Some [] -> None
-    | Some waiters ->
+    | None -> None
+    | Some q when Queue.is_empty q -> None
+    | Some q ->
+      let waiters = List.rev (Queue.fold (fun acc x -> x :: acc) [] q) in
       let w = f ~lock:m ~waiters in
-      Hashtbl.replace st.waitsets m (List.filter (fun x -> x <> w) waiters);
+      Queue.clear q;
+      List.iter (fun x -> if x <> w then Queue.push x q) waiters;
       Some w)
 
 let wake st (w : int) (m : Value.objid) : unit =
   let wt = Hashtbl.find st.threads w in
   wt.status <- Notified m
+
+let observe_event st (ev : Event.t) : unit =
+  match st.hooks.observe with None -> () | Some f -> f ev
 
 (* Thread exit: emit the exit ghost write and release any held locks. *)
 let finish_thread st (t : thread) ~(crashed : bool) : unit =
@@ -505,7 +571,7 @@ let finish_thread st (t : thread) ~(crashed : bool) : unit =
   heap_write st l v;
   access st t ~loc:l ~kind:Write ~site:0 ~ghost:ThreadExitWrite v;
   t.status <- (if crashed then Crashed else Finished);
-  st.hooks.observe (ThreadFinished { tid = t.tid })
+  observe_event st (ThreadFinished { tid = t.tid })
 
 let make_thread ~tid ~frames : thread =
   {
@@ -523,27 +589,40 @@ let make_thread ~tid ~frames : thread =
     outputs_rev = [];
   }
 
-let spawn_thread st (parent : thread) (s : Ast.stmt) (fname : string) (args : Value.t list) :
-    int =
-  let fd =
-    match Ast.find_fn st.program fname with
-    | Some fd -> fd
-    | None -> crash s.sid s.line "spawn of undefined function %s" fname
-  in
+let new_frame (fn : rfn) ~(ret_to : int option) : frame =
+  {
+    cont =
+      (match fn.rf_body with
+      | [] -> CDone
+      | body -> CSeq { todo = body; next = CDone });
+    slots = Array.make fn.rf_frame unbound;
+    ret_to;
+  }
+
+(* Bind call arguments into parameter slots 0..n-1.  Arity mismatches are a
+   static error; unvalidated programs fail here the same way the seed's
+   [List.iter2] binding did. *)
+let bind_args (fn : rfn) (vals : Value.t list) (slots : Value.t array) : unit =
+  if List.length vals <> fn.rf_nparams then invalid_arg "List.iter2";
+  List.iteri (fun i v -> slots.(i) <- v) vals
+
+let spawn_thread st (parent : thread) (s : rstmt) (fidx : int) (fname : string)
+    (args : Value.t list) : int =
+  if fidx < 0 then crash s.rsid s.rline "spawn of undefined function %s" fname;
+  let fd = st.program.cp_fns.(fidx) in
   parent.spawn_idx <- parent.spawn_idx + 1;
-  if parent.spawn_idx > 99 then crash s.sid s.line "spawn limit (99 per thread) exceeded";
+  if parent.spawn_idx > 99 then crash s.rsid s.rline "spawn limit (99 per thread) exceeded";
   let tid = (parent.tid * 100) + parent.spawn_idx in
-  let locals = Hashtbl.create 16 in
-  List.iter2 (fun p v -> Hashtbl.replace locals p v) fd.params args;
-  let th = make_thread ~tid ~frames:[ { cont = List.map (fun x -> S x) fd.body; locals; ret_to = None } ] in
-  Hashtbl.replace st.threads tid th;
-  st.thread_order <- st.thread_order @ [ tid ];
+  let f = new_frame fd ~ret_to:None in
+  bind_args fd args f.slots;
+  let th = make_thread ~tid ~frames:[ f ] in
+  push_thread st th;
   (* parent writes the child's thread ghost (Section 4.3) *)
   let l = Loc.thread_ghost tid in
   let v = Value.VThread tid in
   heap_write st l v;
-  access st parent ~loc:l ~kind:Write ~site:s.sid ~ghost:SpawnWrite v;
-  st.hooks.observe (ThreadSpawned { parent = parent.tid; child = tid });
+  access st parent ~loc:l ~kind:Write ~site:s.rsid ~ghost:SpawnWrite v;
+  observe_event st (ThreadSpawned { parent = parent.tid; child = tid });
   tid
 
 (* Execute one transition of thread [t].  Assumes semantically enabled and
@@ -576,227 +655,245 @@ let rec step_thread st (t : thread) : unit =
       t.status <- Runnable;
       match t.frames with
       | [] -> finish_thread st t ~crashed:false
-      | { cont = []; ret_to; _ } :: rest ->
+      | ({ cont = CDone; ret_to; _ } :: rest | { cont = CSeq { todo = []; _ }; ret_to; _ } :: rest)
+        ->
         (* implicit return *)
         t.frames <- rest;
         (match rest, ret_to with
-        | caller :: _, Some x -> Hashtbl.replace caller.locals x VNull
+        | caller :: _, Some x -> caller.slots.(x) <- VNull
         | _ -> ())
-      | ({ cont = CUnlock (m, sid) :: _; _ } :: _) as _frames ->
-        pop_stmt t;
+      | ({ cont = CUnlock (m, sid, k); _ } as f) :: _ ->
+        f.cont <- k;
         do_release st t m ~site:sid ~ghost:LockRelWrite ~full:false
-      | ({ cont = S s :: _; locals; _ } :: _) -> exec_stmt st t s locals)
+      | ({ cont = CSeq { todo = s :: _; _ }; slots; _ } :: _) -> exec_stmt st t s slots)
     | InWait _ | Finished | Crashed -> assert false
 
-and exec_stmt st (t : thread) (s : Ast.stmt) (locals : (string, Value.t) Hashtbl.t) : unit =
-  let e x = eval s locals x in
-  match s.node with
-  | Nop | Yield -> pop_stmt t
-  | Assign (x, v) ->
-    let v = e v in
+and exec_stmt st (t : thread) (s : rstmt) (slots : Value.t array) : unit =
+  match s.rnode with
+  | RNop | RYield -> pop_stmt t
+  | RAssign (x, v) ->
+    let v = eval s slots v in
     pop_stmt t;
     set_local t x v
-  | Load (x, o, f) ->
-    let loc = Loc.field (eval_ref s locals o) f in
+  | RLoad (x, o, f) ->
+    let loc = Loc.field_id (eval_ref s slots o) f in
     pop_stmt t;
     set_local t x (do_read st t s loc)
-  | Store (o, f, v) ->
-    let loc = Loc.field (eval_ref s locals o) f in
-    let v = e v in
+  | RStore (o, f, v) ->
+    let loc = Loc.field_id (eval_ref s slots o) f in
+    let v = eval s slots v in
     pop_stmt t;
     do_write st t s loc v
-  | LoadIdx (x, a, i) -> (
-    match e a, e i with
+  | RLoadIdx (x, a, i) -> (
+    match eval s slots a, eval s slots i with
     | VRef o, VInt n ->
-      let len = match heap_read st (Loc.field o "len") with VInt l -> l | _ -> 0 in
-      if n < 0 || n >= len then crash s.sid s.line "array index %d out of bounds (len %d)" n len;
+      let len =
+        match heap_read st (Loc.field_id o Loc.len_fld) with VInt l -> l | _ -> 0
+      in
+      if n < 0 || n >= len then crash s.rsid s.rline "array index %d out of bounds (len %d)" n len;
       pop_stmt t;
       set_local t x (do_read st t s (Loc.elem o n))
-    | VNull, _ -> crash s.sid s.line "null dereference"
+    | VNull, _ -> crash s.rsid s.rline "null dereference"
     | va, vi ->
-      crash s.sid s.line "bad array access %s[%s]" (Value.to_string va) (Value.to_string vi))
-  | StoreIdx (a, i, v) -> (
-    match e a, e i with
+      crash s.rsid s.rline "bad array access %s[%s]" (Value.to_string va) (Value.to_string vi))
+  | RStoreIdx (a, i, v) -> (
+    match eval s slots a, eval s slots i with
     | VRef o, VInt n ->
-      let len = match heap_read st (Loc.field o "len") with VInt l -> l | _ -> 0 in
-      if n < 0 || n >= len then crash s.sid s.line "array index %d out of bounds (len %d)" n len;
-      let v = e v in
+      let len =
+        match heap_read st (Loc.field_id o Loc.len_fld) with VInt l -> l | _ -> 0
+      in
+      if n < 0 || n >= len then crash s.rsid s.rline "array index %d out of bounds (len %d)" n len;
+      let v = eval s slots v in
       pop_stmt t;
       do_write st t s (Loc.elem o n) v
-    | VNull, _ -> crash s.sid s.line "null dereference"
-    | va, _ -> crash s.sid s.line "bad array store into %s" (Value.to_string va))
-  | GlobalLoad (x, g) ->
+    | VNull, _ -> crash s.rsid s.rline "null dereference"
+    | va, _ -> crash s.rsid s.rline "bad array store into %s" (Value.to_string va))
+  | RGlobalLoad (x, g) ->
     pop_stmt t;
-    set_local t x (do_read st t s (Loc.global g))
-  | GlobalStore (g, v) ->
-    let v = e v in
+    set_local t x (do_read st t s (Loc.global_id g))
+  | RGlobalStore (g, v) ->
+    let v = eval s slots v in
     pop_stmt t;
-    do_write st t s (Loc.global g) v
-  | New (x, cls) ->
+    do_write st t s (Loc.global_id g) v
+  | RNew (x, cls, fids) ->
     pop_stmt t;
     let id = new_obj st t cls in
     (* initialize declared fields to null: Java-like default initialization;
        these writes are thread-local (the object is unescaped) *)
-    (match Ast.class_fields st.program cls with
-    | Some fields -> List.iter (fun f -> heap_write st (Loc.field id f) VNull) fields
-    | None -> ());
+    Array.iter (fun f -> heap_write st (Loc.field_id id f) VNull) fids;
     set_local t x (VRef id)
-  | NewArray (x, n) -> (
-    match e n with
+  | RNewArray (x, n) -> (
+    match eval s slots n with
     | VInt len when len >= 0 ->
       pop_stmt t;
       let id = new_obj st t "[]" in
-      heap_write st (Loc.field id "len") (VInt len);
+      heap_write st (Loc.field_id id Loc.len_fld) (VInt len);
       for i = 0 to len - 1 do
         heap_write st (Loc.elem id i) (VInt 0)
       done;
       set_local t x (VRef id)
-    | v -> crash s.sid s.line "bad array length %s" (Value.to_string v))
-  | NewMap x ->
+    | v -> crash s.rsid s.rline "bad array length %s" (Value.to_string v))
+  | RNewMap x ->
     pop_stmt t;
     let id = new_obj st t "map" in
     set_local t x (VRef id)
-  | MapGet (x, m, k) ->
-    let loc = Loc.mapkey (eval_ref s locals m) (e k) in
+  | RMapGet (x, m, k) ->
+    let loc = Loc.mapkey (eval_ref s slots m) (eval s slots k) in
     pop_stmt t;
     set_local t x (do_read st t s loc)
-  | MapPut (m, k, v) ->
-    let loc = Loc.mapkey (eval_ref s locals m) (e k) in
-    let v = e v in
+  | RMapPut (m, k, v) ->
+    let loc = Loc.mapkey (eval_ref s slots m) (eval s slots k) in
+    let v = eval s slots v in
     pop_stmt t;
     do_write st t s loc v
-  | MapHas (x, m, k) ->
-    let loc = Loc.mapkey (eval_ref s locals m) (e k) in
+  | RMapHas (x, m, k) ->
+    let loc = Loc.mapkey (eval_ref s slots m) (eval s slots k) in
     pop_stmt t;
     let v = do_read st t s loc in
     set_local t x (VBool (v <> VNull))
-  | If (c, b1, b2) ->
-    let cond = eval_bool s locals c in
-    st.hooks.on_branch ~tid:t.tid ~taken:cond;
+  | RIf (c, b1, b2) ->
+    let cond = eval_bool s slots c in
+    (match st.hooks.on_branch with None -> () | Some f -> f ~tid:t.tid ~taken:cond);
+    pop_stmt t;
     let f = current_frame t in
-    f.cont <- List.map (fun x -> S x) (if cond then b1 else b2) @ List.tl f.cont
-  | While (c, b) ->
-    let cond = eval_bool s locals c in
-    st.hooks.on_branch ~tid:t.tid ~taken:cond;
+    (match if cond then b1 else b2 with
+    | [] -> ()
+    | body -> f.cont <- CSeq { todo = body; next = f.cont })
+  | RWhile (c, b) ->
+    let cond = eval_bool s slots c in
+    (match st.hooks.on_branch with None -> () | Some f -> f ~tid:t.tid ~taken:cond);
     let f = current_frame t in
-    if cond then f.cont <- List.map (fun x -> S x) b @ f.cont
-    else f.cont <- List.tl f.cont
-  | Call (ret, fname, args) -> (
-    match Ast.find_fn st.program fname with
-    | None -> crash s.sid s.line "call to undefined function %s" fname
-    | Some fd ->
-      let vals = List.map e args in
-      pop_stmt t;
-      let callee_locals = Hashtbl.create 16 in
-      List.iter2 (fun p v -> Hashtbl.replace callee_locals p v) fd.params vals;
-      t.frames <-
-        { cont = List.map (fun x -> S x) fd.body; locals = callee_locals; ret_to = ret }
-        :: t.frames)
-  | Return v -> (
-    let rv = match v with Some x -> e x | None -> VNull in
+    if cond then (
+      (* the RWhile stays at the head of the outer sequence: after the body
+         runs, control falls back to the condition (empty bodies respin on
+         the condition itself, as the flat-list semantics did) *)
+      match b with
+      | [] -> ()
+      | body -> f.cont <- CSeq { todo = body; next = f.cont })
+    else pop_stmt t
+  | RCall (ret, fidx, fname, args) ->
+    if fidx < 0 then crash s.rsid s.rline "call to undefined function %s" fname;
+    let fd = st.program.cp_fns.(fidx) in
+    let vals = List.map (eval s slots) args in
+    pop_stmt t;
+    let f = new_frame fd ~ret_to:ret in
+    bind_args fd vals f.slots;
+    t.frames <- f :: t.frames
+  | RReturn v -> (
+    let rv = match v with Some x -> eval s slots x | None -> VNull in
     match t.frames with
     | { ret_to; _ } :: rest ->
       t.frames <- rest;
       (match rest, ret_to with
-      | caller :: _, Some x -> Hashtbl.replace caller.locals x rv
+      | caller :: _, Some x -> caller.slots.(x) <- rv
       | _ -> ())
     | [] -> assert false)
-  | Spawn (h, fname, args) ->
-    let vals = List.map e args in
+  | RSpawn (h, fidx, fname, args) ->
+    let vals = List.map (eval s slots) args in
     pop_stmt t;
-    let tid = spawn_thread st t s fname vals in
+    let tid = spawn_thread st t s fidx fname vals in
     set_local t h (VThread tid)
-  | Join hexpr -> (
-    match e hexpr with
+  | RJoin hexpr -> (
+    match eval s slots hexpr with
     | VThread target -> (
       match Hashtbl.find_opt st.threads target with
       | Some tt when tt.status = Finished || tt.status = Crashed ->
         pop_stmt t;
         let l = Loc.thread_ghost target in
-        access st t ~loc:l ~kind:Read ~site:s.sid ~ghost:JoinRead (heap_read st l)
+        access st t ~loc:l ~kind:Read ~site:s.rsid ~ghost:JoinRead (heap_read st l)
       | Some _ -> t.status <- BlockedJoin target
-      | None -> crash s.sid s.line "join of unknown thread %d" target)
-    | v -> crash s.sid s.line "join of non-thread %s" (Value.to_string v))
-  | Sync (m, body) ->
-    let mo = eval_ref s locals m in
-    if lock_free_or_mine st t mo then begin
-      let f = current_frame t in
-      f.cont <- List.map (fun x -> S x) body @ (CUnlock (mo, s.sid) :: List.tl f.cont);
-      do_acquire st t mo ~site:s.sid
-    end
-    else t.status <- BlockedLock mo
-  | Lock m ->
-    let mo = eval_ref s locals m in
+      | None -> crash s.rsid s.rline "join of unknown thread %d" target)
+    | v -> crash s.rsid s.rline "join of non-thread %s" (Value.to_string v))
+  | RSync (m, body) ->
+    let mo = eval_ref s slots m in
     if lock_free_or_mine st t mo then begin
       pop_stmt t;
-      do_acquire st t mo ~site:s.sid
+      let f = current_frame t in
+      let after = CUnlock (mo, s.rsid, f.cont) in
+      (f.cont <-
+         (match body with [] -> after | body -> CSeq { todo = body; next = after }));
+      do_acquire st t mo ~site:s.rsid
     end
     else t.status <- BlockedLock mo
-  | Unlock m ->
-    let mo = eval_ref s locals m in
+  | RLock m ->
+    let mo = eval_ref s slots m in
+    if lock_free_or_mine st t mo then begin
+      pop_stmt t;
+      do_acquire st t mo ~site:s.rsid
+    end
+    else t.status <- BlockedLock mo
+  | RUnlock m ->
+    let mo = eval_ref s slots m in
     pop_stmt t;
     (match Hashtbl.find_opt st.locks mo with
     | Some (owner, _) when owner = t.tid ->
-      do_release st t mo ~site:s.sid ~ghost:LockRelWrite ~full:false
-    | _ -> crash s.sid s.line "unlock of a lock not held")
-  | Wait m -> (
-    let mo = eval_ref s locals m in
+      do_release st t mo ~site:s.rsid ~ghost:LockRelWrite ~full:false
+    | _ -> crash s.rsid s.rline "unlock of a lock not held")
+  | RWait m -> (
+    let mo = eval_ref s slots m in
     match Hashtbl.find_opt st.locks mo with
     | Some (owner, n) when owner = t.tid ->
       pop_stmt t;
       (* wait_before: fully release the monitor *)
       t.wait_restore <- n;
-      do_release st t mo ~site:s.sid ~ghost:WaitRelWrite ~full:true;
+      do_release st t mo ~site:s.rsid ~ghost:WaitRelWrite ~full:true;
       t.status <- InWait mo;
-      let ws = Option.value ~default:[] (Hashtbl.find_opt st.waitsets mo) in
-      Hashtbl.replace st.waitsets mo (ws @ [ t.tid ])
-    | _ -> crash s.sid s.line "wait without holding the monitor")
-  | Notify m -> (
-    let mo = eval_ref s locals m in
+      let q =
+        match Hashtbl.find_opt st.waitsets mo with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.replace st.waitsets mo q;
+          q
+      in
+      Queue.push t.tid q
+    | _ -> crash s.rsid s.rline "wait without holding the monitor")
+  | RNotify m -> (
+    let mo = eval_ref s slots m in
     match Hashtbl.find_opt st.locks mo with
     | Some (owner, _) when owner = t.tid ->
       pop_stmt t;
       let cl = Loc.cond_ghost mo in
       let v = Value.VInt t.tid in
       heap_write st cl v;
-      access st t ~loc:cl ~kind:Write ~site:s.sid ~ghost:NotifyWrite v;
+      access st t ~loc:cl ~kind:Write ~site:s.rsid ~ghost:NotifyWrite v;
       (match pick_wakeup st mo with Some w -> wake st w mo | None -> ())
-    | _ -> crash s.sid s.line "notify without holding the monitor")
-  | NotifyAll m -> (
-    let mo = eval_ref s locals m in
+    | _ -> crash s.rsid s.rline "notify without holding the monitor")
+  | RNotifyAll m -> (
+    let mo = eval_ref s slots m in
     match Hashtbl.find_opt st.locks mo with
     | Some (owner, _) when owner = t.tid ->
       pop_stmt t;
       let cl = Loc.cond_ghost mo in
       let v = Value.VInt t.tid in
       heap_write st cl v;
-      access st t ~loc:cl ~kind:Write ~site:s.sid ~ghost:NotifyWrite v;
+      access st t ~loc:cl ~kind:Write ~site:s.rsid ~ghost:NotifyWrite v;
       let rec drain () =
         match fifo_pop st mo with
         | Some w -> wake st w mo; drain ()
         | None -> ()
       in
       drain ()
-    | _ -> crash s.sid s.line "notifyAll without holding the monitor")
-  | Assert c ->
-    let v = eval_bool s locals c in
-    if not v then crash s.sid s.line "assertion failed";
+    | _ -> crash s.rsid s.rline "notifyAll without holding the monitor")
+  | RAssert c ->
+    let v = eval_bool s slots c in
+    if not v then crash s.rsid s.rline "assertion failed";
     pop_stmt t
-  | Print v ->
-    let str = Value.to_string (e v) in
+  | RPrint v ->
+    let str = Value.to_string (eval s slots v) in
     pop_stmt t;
     t.outputs_rev <- str :: t.outputs_rev
-  | Syscall (x, name, args) ->
-    let vals = List.map e args in
+  | RSyscall (x, name, args) ->
+    let vals = List.map (eval s slots) args in
     let v = syscall_value st t s name vals in
     st.syscalls_rev <- (t.tid, t.sys_idx, name, v) :: st.syscalls_rev;
-    st.hooks.observe (SyscallEvent { tid = t.tid; idx = t.sys_idx; name; value = v });
+    observe_event st (SyscallEvent { tid = t.tid; idx = t.sys_idx; name; value = v });
     t.sys_idx <- t.sys_idx + 1;
     pop_stmt t;
     set_local t x v
-  | Opaque (x, name, args) ->
-    let vals = List.map e args in
-    let v = opaque_op st t s name vals in
+  | ROpaque (x, name, args) ->
+    let vals = List.map (eval s slots) args in
+    let v = opaque_op s name vals in
     pop_stmt t;
     set_local t x v
 
@@ -804,16 +901,22 @@ and exec_stmt st (t : thread) (s : Ast.stmt) (locals : (string, Value.t) Hashtbl
 (* Run loop                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(hooks = default_hooks) ?(plan = Plan.all_shared) ?(max_steps = 5_000_000)
-    ?(collect_trace = false) ?(seed = 0) ~(sched : Sched.t) (program : Ast.program) : outcome =
+type compiled = Resolve.compiled
+
+let compile : Ast.program -> compiled = Resolve.compile
+
+let run_compiled ?(hooks = default_hooks) ?(plan = Plan.all_shared) ?(max_steps = 5_000_000)
+    ?(collect_trace = false) ?(seed = 0) ~(sched : Sched.t) (cp : compiled) : outcome =
+  let shared = Array.init (cp.cp_max_sid + 1) (fun sid -> plan.Plan.shared_site sid) in
   let st =
     {
-      program;
-      plan;
+      program = cp;
       hooks;
+      shared;
       heap = Hashtbl.create 1024;
       threads = Hashtbl.create 16;
-      thread_order = [];
+      order = [||];
+      n_threads = 0;
       locks = Hashtbl.create 16;
       waitsets = Hashtbl.create 16;
       steps = 0;
@@ -826,36 +929,46 @@ let run ?(hooks = default_hooks) ?(plan = Plan.all_shared) ?(max_steps = 5_000_0
   in
   (* the globals root object *)
   Hashtbl.replace st.heap 0 { cls = "$globals"; fields = Hashtbl.create 16 };
-  List.iter (fun g -> heap_write st (Loc.global g) VNull) program.globals;
-  let main_thread =
-    make_thread ~tid:1
-      ~frames:[ { cont = List.map (fun x -> S x) program.main; locals = Hashtbl.create 16; ret_to = None } ]
-  in
+  Array.iter (fun g -> heap_write st (Loc.global_id g) VNull) cp.cp_globals;
+  let main_thread = make_thread ~tid:1 ~frames:[ new_frame cp.cp_main ~ret_to:None ] in
   main_thread.started <- true;  (* main has no spawn ghost to read *)
-  Hashtbl.replace st.threads 1 main_thread;
-  st.thread_order <- [ 1 ];
+  push_thread st main_thread;
+  let gated = st.hooks.gate <> None in
   let finished = ref false in
   let status = ref AllFinished in
   while not !finished do
-    let all = st.thread_order in
-    let live =
-      List.filter
-        (fun tid ->
-          let t = Hashtbl.find st.threads tid in
-          t.status <> Finished && t.status <> Crashed)
-        all
-    in
-    if live = [] then (finished := true; status := AllFinished)
+    (* one backwards walk of the creation-order vector: the accumulated list
+       comes out in creation order, exactly as the seed's list-filter
+       construction did.  The [live] list is only needed to report a
+       deadlock, so it is built on that (cold) path alone. *)
+    let sem_enabled = ref [] and any_live = ref false in
+    for i = st.n_threads - 1 downto 0 do
+      let t = st.order.(i) in
+      if t.status <> Finished && t.status <> Crashed then begin
+        any_live := true;
+        if semantically_enabled st t then sem_enabled := t.tid :: !sem_enabled
+      end
+    done;
+    if not !any_live then (finished := true; status := AllFinished)
     else begin
-      let sem_enabled =
-        List.filter (fun tid -> semantically_enabled st (Hashtbl.find st.threads tid)) live
-      in
+      let sem_enabled = !sem_enabled in
       let runnable =
-        List.filter (fun tid -> gate_allows st (Hashtbl.find st.threads tid)) sem_enabled
+        if not gated then sem_enabled
+        else
+          List.filter (fun tid -> gate_allows st (Hashtbl.find st.threads tid)) sem_enabled
       in
       if runnable = [] then begin
         finished := true;
-        status := (if sem_enabled = [] then Deadlock live else GateStuck sem_enabled)
+        status :=
+          (if sem_enabled = [] then begin
+             let live = ref [] in
+             for i = st.n_threads - 1 downto 0 do
+               let t = st.order.(i) in
+               if t.status <> Finished && t.status <> Crashed then live := t.tid :: !live
+             done;
+             Deadlock !live
+           end
+           else GateStuck sem_enabled)
       end
       else if st.steps >= max_steps then (finished := true; status := StepLimit)
       else begin
@@ -871,7 +984,9 @@ let run ?(hooks = default_hooks) ?(plan = Plan.all_shared) ?(max_steps = 5_000_0
     end
   done;
   let per_thread f =
-    List.map (fun tid -> (tid, f (Hashtbl.find st.threads tid))) st.thread_order
+    List.init st.n_threads (fun i ->
+        let t = st.order.(i) in
+        (t.tid, f t))
   in
   {
     status = !status;
@@ -886,10 +1001,14 @@ let run ?(hooks = default_hooks) ?(plan = Plan.all_shared) ?(max_steps = 5_000_0
       |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
       |> List.map (fun (id, o) ->
              ( id,
-               Hashtbl.fold (fun f v acc -> (f, v) :: acc) o.fields []
+               Hashtbl.fold (fun f v acc -> (Loc.fld_name f, v) :: acc) o.fields []
                |> List.sort compare ));
     trace = List.rev st.trace_rev;
   }
+
+let run ?hooks ?plan ?max_steps ?collect_trace ?seed ~(sched : Sched.t)
+    (program : Ast.program) : outcome =
+  run_compiled ?hooks ?plan ?max_steps ?collect_trace ?seed ~sched (compile program)
 
 (* ------------------------------------------------------------------ *)
 (* Determinism oracle (Theorem 1 observables)                           *)

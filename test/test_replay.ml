@@ -322,7 +322,7 @@ let prop_replay_faithful =
 let synth_log_gen =
   QCheck.Gen.(
     let evt = pair (int_range 0 2) (int_range 0 6) in
-    let loc_g = map (fun o -> { Runtime.Loc.obj = o; field = "f" }) (int_range 0 2) in
+    let loc_g = map (fun o -> Runtime.Loc.field o "f") (int_range 0 2) in
     let dep_g =
       loc_g >>= fun loc ->
       opt evt >>= fun w ->
