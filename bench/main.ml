@@ -15,7 +15,11 @@
     as an artifact.  The [interp] experiment writes BENCH_interp.json —
     per-workload interpreter throughput (reference vs slot-resolved, native
     and under each recording variant) with LIGHT_BENCH_ITERS controlling
-    the iteration budget.
+    the iteration budget.  The [analysis] experiment writes
+    BENCH_analysis.json — static-analysis precision, coarse (name buckets)
+    vs sharp (points-to + escape + must-alias locks): instrumented/guarded
+    sites, Section-5 space units, record-overhead ratios, and static race
+    pairs with dynamic happens-before confirmation.
 
     Experiments fan out across the engine's domain pool; set LIGHT_JOBS=N
     to choose the pool size (default: one worker per core, capped at 8).
@@ -49,6 +53,7 @@ let run_table1 () = Report.Experiments.table1 ~pool () ppf
 let run_example () = Report.Experiments.running_example () ppf
 let run_solver () = Report.Experiments.solver_bench ~pool () ppf
 let run_interp () = Report.Experiments.interp_bench () ppf
+let run_analysis () = Report.Experiments.analysis_bench () ppf
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks                                  *)
@@ -147,6 +152,7 @@ let all_experiments =
     ("running-example", run_example);
     ("solver", run_solver);
     ("interp", run_interp);
+    ("analysis", run_analysis);
   ]
 
 let () =

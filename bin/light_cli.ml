@@ -100,26 +100,84 @@ let run_cmd =
     Term.(const run $ file_arg $ seed_arg $ stick_arg $ trace)
 
 let analyze_cmd =
-  let run file =
-    let p = or_die (read_program file) in
-    let a = Analysis.Analyze.analyze p in
+  let run target weave =
+    let p =
+      if Sys.file_exists target then or_die (read_program target)
+      else
+        match Workloads.by_name target with
+        | Some bm -> Workloads.program bm
+        | None ->
+          or_die
+            (Error
+               (Printf.sprintf
+                  "%s: neither a .cl file nor a workload name\nworkloads: %s"
+                  target
+                  (String.concat " "
+                     (List.map (fun (b : Workloads.benchmark) -> b.name) Workloads.all))))
+    in
+    let tr_c = Instrument.Transformer.transform ~precision:Analysis.Analyze.Coarse p in
+    let tr_s = Instrument.Transformer.transform ~precision:Analysis.Analyze.Sharp p in
+    let a = tr_s.analysis in
     print_endline (Analysis.Analyze.summary a);
+    Printf.printf "\n  %-18s %-6s %-10s sites (lines)\n" "target" "shared" "guard";
     Analysis.Analyze.TM.iter
       (fun _ (tc : Analysis.Analyze.target_class) ->
-        Printf.printf "  %-12s shared=%b%s (%d sites)\n"
+        Printf.printf "  %-18s %-6b %-10s %s\n"
           (Analysis.Sites.target_to_string tc.target)
           tc.shared
-          (match tc.guarded_by with Some l -> " guarded-by=" ^ l | None -> "")
-          (List.length tc.sites))
+          (match tc.guarded_by with Some l -> l | None -> "-")
+          (String.concat ","
+             (List.map (fun (i : Analysis.Sites.info) -> string_of_int i.line) tc.sites)))
       a.targets;
+    if a.races <> [] then begin
+      Printf.printf "\npotential races (shared, unguarded, >=1 write):\n";
+      List.iter
+        (fun (r : Analysis.Analyze.race_pair) ->
+          Printf.printf "  %s: line %d <-> line %d\n"
+            (Analysis.Sites.target_to_string r.on) r.t1.line r.t2.line)
+        a.races
+    end;
+    (* old-vs-new elision: sites the coarse name-bucket plan instruments that
+       points-to + escape + must-alias locks prove safe to skip *)
+    let elided =
+      List.rev
+        (Lang.Ast.fold_stmts
+           (fun acc (s : Lang.Ast.stmt) ->
+             if
+               (Instrument.Transformer.is_read_site s
+               || Instrument.Transformer.is_write_site s)
+               && tr_c.plan.Runtime.Plan.shared_site s.sid
+               && not (tr_s.plan.Runtime.Plan.shared_site s.sid)
+             then s :: acc
+             else acc)
+           [] p)
+    in
+    Printf.printf
+      "\ninstrumented sites: %d coarse -> %d sharp (of %d); lock-guarded (O2): \
+       %d -> %d\n"
+      tr_c.instrumented_sites tr_s.instrumented_sites tr_s.total_access_sites
+      tr_c.guarded_sites tr_s.guarded_sites;
     List.iter
-      (fun (r : Analysis.Analyze.race_pair) ->
-        Printf.printf "  race on %s: line %d <-> line %d\n"
-          (Analysis.Sites.target_to_string r.on) r.t1.line r.t2.line)
-      a.races
+      (fun (s : Lang.Ast.stmt) ->
+        Printf.printf "  newly elided: line %-4d %s\n" s.line
+          (Lang.Pp.stmt_to_string s))
+      elided;
+    if weave then begin
+      Printf.printf "\ninstrumented source (sharp plan):\n";
+      Format.printf "%a@." Lang.Pp.pp_program (Instrument.Transformer.weave tr_s p)
+    end
   in
-  Cmd.v (Cmd.info "analyze" ~doc:"Static analysis: shared targets, guards, races")
-    Term.(const run $ file_arg)
+  let target_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PROGRAM" ~doc:"A .cl file or a built-in workload name")
+  in
+  let weave_flag =
+    Arg.(value & flag & info [ "weave" ] ~doc:"Also print the woven source under the sharp plan")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static analysis: classification, guards, races, coarse-vs-sharp elision")
+    Term.(const run $ target_arg $ weave_flag)
 
 let record_cmd =
   let run file seed stickiness variant out =

@@ -2,24 +2,40 @@
     optimization O2 (Lemma 4.2) and by the Chimera baseline.
 
     - {b shared targets}: data reachable from at least two dynamic thread
-      contexts (conservative; the role Soot/Chord play in the paper).
+      contexts (the role Soot/Chord play in the paper).  At {!Sharp}
+      precision a target is a per-allocation-site partition, thread-escape
+      replaces the syntactic freshness heuristic, and init-phase accesses
+      (main before the first spawn, happens-before-ordered with every
+      thread) are excluded from both the context count and the plan.
     - {b guarded targets}: shared data whose every access site runs under a
       consistent lock, so access-level recording can be subsumed by the
-      lock's ghost dependences.
+      lock's ghost dependences.  Sharp locks are unique allocation sites
+      (must-alias through arbitrary local aliases); coarse locks are global
+      names.
     - {b race pairs}: pairs of sites on the same shared target, at least one
-      a write, with no common lock — the input to Chimera's patching. *)
+      a write, with no common lock — the input to Chimera's patching and
+      the static side of the {!Hb_detector} precision metric.
+
+    {!Coarse} keeps the pre-points-to pipeline alive as the old-vs-new
+    comparison baseline (the [analysis] bench and the CLI elision summary);
+    {!Sharp} is the default used by the transformer. *)
 
 open Lang
+
+module ISet = Pointsto.ISet
 
 module TM = Map.Make (struct
   type t = Sites.target
   let compare = Sites.target_compare
 end)
 
+type precision = Coarse | Sharp
+
 type target_class = {
   target : Sites.target;
   shared : bool;
-  guarded_by : string option;  (** common lock (a global name) if consistent *)
+  guarded_by : string option;  (** display name of the consistent lock *)
+  guard : Sites.lock option;   (** its identity, used for consistency *)
   sites : Sites.info list;
 }
 
@@ -32,20 +48,22 @@ type race_pair = {
 type t = {
   program : Ast.program;
   callgraph : Callgraph.t;
+  precision : precision;
+  pointsto : Pointsto.t option;  (** [Some] at Sharp precision *)
+  escaping : ISet.t;             (** thread-escaping allocation sites (Sharp) *)
   sites : Sites.info list;
   targets : target_class TM.t;
   races : race_pair list;
 }
 
-let intersect_locks (sites : Sites.info list) : string option =
+let intersect_locks (sites : Sites.info list) : Sites.lock option =
   (* init-phase accesses are happens-before-ordered with every thread and do
      not break lock consistency (safe publication) *)
   let sites = List.filter (fun (s : Sites.info) -> not s.init_phase) sites in
   match sites with
   | [] -> None
   | first :: rest ->
-    if first.unresolved_lock || List.exists (fun (s : Sites.info) -> s.unresolved_lock) rest
-    then None
+    if List.exists (fun (s : Sites.info) -> s.unresolved_lock) sites then None
     else
       let common =
         List.fold_left
@@ -54,14 +72,60 @@ let intersect_locks (sites : Sites.info list) : string option =
       in
       (match common with l :: _ -> Some l | [] -> None)
 
-let analyze (p : Ast.program) : t =
+(* Render a lock identity for reports: a site lock prints as the global that
+   uniquely holds it when there is one (the common case), else by its
+   allocation site. *)
+let lock_display (pt : Pointsto.t option) (p : Ast.program) (l : Sites.lock) : string =
+  match l with
+  | Sites.LName g -> g
+  | Sites.LSite a -> (
+    match pt with
+    | Some pt -> (
+      match List.filter (fun g -> ISet.mem a (Pointsto.pts_global pt g)) p.globals with
+      | [ g ] -> g
+      | _ -> Printf.sprintf "lock@s%d" a)
+    | None -> Printf.sprintf "lock@s%d" a)
+
+let analyze ?(precision = Sharp) (p : Ast.program) : t =
   let cg = Callgraph.build p in
-  let sites = Sites.collect p in
-  (* group the non-fresh sites by target *)
+  let pointsto, escaping, sites =
+    match precision with
+    | Coarse -> (None, ISet.empty, Sites.collect_coarse p)
+    | Sharp ->
+      let pt = Pointsto.solve p in
+      let esc = Escape.escaping pt p in
+      (Some pt, esc, Sites.collect_sharp pt ~escaping:(Escape.is_escaping esc) p)
+  in
+  (* AUnknown merging: a base with an empty points-to set may alias any
+     allocation, so its name bucket absorbs every same-name partition *)
+  let unknown_keys = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Sites.info) ->
+      match s.target with
+      | Sites.(TField (AUnknown, _) | TArray AUnknown | TMap AUnknown) ->
+        Hashtbl.replace unknown_keys (Sites.target_base s.target) ()
+      | _ -> ())
+    sites;
+  let coarsen (t : Sites.target) : Sites.target =
+    if not (Hashtbl.mem unknown_keys (Sites.target_base t)) then t
+    else
+      match t with
+      | Sites.TField (_, f) -> Sites.TField (Sites.AUnknown, f)
+      | Sites.TArray _ -> Sites.TArray Sites.AUnknown
+      | Sites.TMap _ -> Sites.TMap Sites.AUnknown
+      | Sites.TGlobal _ -> t
+  in
+  let sites =
+    if Hashtbl.length unknown_keys = 0 then sites
+    else List.map (fun (s : Sites.info) -> { s with Sites.target = coarsen s.Sites.target }) sites
+  in
+  (* group sites by target.  Coarse reproduces the legacy pipeline, which
+     dropped syntactically-fresh sites before grouping; Sharp groups all
+     sites and lets escape decide sharedness. *)
   let groups =
     List.fold_left
       (fun m (s : Sites.info) ->
-        if s.base_fresh then m
+        if precision = Coarse && s.base_local then m
         else
           let prev = Option.value ~default:[] (TM.find_opt s.target m) in
           TM.add s.target (s :: prev) m)
@@ -71,24 +135,41 @@ let analyze (p : Ast.program) : t =
     TM.mapi
       (fun target group ->
         let group = List.rev group in
-        (* dynamic thread contexts that can reach any accessing site *)
+        (* dynamic thread contexts that can reach an accessing site.  At
+           Sharp precision init-phase sites do not count: they run before
+           any thread exists, so a target whose remaining sites sit in one
+           dynamic context has no unordered access pair. *)
+        let counted =
+          match precision with
+          | Sharp -> List.filter (fun (s : Sites.info) -> not s.init_phase) group
+          | Coarse -> group
+        in
         let entries =
           List.sort_uniq compare
-            (List.concat_map (fun (s : Sites.info) -> Callgraph.entries_reaching cg s.fn) group)
+            (List.concat_map (fun (s : Sites.info) -> Callgraph.entries_reaching cg s.fn) counted)
         in
         let contexts =
           List.fold_left (fun acc e -> acc + Callgraph.multiplicity cg e) 0 entries
         in
-        let shared = contexts >= 2 in
-        let guarded_by = if shared then intersect_locks group else None in
-        { target; shared; guarded_by; sites = group })
+        let confined =
+          (* a partition over a non-escaping allocation site is
+             thread-confined even when several contexts execute its code *)
+          match target with
+          | Sites.(TField (ASite a, _) | TArray (ASite a) | TMap (ASite a)) ->
+            precision = Sharp && not (ISet.mem a escaping)
+          | _ -> false
+        in
+        let shared = contexts >= 2 && not confined in
+        let guard = if shared then intersect_locks group else None in
+        let guarded_by = Option.map (lock_display pointsto p) guard in
+        { target; shared; guarded_by; guard; sites = group })
       groups
   in
   (* race pairs: same shared unguarded target, >= 1 write, no common lock *)
   let races =
     TM.fold
       (fun target (tc : target_class) acc ->
-        if (not tc.shared) || tc.guarded_by <> None then acc
+        if (not tc.shared) || tc.guard <> None then acc
         else
           let rec pairs = function
             | [] -> []
@@ -98,20 +179,33 @@ let analyze (p : Ast.program) : t =
                 (fun (y : Sites.info) ->
                   if y.init_phase then None
                   else
-                  let writes = x.kind = Sites.KWrite || y.kind = Sites.KWrite in
-                  let no_common_lock =
-                    x.unresolved_lock || y.unresolved_lock
-                    || not (List.exists (fun l -> List.mem l y.locks) x.locks)
-                  in
-                  if writes && no_common_lock then Some { t1 = x; t2 = y; on = target }
-                  else None)
+                    let writes = x.kind = Sites.KWrite || y.kind = Sites.KWrite in
+                    let no_common_lock =
+                      x.unresolved_lock || y.unresolved_lock
+                      || not (List.exists (fun l -> List.mem l y.locks) x.locks)
+                    in
+                    if writes && no_common_lock then Some { t1 = x; t2 = y; on = target }
+                    else None)
                 rest
               @ pairs rest
           in
           pairs tc.sites @ acc)
       targets []
   in
-  { program = p; callgraph = cg; sites; targets; races }
+  (* a site pair racing on several partitions of the same base is one race *)
+  let races =
+    let seen = Hashtbl.create 32 in
+    List.filter
+      (fun r ->
+        let key = (min r.t1.sid r.t2.sid, max r.t1.sid r.t2.sid) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      races
+  in
+  { program = p; callgraph = cg; precision; pointsto; escaping; sites; targets; races }
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
@@ -120,34 +214,51 @@ let analyze (p : Ast.program) : t =
 let target_of_site (a : t) (sid : int) : Sites.info option =
   List.find_opt (fun (s : Sites.info) -> s.sid = sid) a.sites
 
+(* is this (site, partition) membership one the plan must instrument? *)
+let info_shared (a : t) (s : Sites.info) : bool =
+  match TM.find_opt s.target a.targets with
+  | None -> false
+  | Some tc -> (
+    match a.precision with
+    | Coarse -> (not s.base_local) && tc.shared
+    | Sharp -> (not s.init_phase) && tc.shared)
+
 let shared_sids (a : t) : (int, bool) Hashtbl.t =
   let h = Hashtbl.create 64 in
   List.iter
     (fun (s : Sites.info) ->
-      let shared =
-        (not s.base_fresh)
-        &&
-        match TM.find_opt s.target a.targets with
-        | Some tc -> tc.shared
-        | None -> false
-      in
-      Hashtbl.replace h s.sid shared)
+      if not (Hashtbl.mem h s.sid) then Hashtbl.replace h s.sid false)
+    a.sites;
+  List.iter
+    (fun (s : Sites.info) -> if info_shared a s then Hashtbl.replace h s.sid true)
     a.sites;
   h
 
 let guarded_sids (a : t) : (int, bool) Hashtbl.t =
-  let h = Hashtbl.create 64 in
+  (* a site is guarded iff it is instrumented and every shared partition it
+     may touch carries a consistent guard (each location instance belongs to
+     exactly one partition, so per-partition guards suffice for Lemma 4.2) *)
+  let by_sid : (int, Sites.info list) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (s : Sites.info) ->
-      let guarded =
-        (not s.base_fresh)
-        &&
-        match TM.find_opt s.target a.targets with
-        | Some tc -> tc.shared && tc.guarded_by <> None
-        | None -> false
-      in
-      Hashtbl.replace h s.sid guarded)
+      Hashtbl.replace by_sid s.sid
+        (s :: Option.value ~default:[] (Hashtbl.find_opt by_sid s.sid)))
     a.sites;
+  let h = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun sid infos ->
+      let shared_infos = List.filter (info_shared a) infos in
+      let guarded =
+        shared_infos <> []
+        && List.for_all
+             (fun (s : Sites.info) ->
+               match TM.find_opt s.target a.targets with
+               | Some tc -> tc.guard <> None
+               | None -> false)
+             shared_infos
+      in
+      Hashtbl.replace h sid guarded)
+    by_sid;
   h
 
 (** Summary line for CLI / debugging. *)

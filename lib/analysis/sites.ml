@@ -1,25 +1,89 @@
 (** Per-site facts: what each heap-access site touches, whether its base
-    object is provably thread-local (freshly allocated and non-escaping), and
-    under which resolved locks it executes.  This is the substrate for the
-    shared-location detection (Soot-style) and the consistent-lock-guard
-    analysis of Lemma 4.2 (Chord-style). *)
+    object is provably thread-local, and under which resolved locks it
+    executes.  This is the substrate for the shared-location detection
+    (Soot-style) and the consistent-lock-guard analysis of Lemma 4.2
+    (Chord-style).
+
+    Two collectors produce the same [info] shape at different precision:
+
+    - {!collect_coarse} is the pre-points-to pipeline, kept verbatim as the
+      old-vs-new comparison baseline: targets are name buckets ([AUnknown]
+      allocation payloads), freshness is the per-body syntactic heuristic,
+      and locks resolve only to global names;
+    - {!collect_sharp} consumes the {!Pointsto} solution and an escape set:
+      targets are (allocation-site, field) / per-site array and map
+      partitions, thread-locality is real escape analysis, and locks
+      resolve to unique allocation sites through arbitrary local aliases
+      (must-alias). *)
 
 open Lang
 
-type target =
-  | TField of string   (** field name; class-insensitive, conservative *)
-  | TGlobal of string
-  | TArray             (** any array element *)
-  | TMap               (** any map entry *)
+(** Allocation-site qualifier of a target: [ASite sid] pins the partition to
+    one allocation statement; [AUnknown] is the name-bucket fallback (coarse
+    mode, or a base whose points-to set is empty). *)
+type alloc = ASite of int | AUnknown
 
-let target_compare = compare
-let target_to_string = function
-  | TField f -> "." ^ f
+type target =
+  | TField of alloc * string
+  | TGlobal of string
+  | TArray of alloc  (** elements of arrays from one allocation site *)
+  | TMap of alloc    (** entries of maps from one allocation site *)
+
+(* Explicit structural comparator and hash: the target type carries
+   allocation-site payloads, and inheriting polymorphic compare would tie
+   the ordering (hence TM iteration order, hence every report) to the
+   constructor layout.  Order: globals, then fields by name then site, then
+   arrays, then maps; AUnknown sorts before any concrete site. *)
+
+let alloc_compare (a : alloc) (b : alloc) : int =
+  match (a, b) with
+  | AUnknown, AUnknown -> 0
+  | AUnknown, ASite _ -> -1
+  | ASite _, AUnknown -> 1
+  | ASite x, ASite y -> Int.compare x y
+
+let target_compare (t1 : target) (t2 : target) : int =
+  match (t1, t2) with
+  | TGlobal a, TGlobal b -> String.compare a b
+  | TGlobal _, _ -> -1
+  | _, TGlobal _ -> 1
+  | TField (a1, f1), TField (a2, f2) -> (
+    match String.compare f1 f2 with 0 -> alloc_compare a1 a2 | c -> c)
+  | TField _, _ -> -1
+  | _, TField _ -> 1
+  | TArray a, TArray b -> alloc_compare a b
+  | TArray _, _ -> -1
+  | _, TArray _ -> 1
+  | TMap a, TMap b -> alloc_compare a b
+
+let alloc_hash = function AUnknown -> 0x3f5c_a9d1 | ASite s -> (s * 0x9e37) lxor s
+
+let target_hash (t : target) : int =
+  (match t with
+  | TGlobal g -> Hashtbl.hash g lxor 0x1
+  | TField (a, f) -> ((Hashtbl.hash f * 31) + alloc_hash a) lxor 0x2
+  | TArray a -> alloc_hash a lxor 0x4
+  | TMap a -> alloc_hash a lxor 0x8)
+  land max_int
+
+(** Name bucket of a target (the coarse spelling): ".f", "g", "[]", "{}". *)
+let target_base = function
+  | TField (_, f) -> "." ^ f
   | TGlobal g -> g
-  | TArray -> "[]"
-  | TMap -> "{}"
+  | TArray _ -> "[]"
+  | TMap _ -> "{}"
+
+let alloc_str = function ASite s -> "@s" ^ string_of_int s | AUnknown -> ""
+
+let target_to_string = function
+  | TGlobal g -> g
+  | (TField (a, _) | TArray a | TMap a) as t -> target_base t ^ alloc_str a
 
 type kind = KRead | KWrite
+
+(** A lock identity: a unique allocation site (sharp mode, must-alias) or a
+    global name (coarse mode's legacy resolution). *)
+type lock = LSite of int | LName of string
 
 type info = {
   sid : int;
@@ -27,9 +91,9 @@ type info = {
   target : target;
   kind : kind;
   fn : string option;   (** enclosing body; [None] = main *)
-  locks : string list;  (** enclosing sync locks, resolved to global names *)
+  locks : lock list;    (** enclosing sync locks that resolved *)
   unresolved_lock : bool;  (** some enclosing sync lock failed to resolve *)
-  base_fresh : bool;    (** base is a fresh non-escaping allocation *)
+  base_local : bool;    (** every object the base may denote is thread-confined *)
   init_phase : bool;
       (** in the main body before the first spawn: happens-before-ordered
           with every thread, so it cannot race and does not break lock
@@ -37,10 +101,45 @@ type info = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Freshness: flow-insensitive, per body                               *)
+(* Shared helpers                                                      *)
 (* ------------------------------------------------------------------ *)
 
 module SSet = Set.Make (String)
+
+let base_var = function Ast.Var x -> Some x | _ -> None
+
+(* main-body statement ids executed before the first spawn (top level or
+   nested): a conservative prefix — once any statement can spawn, every
+   later statement is post-init *)
+let init_sids (p : Ast.program) : (int, unit) Hashtbl.t =
+  let init = Hashtbl.create 64 in
+  let rec has_spawn (s : Ast.stmt) =
+    match s.node with
+    | Ast.Spawn _ -> true
+    | Ast.If (_, b1, b2) -> List.exists has_spawn b1 || List.exists has_spawn b2
+    | Ast.While (_, b) | Ast.Sync (_, b) -> List.exists has_spawn b
+    | Ast.Call (_, f, _) -> (
+      (* a called function might spawn *)
+      match Ast.find_fn p f with
+      | Some fd -> List.exists has_spawn fd.body
+      | None -> true)
+    | _ -> false
+  in
+  let rec mark = function
+    | [] -> ()
+    | s :: rest ->
+      if has_spawn s then ()
+      else begin
+        Ast.iter_stmts_block [ s ] (fun s' -> Hashtbl.replace init s'.sid ());
+        mark rest
+      end
+  in
+  mark p.main;
+  init
+
+(* ------------------------------------------------------------------ *)
+(* Coarse freshness: flow-insensitive, per body                        *)
+(* ------------------------------------------------------------------ *)
 
 (* Variables that only ever hold freshly-allocated objects that never escape
    the body.  Escape = stored into the heap, a global, a map, an array,
@@ -105,12 +204,12 @@ let fresh_vars (body : Ast.block) : SSet.t =
   SSet.diff !assigned_fresh !disqualified
 
 (* ------------------------------------------------------------------ *)
-(* Lock resolution: map a sync lock variable to a global name           *)
+(* Coarse lock resolution: map a sync lock variable to a global name    *)
 (* ------------------------------------------------------------------ *)
 
 (* Flow-insensitive per body: v aliases global g if the body contains
    [GlobalLoad (v, g)] and no other definition of v.  Parameters resolve via
-   call sites (handled by the caller in [collect]). *)
+   call sites (handled by the caller in [collect_coarse]). *)
 let global_aliases (body : Ast.block) : (string * string) list =
   let defs : (string, string option list) Hashtbl.t = Hashtbl.create 16 in
   let add_def x d =
@@ -145,10 +244,10 @@ let global_aliases (body : Ast.block) : (string * string) list =
     defs []
 
 (* ------------------------------------------------------------------ *)
-(* Collection                                                          *)
+(* Coarse collection (legacy pipeline)                                 *)
 (* ------------------------------------------------------------------ *)
 
-let collect (p : Ast.program) : info list =
+let collect_coarse (p : Ast.program) : info list =
   (* parameter-to-global resolution: param i of fn f resolves to global g if
      every call/spawn site of f passes an expression aliasing g there *)
   let bodies = (None, p.main) :: List.map (fun (f : Ast.fndef) -> (Some f.fname, f.body)) p.fns in
@@ -204,32 +303,7 @@ let collect (p : Ast.program) : info list =
         | None -> None))
     | _ -> None
   in
-  (* main-body statement ids executed before the first spawn (top level or
-     nested): a conservative prefix — once any statement can spawn, every
-     later statement is post-init *)
-  let init_sids = Hashtbl.create 64 in
-  let rec has_spawn (s : Ast.stmt) =
-    match s.node with
-    | Ast.Spawn _ -> true
-    | Ast.If (_, b1, b2) -> List.exists has_spawn b1 || List.exists has_spawn b2
-    | Ast.While (_, b) | Ast.Sync (_, b) -> List.exists has_spawn b
-    | Ast.Call (_, f, _) -> (
-      (* a called function might spawn *)
-      match Ast.find_fn p f with
-      | Some fd -> List.exists has_spawn fd.body
-      | None -> true)
-    | _ -> false
-  in
-  let rec mark_init = function
-    | [] -> ()
-    | s :: rest ->
-      if has_spawn s then ()
-      else begin
-        Ast.iter_stmts_block [ s ] (fun s' -> Hashtbl.replace init_sids s'.sid ());
-        mark_init rest
-      end
-  in
-  mark_init p.main;
+  let init = init_sids p in
   let out = ref [] in
   let emit ~sid ~line ~target ~kind ~fn ~locks ~unresolved ~fresh base =
     out :=
@@ -241,12 +315,11 @@ let collect (p : Ast.program) : info list =
         fn;
         locks;
         unresolved_lock = unresolved;
-        base_fresh = (match base with Some b -> SSet.mem b fresh | None -> false);
-        init_phase = fn = None && Hashtbl.mem init_sids sid;
+        base_local = (match base with Some b -> SSet.mem b fresh | None -> false);
+        init_phase = fn = None && Hashtbl.mem init sid;
       }
       :: !out
   in
-  let base_var = function Ast.Var x -> Some x | _ -> None in
   List.iter
     (fun (fn, body) ->
       let fresh = fresh_vars body in
@@ -255,12 +328,12 @@ let collect (p : Ast.program) : info list =
           emit ~sid:s.sid ~line:s.line ~target ~kind:k ~fn ~locks ~unresolved ~fresh base
         in
         match s.node with
-        | Load (_, o, f) -> e (TField f) (base_var o)
-        | Store (o, f, _) -> e ~k:KWrite (TField f) (base_var o)
-        | LoadIdx (_, a, _) -> e TArray (base_var a)
-        | StoreIdx (a, _, _) -> e ~k:KWrite TArray (base_var a)
-        | MapGet (_, m, _) | MapHas (_, m, _) -> e TMap (base_var m)
-        | MapPut (m, _, _) -> e ~k:KWrite TMap (base_var m)
+        | Load (_, o, f) -> e (TField (AUnknown, f)) (base_var o)
+        | Store (o, f, _) -> e ~k:KWrite (TField (AUnknown, f)) (base_var o)
+        | LoadIdx (_, a, _) -> e (TArray AUnknown) (base_var a)
+        | StoreIdx (a, _, _) -> e ~k:KWrite (TArray AUnknown) (base_var a)
+        | MapGet (_, m, _) | MapHas (_, m, _) -> e (TMap AUnknown) (base_var m)
+        | MapPut (m, _, _) -> e ~k:KWrite (TMap AUnknown) (base_var m)
         | GlobalLoad (_, g) -> e (TGlobal g) None
         | GlobalStore (g, _) -> e ~k:KWrite (TGlobal g) None
         | If (_, b1, b2) ->
@@ -269,7 +342,95 @@ let collect (p : Ast.program) : info list =
         | While (_, b) -> List.iter (go ~locks ~unresolved) b
         | Sync (m, b) -> (
           match resolve_lock fn m with
-          | Some g -> List.iter (go ~locks:(g :: locks) ~unresolved) b
+          | Some g -> List.iter (go ~locks:(LName g :: locks) ~unresolved) b
+          | None -> List.iter (go ~locks ~unresolved:true) b)
+        | _ -> ()
+      in
+      List.iter (go ~locks:[] ~unresolved:false) body)
+    bodies;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Sharp collection (points-to driven)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One [info] per (site, pointed-to allocation): a site whose base may
+   denote several allocation sites joins each partition.  An empty points-to
+   set (the base can only be null at runtime; or a non-variable base) falls
+   back to the [AUnknown] name bucket, which {!Analyze} merges with every
+   same-name partition. *)
+let collect_sharp (pt : Pointsto.t) ~(escaping : int -> bool) (p : Ast.program) :
+    info list =
+  let init = init_sids p in
+  let bodies =
+    (None, p.main) :: List.map (fun (f : Ast.fndef) -> (Some f.fname, f.body)) p.fns
+  in
+  let out = ref [] in
+  List.iter
+    (fun (fn, body) ->
+      let pts_of x = Pointsto.pts_var pt ~fn x in
+      (* must-alias: a singleton points-to set over a site that allocates at
+         most one dynamic object names one concrete lock *)
+      let resolve_lock (e : Ast.expr) : lock option =
+        match e with
+        | Ast.Var x -> (
+          match Pointsto.ISet.elements (pts_of x) with
+          | [ a ] when Pointsto.unique_site pt a -> Some (LSite a)
+          | _ -> None)
+        | _ -> None
+      in
+      (* targets of an access through [base]; [mk] builds the per-site
+         partition.  Also reports whether every denoted object is
+         thread-confined. *)
+      let partitions base (mk : alloc -> target) : target list * bool =
+        match base with
+        | Some x ->
+          let s = pts_of x in
+          if Pointsto.ISet.is_empty s then ([ mk AUnknown ], false)
+          else
+            ( List.map (fun a -> mk (ASite a)) (Pointsto.ISet.elements s),
+              Pointsto.ISet.for_all (fun a -> not (escaping a)) s )
+        | None -> ([ mk AUnknown ], false)
+      in
+      let emit ~sid ~line ~kind ~locks ~unresolved (targets, local) =
+        List.iter
+          (fun target ->
+            out :=
+              {
+                sid;
+                line;
+                target;
+                kind;
+                fn;
+                locks;
+                unresolved_lock = unresolved;
+                base_local = local;
+                init_phase = fn = None && Hashtbl.mem init sid;
+              }
+              :: !out)
+          targets
+      in
+      let rec go ~locks ~unresolved (s : Ast.stmt) =
+        let e ?(k = KRead) parts =
+          emit ~sid:s.sid ~line:s.line ~kind:k ~locks ~unresolved parts
+        in
+        match s.node with
+        | Load (_, o, f) -> e (partitions (base_var o) (fun a -> TField (a, f)))
+        | Store (o, f, _) -> e ~k:KWrite (partitions (base_var o) (fun a -> TField (a, f)))
+        | LoadIdx (_, a, _) -> e (partitions (base_var a) (fun al -> TArray al))
+        | StoreIdx (a, _, _) -> e ~k:KWrite (partitions (base_var a) (fun al -> TArray al))
+        | MapGet (_, m, _) | MapHas (_, m, _) ->
+          e (partitions (base_var m) (fun al -> TMap al))
+        | MapPut (m, _, _) -> e ~k:KWrite (partitions (base_var m) (fun al -> TMap al))
+        | GlobalLoad (_, g) -> e ([ TGlobal g ], false)
+        | GlobalStore (g, _) -> e ~k:KWrite ([ TGlobal g ], false)
+        | If (_, b1, b2) ->
+          List.iter (go ~locks ~unresolved) b1;
+          List.iter (go ~locks ~unresolved) b2
+        | While (_, b) -> List.iter (go ~locks ~unresolved) b
+        | Sync (m, b) -> (
+          match resolve_lock m with
+          | Some l -> List.iter (go ~locks:(l :: locks) ~unresolved) b
           | None -> List.iter (go ~locks ~unresolved:true) b)
         | _ -> ()
       in

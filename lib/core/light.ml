@@ -32,9 +32,28 @@ type recording = {
 (** Run the transformer and execute the program under the Light recorder. *)
 let record ?(variant = Recorder.v_both) ?(sched = Sched.random ~seed:1)
     ?(max_steps = 5_000_000) ?(seed = 0) ?(weights = Metrics.Cost.default_weights)
-    (program : Lang.Ast.program) : recording =
-  let tr = Instrument.Transformer.transform ~enable_o2:variant.o2 program in
-  let plan = tr.plan in
+    ?plan (program : Lang.Ast.program) : recording =
+  let plan, instrumented_sites =
+    match plan with
+    | Some plan ->
+      (* caller-supplied plan (e.g. [Plan.all_shared] for a full-recording
+         baseline): count the access sites it instruments directly *)
+      let n =
+        Lang.Ast.fold_stmts
+          (fun acc (s : Lang.Ast.stmt) ->
+            if
+              plan.Plan.shared_site s.sid
+              && (Instrument.Transformer.is_read_site s
+                 || Instrument.Transformer.is_write_site s)
+            then acc + 1
+            else acc)
+          0 program
+      in
+      (plan, n)
+    | None ->
+      let tr = Instrument.Transformer.transform ~enable_o2:variant.o2 program in
+      (tr.plan, tr.instrumented_sites)
+  in
   let recorder = Recorder.create ~variant ~weights plan in
   let outcome =
     Interp.run ~hooks:(Recorder.hooks recorder) ~plan ~max_steps ~seed ~sched program
@@ -49,7 +68,7 @@ let record ?(variant = Recorder.v_both) ?(sched = Sched.random ~seed:1)
     space_longs = Log.space_longs log;
     overhead = Metrics.Cost.overhead (Recorder.meter recorder) ~steps:outcome.steps;
     meter = Recorder.meter recorder;
-    instrumented_sites = tr.instrumented_sites;
+    instrumented_sites;
   }
 
 type replay_result = {

@@ -48,11 +48,14 @@ val record :
   ?max_steps:int ->
   ?seed:int ->
   ?weights:Metrics.Cost.weights ->
+  ?plan:Plan.t ->
   Lang.Ast.program ->
   recording
 (** Run the transformer and execute the program under the Light recorder.
     [sched] defaults to a seeded random scheduler; [seed] feeds the
-    program-visible nondeterminism ([@rand] etc.). *)
+    program-visible nondeterminism ([@rand] etc.).  [plan] overrides the
+    transformer's instrumentation plan — pass [Plan.all_shared] for a
+    record-everything baseline (static analysis disabled). *)
 
 type replay_result = {
   replay_outcome : Interp.outcome;

@@ -454,6 +454,178 @@ let interp_bench ?(seed = 7) ?(json_path = "BENCH_interp.json") () ppf : unit =
   Fmt.pf ppf "  full measurement (with timings) written to %s@.@." json_path
 
 (* ------------------------------------------------------------------ *)
+(* Static-analysis precision (BENCH_analysis.json)                      *)
+(* ------------------------------------------------------------------ *)
+
+type analysis_measure = {
+  am_bm : string;
+  am_total : int;              (* access sites in the program *)
+  am_coarse_instr : int;       (* instrumented under the legacy name-bucket pass *)
+  am_sharp_instr : int;        (* instrumented under points-to + escape *)
+  am_coarse_guarded : int;
+  am_sharp_guarded : int;
+  am_coarse_space : int;       (* Section-5 space units, v_both recording *)
+  am_sharp_space : int;
+  am_coarse_overhead : float;  (* modeled record overhead, v_both *)
+  am_sharp_overhead : float;
+  am_static_pairs : int;       (* sharp static race pairs *)
+  am_confirmed_pairs : int;    (* confirmed by the HB detector (round-robin) *)
+  am_native_sps : float;
+  am_basic_coarse_sps : float; (* v_basic recording under the coarse plan *)
+  am_basic_sharp_sps : float;  (* v_basic recording under the sharp plan *)
+}
+
+let measure_analysis ?(seed = 7) ~iters (bm : Workloads.benchmark) : analysis_measure =
+  let p = Workloads.program bm in
+  let sched () = Workloads.scheduler ~seed bm in
+  let tr_c = Instrument.Transformer.transform ~precision:Analysis.Analyze.Coarse p in
+  let tr_s = Instrument.Transformer.transform ~precision:Analysis.Analyze.Sharp p in
+  let record ?plan variant =
+    Light_core.Light.record ~variant ~sched:(sched ()) ~seed ?plan p
+  in
+  let rec_c = record ~plan:tr_c.plan Light_core.Light.v_both in
+  let rec_s = record Light_core.Light.v_both in
+  (* dynamic confirmation of the static race pairs: one detector run under
+     the deterministic scheduler, so the column is stdout-safe *)
+  let _, det = Analysis.Hb_detector.detect ~sched:(Sched.round_robin ()) p in
+  let dyn_pairs = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Analysis.Hb_detector.race) ->
+      Hashtbl.replace dyn_pairs (min r.site1 r.site2, max r.site1 r.site2) ())
+    (Analysis.Hb_detector.races det);
+  let confirmed =
+    List.length
+      (List.filter
+         (fun (r : Analysis.Analyze.race_pair) ->
+           Hashtbl.mem dyn_pairs (min r.t1.sid r.t2.sid, max r.t1.sid r.t2.sid))
+         tr_s.analysis.races)
+  in
+  let cp = Interp.compile p in
+  let _, native_sps =
+    steps_per_sec ~iters (fun () -> Interp.run_compiled ~sched:(sched ()) cp)
+  in
+  (* both timed runs take a precomputed plan: the point is the cost of the
+     instrumentation the plan leaves behind, not of running the analysis *)
+  let record_basic plan () = (record ~plan Light_core.Light.v_basic).outcome in
+  let _, basic_coarse_sps = steps_per_sec ~iters (record_basic tr_c.plan) in
+  let _, basic_sharp_sps = steps_per_sec ~iters (record_basic tr_s.plan) in
+  {
+    am_bm = bm.name;
+    am_total = tr_s.total_access_sites;
+    am_coarse_instr = tr_c.instrumented_sites;
+    am_sharp_instr = tr_s.instrumented_sites;
+    am_coarse_guarded = tr_c.guarded_sites;
+    am_sharp_guarded = tr_s.guarded_sites;
+    am_coarse_space = rec_c.space_longs;
+    am_sharp_space = rec_s.space_longs;
+    am_coarse_overhead = rec_c.overhead;
+    am_sharp_overhead = rec_s.overhead;
+    am_static_pairs = List.length tr_s.analysis.races;
+    am_confirmed_pairs = confirmed;
+    am_native_sps = native_sps;
+    am_basic_coarse_sps = basic_coarse_sps;
+    am_basic_sharp_sps = basic_sharp_sps;
+  }
+
+let geomean_f (xs : float list) : float =
+  exp (List.fold_left (fun a x -> a +. log x) 0. xs /. float_of_int (List.length xs))
+
+let analysis_json ~iters (ms : analysis_measure list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "{\n  \"iters\": %d,\n  \"rows\": [\n" iters);
+  List.iteri
+    (fun i m ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": %S, \"total_sites\": %d, \"coarse_instr\": %d, \
+            \"sharp_instr\": %d, \"coarse_guarded\": %d, \"sharp_guarded\": %d, \
+            \"coarse_space\": %d, \"sharp_space\": %d, \"coarse_overhead\": %.4f, \
+            \"sharp_overhead\": %.4f, \"static_pairs\": %d, \"confirmed_pairs\": %d, \
+            \"native_sps\": %.0f, \"basic_coarse_sps\": %.0f, \"basic_sharp_sps\": \
+            %.0f, \"ratio_basic_coarse\": %.2f, \"ratio_basic_sharp\": %.2f}%s\n"
+           m.am_bm m.am_total m.am_coarse_instr m.am_sharp_instr m.am_coarse_guarded
+           m.am_sharp_guarded m.am_coarse_space m.am_sharp_space m.am_coarse_overhead
+           m.am_sharp_overhead m.am_static_pairs m.am_confirmed_pairs m.am_native_sps
+           m.am_basic_coarse_sps m.am_basic_sharp_sps
+           (m.am_native_sps /. m.am_basic_coarse_sps)
+           (m.am_native_sps /. m.am_basic_sharp_sps)
+           (if i = List.length ms - 1 then "" else ",")))
+    ms;
+  let decreased =
+    List.length (List.filter (fun m -> m.am_sharp_instr < m.am_coarse_instr) ms)
+  in
+  let regressed =
+    List.length (List.filter (fun m -> m.am_sharp_instr > m.am_coarse_instr) ms)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  ],\n  \"summary\": {\"decreased\": %d, \"regressed\": %d, \
+        \"geomean_space_ratio\": %.3f, \"geomean_ratio_basic_coarse\": %.2f, \
+        \"geomean_ratio_basic_sharp\": %.2f}\n}\n"
+       decreased regressed
+       (geomean_f
+          (List.map
+             (fun m -> float_of_int m.am_sharp_space /. float_of_int m.am_coarse_space)
+             ms))
+       (geomean_f (List.map (fun m -> m.am_native_sps /. m.am_basic_coarse_sps) ms))
+       (geomean_f (List.map (fun m -> m.am_native_sps /. m.am_basic_sharp_sps) ms)));
+  Buffer.contents buf
+
+(* Static-analysis precision, old (name-bucket) vs new (points-to + escape +
+   must-alias locks) — instrumented/guarded sites, Section-5 space units,
+   modeled record overhead, race pairs with dynamic HB confirmation, and the
+   wall-clock basic-recording ratios.  Sequential for timing purity, like
+   the interp bench; every wall-clock column hides behind LIGHT_TIMINGS. *)
+let analysis_bench ?(seed = 7) ?(json_path = "BENCH_analysis.json") () ppf : unit =
+  let iters = bench_iters () in
+  let ms = List.map (measure_analysis ~seed ~iters) Workloads.all in
+  let pct v = Printf.sprintf "%.0f%%" (100. *. v) in
+  Chart.table
+    ~title:
+      "Static-analysis precision: coarse (name buckets) vs sharp (points-to + \
+       escape), v_both recording"
+    ~header:
+      [ "workload"; "sites"; "instr c>s"; "guard c>s"; "space c>s"; "ovh c>s";
+        "races"; "dyn"; "xbasic c"; "xbasic s" ]
+    (List.map
+       (fun m ->
+         [
+           m.am_bm;
+           string_of_int m.am_total;
+           Printf.sprintf "%d>%d" m.am_coarse_instr m.am_sharp_instr;
+           Printf.sprintf "%d>%d" m.am_coarse_guarded m.am_sharp_guarded;
+           Printf.sprintf "%d>%d" m.am_coarse_space m.am_sharp_space;
+           Printf.sprintf "%s>%s" (pct m.am_coarse_overhead) (pct m.am_sharp_overhead);
+           string_of_int m.am_static_pairs;
+           string_of_int m.am_confirmed_pairs;
+           timing_cell (Printf.sprintf "%.1f" (m.am_native_sps /. m.am_basic_coarse_sps));
+           timing_cell (Printf.sprintf "%.1f" (m.am_native_sps /. m.am_basic_sharp_sps));
+         ])
+       ms)
+    ppf;
+  let decreased =
+    List.length (List.filter (fun m -> m.am_sharp_instr < m.am_coarse_instr) ms)
+  in
+  let regressed =
+    List.length (List.filter (fun m -> m.am_sharp_instr > m.am_coarse_instr) ms)
+  in
+  Fmt.pf ppf
+    "  instrumented sites: strictly fewer on %d/%d workloads, %d regressions@."
+    decreased (List.length ms) regressed;
+  Fmt.pf ppf "  geomean space ratio (sharp/coarse, v_both): %.3f@."
+    (geomean_f
+       (List.map
+          (fun m -> float_of_int m.am_sharp_space /. float_of_int m.am_coarse_space)
+          ms));
+  if show_timings () then
+    Fmt.pf ppf "  geomean record overhead (basic): coarse %.2fx, sharp %.2fx@."
+      (geomean_f (List.map (fun m -> m.am_native_sps /. m.am_basic_coarse_sps) ms))
+      (geomean_f (List.map (fun m -> m.am_native_sps /. m.am_basic_sharp_sps) ms));
+  Out_channel.with_open_text json_path (fun oc ->
+      Out_channel.output_string oc (analysis_json ~iters ms));
+  Fmt.pf ppf "  full measurement (with timings) written to %s@.@." json_path
+
+(* ------------------------------------------------------------------ *)
 (* Figure 6: real-world bugs                                            *)
 (* ------------------------------------------------------------------ *)
 

@@ -3,18 +3,25 @@
 
 open Analysis
 
-let analyze src = Analyze.analyze (Lang.Check.validate_exn (Lang.Parser.parse_program src))
+let analyze ?precision src =
+  Analyze.analyze ?precision (Lang.Check.validate_exn (Lang.Parser.parse_program src))
 
-let target_of (a : Analyze.t) (name : string) : Analyze.target_class option =
+(* sharp targets are per-allocation-site partitions (".f@s7"); tests match on
+   the name bucket (".f", "g", "[]", "{}") across all partitions *)
+let classes_of (a : Analyze.t) (name : string) : Analyze.target_class list =
   Analyze.TM.fold
-    (fun t tc acc -> if Sites.target_to_string t = name then Some tc else acc)
-    a.targets None
+    (fun t tc acc -> if Sites.target_base t = name then tc :: acc else acc)
+    a.targets []
 
 let shared a name =
-  match target_of a name with Some tc -> tc.shared | None -> false
+  List.exists (fun (tc : Analyze.target_class) -> tc.shared) (classes_of a name)
 
 let guarded a name =
-  match target_of a name with Some tc -> tc.guarded_by | None -> None
+  match
+    List.filter (fun (tc : Analyze.target_class) -> tc.shared) (classes_of a name)
+  with
+  | tc :: _ -> tc.guarded_by
+  | [] -> None
 
 (* ------------------------------------------------------------------ *)
 
@@ -147,6 +154,106 @@ let test_reads_only_no_race () =
         (r.t1.kind = Sites.KWrite || r.t2.kind = Sites.KWrite))
     a.races
 
+(* ------------------------------------------------------------------ *)
+(* Sharp-precision corner cases                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_escape_via_field_store () =
+  (* a freshly allocated object stored into a field of an escaping object
+     escapes through the heap closure, even though no global ever holds it
+     directly *)
+  let a =
+    analyze
+      "class C { f; box; } global g;
+       fn w() { b = g; c = new C; b.box = c; c.f = 1; x = c.f; }
+       main { r = new C; g = r; spawn t1 = w(); spawn t2 = w(); join t1; join t2; }"
+  in
+  Alcotest.(check bool) "field of heap-published object shared" true (shared a ".f")
+
+let test_same_field_different_sites () =
+  (* same field name, two allocation sites: only the partition reached from
+     two thread contexts is shared — the other stays un-instrumented even
+     though both escape *)
+  let src =
+    "class C { f; } global g; global h;
+     fn w() { x = g; x.f = 1; }
+     fn v() { y = h; p = y.f; }
+     main { a = new C; g = a; b = new C; h = b;
+            spawn t1 = w(); spawn t2 = w(); spawn t3 = v(); join t1; join t2; join t3; }"
+  in
+  let a = analyze src in
+  let classes = classes_of a ".f" in
+  Alcotest.(check int) "two .f partitions" 2 (List.length classes);
+  Alcotest.(check int) "exactly one partition shared" 1
+    (List.length (List.filter (fun (tc : Analyze.target_class) -> tc.shared) classes));
+  (* the coarse name bucket cannot tell them apart *)
+  let c = analyze ~precision:Analyze.Coarse src in
+  Alcotest.(check int) "coarse: one .f bucket" 1 (List.length (classes_of c ".f"))
+
+let test_distinct_lock_sites_inconsistent () =
+  (* both locks resolve (through local aliases) but to different allocation
+     sites: the guard must be rejected, not silently merged *)
+  let a =
+    analyze
+      "class C { f; } global g; global l1; global l2;
+       fn w() { a = l1; sync (a) { g.f = 1; } }
+       fn v() { b = l2; sync (b) { g.f = 2; } }
+       main { l1 = new C; l2 = new C; c = new C; g = c;
+              spawn t1 = w(); spawn t2 = v(); join t1; join t2; }"
+  in
+  Alcotest.(check (option string)) "distinct lock objects rejected" None (guarded a ".f")
+
+let test_init_phase_publication () =
+  (* an unguarded init write before the first spawn neither breaks the lock
+     guard nor gets instrumented: the spawn's ghost write orders it with
+     every thread (safe publication) *)
+  let a =
+    analyze
+      "class C { f; } global g; global l;
+       fn w() { sync (l) { g.f = 1; } }
+       main { l = new C; c = new C; g = c; c.f = 0;
+              spawn t1 = w(); spawn t2 = w(); join t1; join t2; }"
+  in
+  Alcotest.(check (option string)) "guard survives init write" (Some "l")
+    (guarded a ".f");
+  let init_write =
+    List.find
+      (fun (s : Sites.info) -> s.fn = None && s.kind = Sites.KWrite
+        && Sites.target_base s.target = ".f")
+      a.sites
+  in
+  Alcotest.(check bool) "init write flagged" true init_write.init_phase;
+  let plan = Analyze.shared_sids a in
+  Alcotest.(check bool) "init write elided from plan" false
+    (Hashtbl.find plan init_write.sid)
+
+let test_spawned_loop_lock_not_unique () =
+  (* a lock allocated inside a body spawned in a loop denotes one object per
+     thread: must-alias requires a unique site, so the guard is rejected *)
+  let a =
+    analyze
+      "class C { f; } global g;
+       fn w() { m = new C; sync (m) { g.f = 1; } }
+       main { c = new C; g = c; i = 0;
+              while (i < 2) { spawn t = w(); join t; i = i + 1; } }"
+  in
+  Alcotest.(check bool) "target still shared" true (shared a ".f");
+  Alcotest.(check (option string)) "per-thread lock rejected" None (guarded a ".f")
+
+let test_lock_via_local_alias () =
+  (* the lock flows through two local copies: name-based resolution loses
+     it, points-to must-alias keeps it *)
+  let src =
+    "class C { f; } global g; global l;
+     fn w() { a = l; b = a; sync (b) { g.f = 1; } }
+     main { l = new C; c = new C; g = c;
+            spawn t1 = w(); spawn t2 = w(); join t1; join t2; }"
+  in
+  let a = analyze src in
+  Alcotest.(check (option string)) "alias chain resolved" (Some "l") (guarded a ".f");
+  let c = analyze ~precision:Analyze.Coarse src in
+  Alcotest.(check (option string)) "coarse alias chain lost" None (guarded c ".f")
+
 let test_plan_consistency () =
   (* the transformer's plan marks exactly the shared non-fresh sites *)
   let p =
@@ -200,6 +307,15 @@ let () =
           Alcotest.test_case "bare site kills guard" `Quick test_unguarded_when_mixed;
           Alcotest.test_case "different locks rejected" `Quick test_different_locks_not_guarded;
           Alcotest.test_case "parameter locks resolved" `Quick test_param_lock_resolution;
+        ] );
+      ( "precision",
+        [
+          Alcotest.test_case "escape via field store" `Quick test_escape_via_field_store;
+          Alcotest.test_case "per-site field partitions" `Quick test_same_field_different_sites;
+          Alcotest.test_case "distinct lock sites rejected" `Quick test_distinct_lock_sites_inconsistent;
+          Alcotest.test_case "init-phase publication" `Quick test_init_phase_publication;
+          Alcotest.test_case "spawned-loop lock not unique" `Quick test_spawned_loop_lock_not_unique;
+          Alcotest.test_case "lock via local alias" `Quick test_lock_via_local_alias;
         ] );
       ( "races",
         [

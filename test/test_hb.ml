@@ -1,0 +1,229 @@
+(* Dynamic soundness oracle for the sharpened static analysis.
+
+   Two gates, per the elision-soundness argument in DESIGN.md:
+
+   - {e race oracle}: run every workload un-instrumented with the
+     vector-clock happens-before detector watching all accesses, under
+     {random, round-robin} schedulers and multiple seeds.  Every
+     dynamically observed race must land on a site the sharp plan
+     instruments — a race at an elided site would mean the analysis can
+     drop a cross-thread flow dependence.  The suite also requires the
+     detector to find races *somewhere* (the workloads contain deliberate
+     races), so a detector that goes blind cannot green-wash the gate.
+
+   - {e cross-plan differential}: on random generated programs, record
+     under the sharpened plan and under [Plan.all_shared] (everything
+     instrumented, static analysis disabled).  The two original runs must
+     be identical on every plan-independent observable — including the
+     final heap, which is the heap-equivalence half of the gate: the
+     instrumentation plan provably does not perturb execution.  Both logs
+     must then replay faithfully (Theorem-1 observables), and the replays
+     must agree on status and outputs.  Per-plan observables (D(t)
+     counters, the instrumented-read list, crash counters) and the replay
+     final heaps are excluded: replay suppresses blind writes at
+     instrumented sites (Section 4.2), so replay heaps legitimately
+     differ across plans at blind locations — same reasoning as the
+     cross-variant differential suite.  The sharpened log may never be
+     larger than the full one. *)
+
+open Runtime
+
+(* ------------------------------------------------------------------ *)
+(* Detector unit checks                                                *)
+(* ------------------------------------------------------------------ *)
+
+let detect ?(sched = Sched.round_robin ()) src =
+  let p = Lang.Check.validate_exn (Lang.Parser.parse_program src) in
+  snd (Analysis.Hb_detector.detect ~sched p)
+
+let test_detects_race () =
+  let d =
+    detect
+      "class C { f; } global g;
+       fn w() { g.f = 1; }
+       fn r() { x = g.f; print x; }
+       main { c = new C; g = c; spawn t1 = w(); spawn t2 = r(); join t1; join t2; }"
+  in
+  Alcotest.(check bool) "unordered write/read reported" true
+    (Analysis.Hb_detector.races d <> [])
+
+let test_lock_orders () =
+  let d =
+    detect
+      "class C { f; } global g; global l;
+       fn w() { sync (l) { g.f = 1; } }
+       fn r() { sync (l) { x = g.f; print x; } }
+       main { l = new C; c = new C; g = c;
+              spawn t1 = w(); spawn t2 = r(); join t1; join t2; }"
+  in
+  Alcotest.(check (list string)) "lock-ordered accesses race-free" []
+    (List.map Analysis.Hb_detector.race_to_string (Analysis.Hb_detector.races d))
+
+let test_init_publication_ordered () =
+  (* the spawn ghost write orders the init-phase write with every reader *)
+  let d =
+    detect
+      "class C { f; } global g;
+       fn r() { x = g.f; print x; }
+       main { c = new C; g = c; c.f = 7; spawn t1 = r(); spawn t2 = r(); join t1; join t2; }"
+  in
+  Alcotest.(check (list string)) "published init write race-free" []
+    (List.map Analysis.Hb_detector.race_to_string (Analysis.Hb_detector.races d))
+
+let test_join_orders () =
+  let d =
+    detect
+      "class C { f; } global g;
+       fn w() { g.f = 1; }
+       main { c = new C; g = c; spawn t = w(); join t; x = g.f; print x; }"
+  in
+  Alcotest.(check (list string)) "join-ordered accesses race-free" []
+    (List.map Analysis.Hb_detector.race_to_string (Analysis.Hb_detector.races d))
+
+(* ------------------------------------------------------------------ *)
+(* Race oracle: 24 workloads x schedulers x seeds                       *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_scheds =
+  [
+    ("rand5", fun () -> Sched.random ~seed:5);
+    ("rand11", fun () -> Sched.random ~seed:11);
+    ("rr", fun () -> Sched.round_robin ());
+  ]
+
+type oracle_cell = {
+  o_label : string;
+  o_races : int;
+  o_elided_races : string list;  (* violations: dynamic race at elided site *)
+}
+
+let run_oracle_cell ((bm : Workloads.benchmark), (sname, mk_sched)) : oracle_cell =
+  let p = Workloads.program bm in
+  let a = Analysis.Analyze.analyze p in
+  let plan = Analysis.Analyze.shared_sids a in
+  let _, d = Analysis.Hb_detector.detect ~sched:(mk_sched ()) p in
+  let racy = Analysis.Hb_detector.racy_sites d in
+  let elided =
+    Analysis.Pointsto.ISet.fold
+      (fun sid acc ->
+        if Hashtbl.find_opt plan sid = Some true then acc
+        else Printf.sprintf "%s/%s: dynamic race at elided site s%d" bm.name sname sid :: acc)
+      racy []
+  in
+  {
+    o_label = bm.name ^ "/" ^ sname;
+    o_races = Analysis.Pointsto.ISet.cardinal racy;
+    o_elided_races = List.rev elided;
+  }
+
+let oracle_matrix =
+  lazy
+    (List.concat_map
+       (fun bm -> List.map (fun sc -> (bm, sc)) oracle_scheds)
+       Workloads.all
+    |> Engine.Batch.map ~f:run_oracle_cell)
+
+let test_oracle_no_elided_races () =
+  Alcotest.(check int) "24 workloads x 3 schedulers"
+    (24 * List.length oracle_scheds)
+    (List.length (Lazy.force oracle_matrix));
+  List.iter
+    (fun c -> List.iter Alcotest.fail c.o_elided_races)
+    (Lazy.force oracle_matrix)
+
+let test_oracle_not_vacuous () =
+  let total =
+    List.fold_left (fun n c -> n + c.o_races) 0 (Lazy.force oracle_matrix)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "detector sees races on the racy workloads (%d sites)" total)
+    true (total > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-plan recording differential                                   *)
+(* ------------------------------------------------------------------ *)
+
+let params_gen : Workloads.params QCheck.Gen.t =
+  QCheck.Gen.(
+    int_range 1 4 >>= fun threads ->
+    int_range 1 4 >>= fun iters ->
+    int_range 0 3 >>= fun local_work ->
+    int_range 1 12 >>= fun array_size ->
+    int_range 1 4 >>= fun runlen ->
+    bool >>= fun partition ->
+    int_range 0 4 >>= fun array_reads ->
+    int_range 0 4 >>= fun array_writes ->
+    int_range 0 3 >>= fun hot_ops ->
+    int_range 0 3 >>= fun locked_ops ->
+    bool >>= fun use_maps ->
+    bool >>= fun use_syscalls ->
+    int_range 1 6 >>= fun stickiness ->
+    return
+      {
+        Workloads.threads;
+        iters;
+        local_work;
+        array_size;
+        runlen;
+        partition;
+        array_reads;
+        array_writes;
+        hot_ops;
+        locked_ops;
+        use_maps;
+        use_syscalls;
+        stickiness;
+      })
+
+(* crash identity without the D(t) counter, which is plan-dependent *)
+let crash_key (c : Interp.crash) = (c.tid, c.site, c.line, c.msg)
+
+let cross_plan_prop =
+  QCheck.Test.make ~count:25 ~name:"sharpened vs full plan: record + replay"
+    (QCheck.make params_gen) (fun prm ->
+      let p =
+        Lang.Check.validate_exn (Lang.Parser.parse_program (Workloads.generate prm))
+      in
+      let record plan =
+        Light_core.Light.record ~variant:Light_core.Light.v_both
+          ~sched:(Sched.random ~seed:23) ~seed:9 ?plan p
+      in
+      let rs = record None (* sharp static plan *)
+      and rf = record (Some Plan.all_shared) in
+      let a = rs.outcome and b = rf.outcome in
+      let originals_agree =
+        a.status = b.status && a.steps = b.steps && a.outputs = b.outputs
+        && a.syscalls = b.syscalls
+        && a.final_heap = b.final_heap
+        && List.map crash_key a.crashes = List.map crash_key b.crashes
+      in
+      let replay (r : Light_core.Light.recording) =
+        match Light_core.Light.replay r with
+        | Ok rr when rr.faithful = [] -> Some rr.replay_outcome
+        | _ -> None
+      in
+      originals_agree
+      && rs.space_longs <= rf.space_longs
+      &&
+      match (replay rs, replay rf) with
+      | Some os, Some ofl -> os.status = ofl.status && os.outputs = ofl.outputs
+      | _ -> false)
+
+let () =
+  Alcotest.run "hb"
+    [
+      ( "detector",
+        [
+          Alcotest.test_case "unordered accesses race" `Quick test_detects_race;
+          Alcotest.test_case "lock orders" `Quick test_lock_orders;
+          Alcotest.test_case "init publication ordered" `Quick test_init_publication_ordered;
+          Alcotest.test_case "join orders" `Quick test_join_orders;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "no dynamic race at elided sites" `Slow
+            test_oracle_no_elided_races;
+          Alcotest.test_case "detector not vacuous" `Slow test_oracle_not_vacuous;
+        ] );
+      ("cross-plan", [ QCheck_alcotest.to_alcotest cross_plan_prop ]);
+    ]
