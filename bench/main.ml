@@ -15,7 +15,12 @@
     as an artifact.  The [interp] experiment writes BENCH_interp.json —
     per-workload interpreter throughput (reference vs slot-resolved, native
     and under each recording variant) with LIGHT_BENCH_ITERS controlling
-    the iteration budget.  The [analysis] experiment writes
+    the iteration budget; every steps/sec figure is the median over the
+    timed iterations, with the per-series min/max spread recorded in the
+    JSON.  The [perfcheck] experiment (explicit-only, like [bechamel])
+    repeats the interp measurement and exits nonzero if the record-mode
+    geomean ratio_basic regressed more than 20% against the committed
+    bench/BENCH_interp.baseline.json.  The [analysis] experiment writes
     BENCH_analysis.json — static-analysis precision, coarse (name buckets)
     vs sharp (points-to + escape + must-alias locks): instrumented/guarded
     sites, Section-5 space units, record-overhead ratios, and static race
@@ -166,8 +171,12 @@ let () =
         match List.assoc_opt n all_experiments with
         | Some f -> f ()
         | None when n = "bechamel" -> run_bechamel ()
+        | None when n = "perfcheck" ->
+          (* CI perf smoke: interp measurement + comparison against the
+             committed baseline; nonzero exit on regression *)
+          if not (Report.Experiments.interp_perfcheck () ppf) then exit 1
         | None ->
-          Format.printf "unknown experiment %s (have: %s bechamel)@." n
+          Format.printf "unknown experiment %s (have: %s bechamel perfcheck)@." n
             (String.concat " " (List.map fst all_experiments)))
       names);
   (* wall-clock on stderr: stdout stays byte-identical across runs/pools *)

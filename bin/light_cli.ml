@@ -180,13 +180,39 @@ let analyze_cmd =
     Term.(const run $ target_arg $ weave_flag)
 
 let record_cmd =
-  let run file seed stickiness variant out =
+  let run file seed stickiness variant out profile =
     let p = or_die (read_program file) in
     let r = Light_core.Light.record ~variant ~sched:(sched_of ~seed ~stickiness) p in
     print_outcome r.outcome;
     Printf.printf "recorded %d deps + %d ranges = %d longs (overhead %.0f%%)\n"
       (List.length r.log.deps) (List.length r.log.ranges) r.space_longs
       (100. *. r.overhead);
+    (match profile with
+    | None -> ()
+    | Some topn ->
+      (* per-site dynamic hit counts from the recorder, hottest first, so
+         perf work can target actual hot sites rather than geomeans *)
+      let stmts : (int, Lang.Ast.stmt) Hashtbl.t = Hashtbl.create 64 in
+      Lang.Ast.fold_stmts (fun () (s : Lang.Ast.stmt) -> Hashtbl.replace stmts s.sid s) () p;
+      let sites = ref [] in
+      Array.iteri
+        (fun sid hits -> if hits > 0 then sites := (sid, hits) :: !sites)
+        r.site_hits;
+      let sites = List.sort (fun (_, a) (_, b) -> compare (b : int) a) !sites in
+      let total = List.fold_left (fun a (_, h) -> a + h) 0 sites in
+      Printf.printf "\nsite profile: %d instrumented accesses over %d hot sites"
+        total (List.length sites);
+      if List.length sites > topn then Printf.printf " (top %d shown)" topn;
+      Printf.printf "\n";
+      List.iteri
+        (fun i (sid, hits) ->
+          if i < topn then
+            match Hashtbl.find_opt stmts sid with
+            | Some s ->
+              Printf.printf "  %8d  sid %-4d line %-4d %s\n" hits sid s.line
+                (Lang.Pp.stmt_to_string s)
+            | None -> Printf.printf "  %8d  sid %-4d (sync ghost)\n" hits sid)
+        sites);
     match out with
     | Some path ->
       Out_channel.with_open_text path (fun oc ->
@@ -197,8 +223,15 @@ let record_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Write the log here")
   in
+  let profile =
+    Arg.(
+      value
+      & opt ~vopt:(Some 10) (some int) None
+      & info [ "profile" ] ~docv:"N"
+          ~doc:"Print per-site hit counts and the $(docv) hottest instrumented sites")
+  in
   Cmd.v (Cmd.info "record" ~doc:"Record a run with the Light recorder")
-    Term.(const run $ file_arg $ seed_arg $ stick_arg $ variant_arg $ out)
+    Term.(const run $ file_arg $ seed_arg $ stick_arg $ variant_arg $ out $ profile)
 
 let replay_cmd =
   let run file logfile =

@@ -40,7 +40,34 @@ type recording = {
   overhead : float;          (** modeled recording overhead (0.44 = 44%) *)
   meter : Metrics.Cost.meter;
   instrumented_sites : int;
+  site_hits : int array;
+      (** dynamic access count per static site id (the [--profile] data) *)
 }
+
+type prepared
+(** A program with its static analysis, instrumentation plan, and
+    slot-resolved executable all settled — everything recording needs that
+    depends only on the program text. *)
+
+val prepare : ?variant:variant -> ?plan:Plan.t -> Lang.Ast.program -> prepared
+(** Run the transformer (or adopt [plan]), compile, and bake the per-site
+    plan decisions into a byte table ({!Runtime.Plan.modes}).  Repeated
+    {!record_prepared} calls over the result pay zero analysis or
+    compilation cost — the production shape: instrument once, record every
+    run.  [variant] decides whether the O2 guarded-site analysis is part of
+    the plan (it also gates recording behavior, so pass the same variant
+    you will record with). *)
+
+val record_prepared :
+  ?sched:Sched.t ->
+  ?max_steps:int ->
+  ?seed:int ->
+  ?weights:Metrics.Cost.weights ->
+  prepared ->
+  recording
+(** Execute one recording run over a prepared program; only the
+    interpreter and the recorder's zero-allocation access fast path are on
+    the clock. *)
 
 val record :
   ?variant:variant ->
@@ -51,11 +78,11 @@ val record :
   ?plan:Plan.t ->
   Lang.Ast.program ->
   recording
-(** Run the transformer and execute the program under the Light recorder.
-    [sched] defaults to a seeded random scheduler; [seed] feeds the
-    program-visible nondeterminism ([@rand] etc.).  [plan] overrides the
-    transformer's instrumentation plan — pass [Plan.all_shared] for a
-    record-everything baseline (static analysis disabled). *)
+(** [prepare] followed by [record_prepared].  [sched] defaults to a seeded
+    random scheduler; [seed] feeds the program-visible nondeterminism
+    ([@rand] etc.).  [plan] overrides the transformer's instrumentation
+    plan — pass [Plan.all_shared] for a record-everything baseline (static
+    analysis disabled). *)
 
 type replay_result = {
   replay_outcome : Interp.outcome;

@@ -89,29 +89,65 @@ let num_records (l : t) : int = List.length l.deps + List.length l.ranges
 (* Serialization (line-oriented text; used by the CLI)                  *)
 (* ------------------------------------------------------------------ *)
 
-let evt_str = function None -> "-" | Some (t, c) -> Printf.sprintf "%d:%d" t c
+(* The writer emits integers digit-by-digit into the output buffer and the
+   reader scans tokens in place with a cursor — neither side allocates an
+   intermediate string per line or per field (the seed used a
+   [Printf.sprintf] per line and a [String.split_on_char] per line and per
+   event).  Both formats are byte-identical to the seed's. *)
 
-let evt_of_string s : evt option =
-  if s = "-" then None
-  else match String.split_on_char ':' s with
-    | [ a; b ] -> Some (int_of_string a, int_of_string b)
-    | _ -> failwith ("bad event: " ^ s)
+(* decimal writer; no scratch buffer so it is safe across engine domains *)
+let rec add_pos (buf : Buffer.t) (n : int) : unit =
+  if n >= 10 then add_pos buf (n / 10);
+  Buffer.add_char buf (Char.unsafe_chr (48 + (n mod 10)))
+
+let add_int (buf : Buffer.t) (n : int) : unit =
+  if n >= 0 then add_pos buf n
+  else if n = min_int then Buffer.add_string buf (string_of_int n)
+  else begin
+    Buffer.add_char buf '-';
+    add_pos buf (-n)
+  end
+
+let add_bool (buf : Buffer.t) (b : bool) : unit =
+  Buffer.add_string buf (if b then "true" else "false")
+
+let add_evt (buf : Buffer.t) (e : evt option) : unit =
+  match e with
+  | None -> Buffer.add_char buf '-'
+  | Some (t, c) ->
+    add_int buf t;
+    Buffer.add_char buf ':';
+    add_int buf c
+
+let evt_str (e : evt option) : string =
+  let buf = Buffer.create 16 in
+  add_evt buf e;
+  Buffer.contents buf
 
 (* field names may contain arbitrary map-key strings; percent-encode the
    characters that would break the line format *)
-let enc_field (f : string) : string =
-  let buf = Buffer.create (String.length f) in
+let add_enc_field (buf : Buffer.t) (f : string) : unit =
+  let hex = "0123456789abcdef" in
   String.iter
     (fun c ->
-      if c = ' ' || c = '%' || c = '\n' then Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      if c = ' ' || c = '%' || c = '\n' then begin
+        Buffer.add_char buf '%';
+        Buffer.add_char buf hex.[Char.code c lsr 4];
+        Buffer.add_char buf hex.[Char.code c land 15]
+      end
       else Buffer.add_char buf c)
-    f;
+    f
+
+let enc_field (f : string) : string =
+  let buf = Buffer.create (String.length f) in
+  add_enc_field buf f;
   Buffer.contents buf
 
-let dec_field (s : string) : string =
-  let buf = Buffer.create (String.length s) in
-  let i = ref 0 in
-  let n = String.length s in
+(* decode the %-escapes of [s.[st .. st+len-1]] *)
+let dec_field_sub (s : string) (st : int) (len : int) : string =
+  let buf = Buffer.create len in
+  let i = ref st in
+  let n = st + len in
   while !i < n do
     if s.[!i] = '%' && !i + 2 < n then begin
       Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
@@ -121,34 +157,29 @@ let dec_field (s : string) : string =
   done;
   Buffer.contents buf
 
+let dec_field (s : string) : string = dec_field_sub s 0 (String.length s)
+
+let evt_of_string s : evt option =
+  if s = "-" then None
+  else match String.split_on_char ':' s with
+    | [ a; b ] -> Some (int_of_string a, int_of_string b)
+    | _ -> failwith ("bad event: " ^ s)
+
 (* v2 spells the field by name; v3 ships the intern table once in the header
    (F lines) and writes integer field ids in events.  Array-element ids
    (negative, arithmetic encoding) are process-independent and appear
    verbatim; interned ids (>= 0) are remapped through the F table on load,
    since intern ids are only meaningful within one process. *)
 
-let loc_str_v2 (l : Loc.t) = Printf.sprintf "%d/%s" l.obj (enc_field (Loc.fld_name l.fld))
+let add_loc_v2 (buf : Buffer.t) (l : Loc.t) : unit =
+  add_int buf l.obj;
+  Buffer.add_char buf '/';
+  add_enc_field buf (Loc.fld_name l.fld)
 
-let loc_of_string_v2 s : Loc.t =
-  match String.index_opt s '/' with
-  | Some i ->
-    { obj = int_of_string (String.sub s 0 i);
-      fld = Loc.fld_of_name (dec_field (String.sub s (i + 1) (String.length s - i - 1))) }
-  | None -> failwith ("bad location: " ^ s)
-
-let loc_str_v3 (l : Loc.t) = Printf.sprintf "%d/%d" l.obj l.fld
-
-let loc_of_string_v3 (fmap : (int, int) Hashtbl.t) s : Loc.t =
-  match String.index_opt s '/' with
-  | Some i ->
-    let obj = int_of_string (String.sub s 0 i) in
-    let fld = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
-    if fld < 0 then { obj; fld }
-    else (
-      match Hashtbl.find_opt fmap fld with
-      | Some fld -> { obj; fld }
-      | None -> failwith (Printf.sprintf "bad location (field id %d not in intern table): %s" fld s))
-  | None -> failwith ("bad location: " ^ s)
+let add_loc_v3 (buf : Buffer.t) (l : Loc.t) : unit =
+  add_int buf l.obj;
+  Buffer.add_char buf '/';
+  add_int buf l.fld
 
 let value_str (v : Value.t) =
   match v with
@@ -161,6 +192,7 @@ let value_str (v : Value.t) =
 
 let value_of_string s : Value.t =
   if s = "n" then VNull
+  else if s = "" then failwith "bad value: "
   else
     let body = String.sub s 1 (String.length s - 1) in
     match s.[0] with
@@ -171,111 +203,270 @@ let value_of_string s : Value.t =
     | 't' -> VThread (int_of_string body)
     | _ -> failwith ("bad value: " ^ s)
 
-let body_lines ~(loc_str : Loc.t -> string) (l : t) line : unit =
-  List.iter (fun (t, c) -> line (Printf.sprintf "T %d %d" t c)) l.counters;
+let body_add ~(add_loc : Buffer.t -> Loc.t -> unit) (l : t) (buf : Buffer.t) :
+    unit =
+  let sp () = Buffer.add_char buf ' ' in
+  let nl () = Buffer.add_char buf '\n' in
+  List.iter
+    (fun (t, c) ->
+      Buffer.add_string buf "T ";
+      add_int buf t;
+      sp ();
+      add_int buf c;
+      nl ())
+    l.counters;
   List.iter
     (fun (d : dep) ->
-      line
-        (Printf.sprintf "D %s %s %s %d %d %d" (loc_str d.loc) (evt_str d.w)
-           (evt_str (Some d.rf)) d.rl_c d.dep_obs d.w_obs))
+      Buffer.add_string buf "D ";
+      add_loc buf d.loc;
+      sp ();
+      add_evt buf d.w;
+      sp ();
+      let rf_t, rf_c = d.rf in
+      add_int buf rf_t;
+      Buffer.add_char buf ':';
+      add_int buf rf_c;
+      sp ();
+      add_int buf d.rl_c;
+      sp ();
+      add_int buf d.dep_obs;
+      sp ();
+      add_int buf d.w_obs;
+      nl ())
     l.deps;
   List.iter
     (fun (r : range) ->
-      line
-        (Printf.sprintf "R %s %d %d %d %s %b %b %d %d %d" (loc_str r.loc) r.rt r.lo r.hi
-           (evt_str r.w_in) r.prefix_reads r.has_write r.rng_obs r.lo_obs r.w_obs))
+      Buffer.add_string buf "R ";
+      add_loc buf r.loc;
+      sp ();
+      add_int buf r.rt;
+      sp ();
+      add_int buf r.lo;
+      sp ();
+      add_int buf r.hi;
+      sp ();
+      add_evt buf r.w_in;
+      sp ();
+      add_bool buf r.prefix_reads;
+      sp ();
+      add_bool buf r.has_write;
+      sp ();
+      add_int buf r.rng_obs;
+      sp ();
+      add_int buf r.lo_obs;
+      sp ();
+      add_int buf r.w_obs;
+      nl ())
     l.ranges;
-  List.iter (fun (t, i, n, v) -> line (Printf.sprintf "S %d %d %s %s" t i n (value_str v)))
+  List.iter
+    (fun (t, i, n, v) ->
+      Buffer.add_string buf "S ";
+      add_int buf t;
+      sp ();
+      add_int buf i;
+      sp ();
+      Buffer.add_string buf n;
+      sp ();
+      Buffer.add_string buf (value_str v);
+      nl ())
     l.syscalls
+
+let add_header (buf : Buffer.t) ~(version : int) (l : t) : unit =
+  Buffer.add_string buf "light-log v";
+  add_int buf version;
+  Buffer.add_string buf " o1=";
+  add_bool buf l.o1;
+  Buffer.add_string buf " o2=";
+  add_bool buf l.o2;
+  Buffer.add_char buf '\n'
 
 (** Current (v3) serialization: the intern table is stored once as F lines
     in the header, events carry integer field ids. *)
 let to_string (l : t) : string =
   let buf = Buffer.create 4096 in
-  let line s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
-  line (Printf.sprintf "light-log v3 o1=%b o2=%b" l.o1 l.o2);
+  add_header buf ~version:3 l;
   (* the intern-table header: every named (non-element) field id in use *)
   let seen = Hashtbl.create 16 in
   let note (loc : Loc.t) =
     if loc.fld >= 0 && not (Hashtbl.mem seen loc.fld) then begin
       Hashtbl.add seen loc.fld ();
-      line (Printf.sprintf "F %d %s" loc.fld (enc_field (Loc.fld_name loc.fld)))
+      Buffer.add_string buf "F ";
+      add_int buf loc.fld;
+      Buffer.add_char buf ' ';
+      add_enc_field buf (Loc.fld_name loc.fld);
+      Buffer.add_char buf '\n'
     end
   in
   List.iter (fun (d : dep) -> note d.loc) l.deps;
   List.iter (fun (r : range) -> note r.loc) l.ranges;
-  body_lines ~loc_str:loc_str_v3 l line;
+  body_add ~add_loc:add_loc_v3 l buf;
   Buffer.contents buf
 
 (** Legacy (v2) serialization: fields spelled by name in every event.  Kept
     so fixtures and older tooling can still produce/read the old format. *)
 let to_string_v2 (l : t) : string =
   let buf = Buffer.create 4096 in
-  let line s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
-  line (Printf.sprintf "light-log v2 o1=%b o2=%b" l.o1 l.o2);
-  body_lines ~loc_str:loc_str_v2 l line;
+  add_header buf ~version:2 l;
+  body_add ~add_loc:add_loc_v2 l buf;
   Buffer.contents buf
 
 (** Reads both v3 (intern-table header, integer field ids) and legacy v2
     (field names in events) logs; either way, locations come back keyed by
-    this process's intern ids. *)
+    this process's intern ids.  The parser is a single in-place scan: a
+    cursor walks the string and every integer, event, and location is
+    decoded straight out of the input bytes; the only substrings taken are
+    the decoded field-name / syscall payloads themselves. *)
 let of_string (s : string) : t =
-  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
-  match lines with
-  | [] -> failwith "empty log"
-  | header :: rest ->
-    let o1 = ref false and o2 = ref false in
-    let v3 =
-      if String.length header >= 12 && String.sub header 0 12 = "light-log v3" then true
-      else if String.length header >= 12 && String.sub header 0 12 = "light-log v2" then false
-      else failwith ("bad log header: " ^ header)
-    in
-    Scanf.sscanf header "light-log v%_d o1=%B o2=%B" (fun a b -> o1 := a; o2 := b);
-    (* v3: file-local intern ids -> this process's ids *)
-    let fmap : (int, int) Hashtbl.t = Hashtbl.create 16 in
-    let loc_of = if v3 then loc_of_string_v3 fmap else loc_of_string_v2 in
-    let deps = ref [] and ranges = ref [] and sys = ref [] and counters = ref [] in
-    List.iter
-      (fun line ->
-        match String.split_on_char ' ' line with
-        | "F" :: id :: name :: [] when v3 ->
-          Hashtbl.replace fmap (int_of_string id) (Loc.fld_of_name (dec_field name))
-        | "T" :: t :: c :: [] -> counters := (int_of_string t, int_of_string c) :: !counters
-        | "D" :: loc :: w :: rf :: rl :: obs :: wobs :: [] ->
-          deps :=
-            {
-              loc = loc_of loc;
-              w = evt_of_string w;
-              rf = Option.get (evt_of_string rf);
-              rl_c = int_of_string rl;
-              dep_obs = int_of_string obs;
-              w_obs = int_of_string wobs;
-            }
-            :: !deps
-        | "R" :: loc :: rt :: lo :: hi :: w_in :: pr :: hw :: obs :: loobs :: wobs :: [] ->
-          ranges :=
-            {
-              loc = loc_of loc;
-              rt = int_of_string rt;
-              lo = int_of_string lo;
-              hi = int_of_string hi;
-              w_in = evt_of_string w_in;
-              prefix_reads = bool_of_string pr;
-              has_write = bool_of_string hw;
-              rng_obs = int_of_string obs;
-              lo_obs = int_of_string loobs;
-              w_obs = int_of_string wobs;
-            }
-            :: !ranges
-        | "S" :: t :: i :: n :: v :: [] ->
-          sys := (int_of_string t, int_of_string i, n, value_of_string v) :: !sys
-        | _ -> failwith ("bad log line: " ^ line))
-      rest;
-    {
-      deps = List.rev !deps;
-      ranges = List.rev !ranges;
-      syscalls = List.rev !sys;
-      counters = List.rev !counters;
-      o1 = !o1;
-      o2 = !o2;
-    }
+  let n = String.length s in
+  let hstart = ref 0 in
+  while !hstart < n && s.[!hstart] = '\n' do incr hstart done;
+  if !hstart >= n then failwith "empty log";
+  let hdr_end =
+    match String.index_from_opt s !hstart '\n' with Some i -> i | None -> n
+  in
+  let header = String.sub s !hstart (hdr_end - !hstart) in
+  let v3 =
+    if String.length header >= 12 && String.sub header 0 12 = "light-log v3" then true
+    else if String.length header >= 12 && String.sub header 0 12 = "light-log v2" then false
+    else failwith ("bad log header: " ^ header)
+  in
+  let o1 = ref false and o2 = ref false in
+  Scanf.sscanf header "light-log v%_d o1=%B o2=%B" (fun a b -> o1 := a; o2 := b);
+  (* v3: file-local intern ids -> this process's ids *)
+  let fmap : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let deps = ref [] and ranges = ref [] and sys = ref [] and counters = ref [] in
+  let pos = ref (if hdr_end < n then hdr_end + 1 else n) in
+  while !pos < n do
+    if s.[!pos] = '\n' then incr pos
+    else begin
+      let bol = !pos in
+      let eol = match String.index_from_opt s bol '\n' with Some e -> e | None -> n in
+      let bad () = failwith ("bad log line: " ^ String.sub s bol (eol - bol)) in
+      let p = ref bol in
+      (* tokens are space-delimited within [bol, eol) *)
+      let next_tok () : int * int =
+        if !p >= eol then bad ();
+        let st = !p in
+        while !p < eol && s.[!p] <> ' ' do incr p done;
+        let len = !p - st in
+        if !p < eol then incr p;  (* skip the delimiter *)
+        (st, len)
+      in
+      let int_sub (st : int) (len : int) : int =
+        if len = 0 then bad ();
+        let neg = s.[st] = '-' in
+        let i0 = if neg then st + 1 else st in
+        if i0 >= st + len then bad ();
+        let v = ref 0 in
+        for k = i0 to st + len - 1 do
+          let d = Char.code (String.unsafe_get s k) - 48 in
+          if d < 0 || d > 9 then bad ();
+          v := (!v * 10) + d
+        done;
+        if neg then - !v else !v
+      in
+      let int_tok () : int =
+        let st, len = next_tok () in
+        int_sub st len
+      in
+      let evt_tok () : evt option =
+        let st, len = next_tok () in
+        if len = 1 && s.[st] = '-' then None
+        else begin
+          let colon = ref (-1) in
+          for k = st to st + len - 1 do
+            if !colon < 0 && s.[k] = ':' then colon := k
+          done;
+          if !colon < 0 then failwith ("bad event: " ^ String.sub s st len);
+          Some (int_sub st (!colon - st), int_sub (!colon + 1) (st + len - !colon - 1))
+        end
+      in
+      let bool_tok () : bool =
+        let st, len = next_tok () in
+        if len = 4 && s.[st] = 't' && s.[st + 1] = 'r' && s.[st + 2] = 'u' && s.[st + 3] = 'e'
+        then true
+        else if
+          len = 5 && s.[st] = 'f' && s.[st + 1] = 'a' && s.[st + 2] = 'l'
+          && s.[st + 3] = 's' && s.[st + 4] = 'e'
+        then false
+        else bad ()
+      in
+      let loc_tok () : Loc.t =
+        let st, len = next_tok () in
+        let slash = ref (-1) in
+        for k = st to st + len - 1 do
+          if !slash < 0 && s.[k] = '/' then slash := k
+        done;
+        if !slash < 0 then failwith ("bad location: " ^ String.sub s st len);
+        let obj = int_sub st (!slash - st) in
+        let fst = !slash + 1 and flen = st + len - !slash - 1 in
+        if v3 then begin
+          let fld = int_sub fst flen in
+          if fld < 0 then { Loc.obj; fld }
+          else
+            match Hashtbl.find_opt fmap fld with
+            | Some fld -> { Loc.obj; fld }
+            | None ->
+              failwith
+                (Printf.sprintf "bad location (field id %d not in intern table): %s" fld
+                   (String.sub s st len))
+        end
+        else { Loc.obj; fld = Loc.fld_of_name (dec_field_sub s fst flen) }
+      in
+      let eod () = if !p <> eol then bad () in
+      let tag_st, tag_len = next_tok () in
+      if tag_len <> 1 then bad ();
+      (match s.[tag_st] with
+      | 'F' when v3 ->
+        let id = int_tok () in
+        let nst, nlen = next_tok () in
+        eod ();
+        Hashtbl.replace fmap id (Loc.fld_of_name (dec_field_sub s nst nlen))
+      | 'T' ->
+        let t = int_tok () in
+        let c = int_tok () in
+        eod ();
+        counters := (t, c) :: !counters
+      | 'D' ->
+        let loc = loc_tok () in
+        let w = evt_tok () in
+        let rf = match evt_tok () with Some e -> e | None -> bad () in
+        let rl_c = int_tok () in
+        let dep_obs = int_tok () in
+        let w_obs = int_tok () in
+        eod ();
+        deps := { loc; w; rf; rl_c; dep_obs; w_obs } :: !deps
+      | 'R' ->
+        let loc = loc_tok () in
+        let rt = int_tok () in
+        let lo = int_tok () in
+        let hi = int_tok () in
+        let w_in = evt_tok () in
+        let prefix_reads = bool_tok () in
+        let has_write = bool_tok () in
+        let rng_obs = int_tok () in
+        let lo_obs = int_tok () in
+        let w_obs = int_tok () in
+        eod ();
+        ranges :=
+          { loc; rt; lo; hi; w_in; prefix_reads; has_write; rng_obs; lo_obs; w_obs }
+          :: !ranges
+      | 'S' ->
+        let t = int_tok () in
+        let i = int_tok () in
+        let nst, nlen = next_tok () in
+        let vst, vlen = next_tok () in
+        eod ();
+        sys := (t, i, String.sub s nst nlen, value_of_string (String.sub s vst vlen)) :: !sys
+      | _ -> bad ());
+      pos := eol
+    end
+  done;
+  {
+    deps = List.rev !deps;
+    ranges = List.rev !ranges;
+    syscalls = List.rev !sys;
+    counters = List.rev !counters;
+    o1 = !o1;
+    o2 = !o2;
+  }

@@ -17,7 +17,29 @@
       [(tid, c)] identities align across variants and runs).
 
     Retries of the optimistic loop are modeled by the stripe-contention
-    signal: a validate that races a concurrent writer pays one retry. *)
+    signal: a validate that races a concurrent writer pays one retry.
+
+    {b Fast path.}  The per-access cost is a few array indexes and integer
+    stores, with zero allocation on the common path:
+
+    - the plan decision per site is resolved at prepare time into a byte
+      table ({!Runtime.Plan.modes}) — one byte load instead of two closure
+      calls into sid-keyed hashtables;
+    - the last-write map is a flat open-addressing table ({!Lw}) over the
+      packed interned [Loc.t] (two parallel int key columns, three int value
+      columns): a probe is integer compares on int arrays, an update is
+      three integer stores — no boxing, no option allocation.  The table is
+      never iterated, so record order is untouched;
+    - open deps and open runs are all-int mutable records reused in place:
+      a (thread, loc) allocates its descriptor once and every subsequent
+      access mutates integers (the seed allocated a fresh record and an
+      option per prec replacement);
+    - closed records land in int {!Arena} buffers (9 ints per dep, 12 per
+      range, the [_obs] clock stamps packed alongside) in emission order;
+      [Log.evt]-based structures materialize only at {!finalize}.  The
+      single-domain simulator multiplexes what would be per-thread buffers
+      into one arena per record kind — order equals the seed's merged
+      thread-local buffers, so logs are byte-identical. *)
 
 open Runtime
 
@@ -34,12 +56,138 @@ let variant_name v =
   | false, true -> "O2"
   | true, true -> "O1+O2"
 
+(* ------------------------------------------------------------------ *)
+(* Flat last-write table                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Open-addressing, power-of-two capacity, linear probing; keys are the two
+   [Loc.t] immediates in parallel int columns ([kobj] = min_int marks an
+   empty slot: object ids are small positive or small negative ghost ids),
+   values are the last write's (tid, counter, access-clock stamp).  Entries
+   are never removed; the table doubles at 50% load. *)
+module Lw = struct
+  type t = {
+    mutable mask : int;
+    mutable kobj : int array;
+    mutable kfld : int array;
+    mutable wt : int array;
+    mutable wc : int array;
+    mutable wobs : int array;
+    mutable n : int;
+  }
+
+  let empty_key = min_int
+
+  let create () =
+    let cap = 2048 in
+    {
+      mask = cap - 1;
+      kobj = Array.make cap empty_key;
+      kfld = Array.make cap 0;
+      wt = Array.make cap 0;
+      wc = Array.make cap 0;
+      wobs = Array.make cap 0;
+      n = 0;
+    }
+
+  let[@inline] hash (obj : int) (fld : int) : int =
+    let h = (obj * 65599) + fld in
+    let h = h * 0x9E3779B1 in
+    (h lxor (h lsr 16)) land max_int
+
+  (* slot holding (obj, fld), or the empty slot where it would go *)
+  let[@inline] slot (t : t) (obj : int) (fld : int) : int =
+    let mask = t.mask in
+    let i = ref (hash obj fld land mask) in
+    while
+      (let o = Array.unsafe_get t.kobj !i in
+       o <> empty_key && not (o = obj && Array.unsafe_get t.kfld !i = fld))
+    do
+      i := (!i + 1) land mask
+    done;
+    !i
+
+  let grow (t : t) : unit =
+    let old_obj = t.kobj and old_fld = t.kfld in
+    let old_wt = t.wt and old_wc = t.wc and old_wobs = t.wobs in
+    let cap = 2 * (t.mask + 1) in
+    t.mask <- cap - 1;
+    t.kobj <- Array.make cap empty_key;
+    t.kfld <- Array.make cap 0;
+    t.wt <- Array.make cap 0;
+    t.wc <- Array.make cap 0;
+    t.wobs <- Array.make cap 0;
+    Array.iteri
+      (fun i o ->
+        if o <> empty_key then begin
+          let j = slot t o old_fld.(i) in
+          t.kobj.(j) <- o;
+          t.kfld.(j) <- old_fld.(i);
+          t.wt.(j) <- old_wt.(i);
+          t.wc.(j) <- old_wc.(i);
+          t.wobs.(j) <- old_wobs.(i)
+        end)
+      old_obj
+
+  (* slot with the key present, or -1 *)
+  let[@inline] find (t : t) (obj : int) (fld : int) : int =
+    let i = slot t obj fld in
+    if Array.unsafe_get t.kobj i = empty_key then -1 else i
+
+  let[@inline] set (t : t) (obj : int) (fld : int) ~(wt : int) ~(wc : int)
+      ~(wobs : int) : unit =
+    let i = slot t obj fld in
+    if Array.unsafe_get t.kobj i = empty_key then begin
+      t.n <- t.n + 1;
+      Array.unsafe_set t.kobj i obj;
+      Array.unsafe_set t.kfld i fld
+    end;
+    Array.unsafe_set t.wt i wt;
+    Array.unsafe_set t.wc i wc;
+    Array.unsafe_set t.wobs i wobs;
+    if 2 * t.n > t.mask then grow t
+end
+
+(* ------------------------------------------------------------------ *)
+(* Record arenas                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Growable int buffer holding closed records as packed integers, in
+   emission order; entries never move until finalization. *)
+module Arena = struct
+  type t = { mutable buf : int array; mutable len : int }
+
+  let create cap = { buf = Array.make cap 0; len = 0 }
+
+  let[@inline] reserve (a : t) (k : int) : int =
+    let base = a.len in
+    if base + k > Array.length a.buf then begin
+      let bigger = Array.make (max (2 * Array.length a.buf) (base + k)) 0 in
+      Array.blit a.buf 0 bigger 0 base;
+      a.buf <- bigger
+    end;
+    a.len <- base + k;
+    base
+end
+
+(* a dep is 9 ints: obj fld w_t w_c w_obs rf_t rf_c rl_c dep_obs
+   (w_t = -1 encodes the virtual initialization write) *)
+let dep_width = 9
+
+(* a range is 12 ints:
+   obj fld rt lo hi w_t w_c prefix_reads has_write rng_obs lo_obs w_obs *)
+let range_width = 12
+
 (* open dep being extended by the prec optimization; the [_obs] fields
-   carry access-clock stamps for the solver's witness reconstruction *)
+   carry access-clock stamps for the solver's witness reconstruction.
+   All-int and fully mutable: one allocation per (thread, loc), reused in
+   place across flushes.  [od_w_t] = -1 encodes the virtual init write. *)
 type open_dep = {
-  od_w : Log.evt option;
-  od_w_obs : int;
-  od_rf : Log.evt;
+  mutable od_w_t : int;
+  mutable od_w_c : int;
+  mutable od_w_obs : int;
+  mutable od_rf_t : int;
+  mutable od_rf_c : int;
   mutable od_rl : int;
   mutable od_rl_obs : int;
 }
@@ -51,16 +199,19 @@ type open_dep = {
    - reads then writes  [R+ W+]     -> dep (w_in -> prefix-read span)
    - writes then reads  [W+ R+]     -> dep (last own write -> trailing span)
    - anything else (a read strictly between writes, or reads on both sides)
-                                    -> a range record *)
+                                    -> a range record
+   Like [open_dep], one descriptor per location, reused in place when the
+   owning thread changes.  [or_w_in_t] = -1 encodes "no feeding write". *)
 type open_run = {
-  or_t : int;
-  or_lo : int;
-  or_lo_obs : int;                      (* access clock at the first access *)
+  mutable or_t : int;
+  mutable or_lo : int;
+  mutable or_lo_obs : int;              (* access clock at the first access *)
   mutable or_hi : int;
   mutable or_hi_obs : int;              (* access clock at the last access *)
-  or_w_in : Log.evt option;
-  or_w_obs : int;                       (* access clock of [or_w_in], or 0 *)
-  or_prefix_reads : bool;
+  mutable or_w_in_t : int;
+  mutable or_w_in_c : int;
+  mutable or_w_obs : int;               (* access clock of [w_in], or 0 *)
+  mutable or_prefix_reads : bool;
   mutable or_has_write : bool;
   mutable or_has_read : bool;
   mutable or_middle_read : bool;        (* a read between two own writes *)
@@ -73,52 +224,56 @@ type open_run = {
 
 type t = {
   variant : variant;
-  plan : Plan.t;
+  modes : Bytes.t;  (* per-sid plan decision, Plan.m_* encoding *)
   meter : Metrics.Cost.meter;
   stripes : Metrics.Cost.stripes;
-  lw : (Log.evt * int) Loc.Tbl.t;  (* last write per location, with its clock *)
+  lw : Lw.t;  (* last write per location, with its clock *)
   (* V_basic path: prec per (thread, loc) *)
   prec : (int, open_dep Loc.Tbl.t) Hashtbl.t;
   (* O1 path: current run per location *)
   runs : open_run Loc.Tbl.t;
-  mutable deps : Log.dep list;     (* merged thread-local buffers *)
-  mutable ranges : Log.range list;
+  deps : Arena.t;    (* merged thread-local buffers, dep_width ints each *)
+  ranges : Arena.t;  (* range_width ints each *)
+  site_hits : int array;  (* per-sid access counts (observability) *)
   mutable accesses : int;  (* global access clock; stamps the [_obs] fields *)
   mutable skipped_guarded : int;
 }
 
-let create ?(variant = v_both) ?(weights = Metrics.Cost.default_weights) (plan : Plan.t) : t =
+let create ?(variant = v_both) ?(weights = Metrics.Cost.default_weights)
+    (modes : Bytes.t) : t =
   {
     variant;
-    plan;
+    modes;
     meter = Metrics.Cost.meter ~weights ();
     stripes = Metrics.Cost.stripes ();
-    lw = Loc.Tbl.create 1024;
+    lw = Lw.create ();
     prec = Hashtbl.create 16;
     runs = Loc.Tbl.create 1024;
-    deps = [];
-    ranges = [];
+    deps = Arena.create 4096;
+    ranges = Arena.create 1024;
+    site_hits = Array.make (max 1 (Bytes.length modes)) 0;
     accesses = 0;
     skipped_guarded = 0;
   }
 
 let emit_dep (r : t) (loc : Loc.t) (od : open_dep) : unit =
-  Metrics.Cost.charge r.meter DepAppend;
-  r.deps <-
-    {
-      Log.loc;
-      w = od.od_w;
-      rf = od.od_rf;
-      rl_c = od.od_rl;
-      dep_obs = od.od_rl_obs;
-      w_obs = od.od_w_obs;
-    }
-    :: r.deps
+  Metrics.Cost.charge_dep_append r.meter;
+  let b = Arena.reserve r.deps dep_width in
+  let a = r.deps.buf in
+  a.(b) <- loc.obj;
+  a.(b + 1) <- loc.fld;
+  a.(b + 2) <- od.od_w_t;
+  a.(b + 3) <- od.od_w_c;
+  a.(b + 4) <- od.od_w_obs;
+  a.(b + 5) <- od.od_rf_t;
+  a.(b + 6) <- od.od_rf_c;
+  a.(b + 7) <- od.od_rl;
+  a.(b + 8) <- od.od_rl_obs
 
 let prec_of (r : t) (tid : int) : open_dep Loc.Tbl.t =
-  match Hashtbl.find_opt r.prec tid with
-  | Some h -> h
-  | None ->
+  match Hashtbl.find r.prec tid with
+  | h -> h
+  | exception Not_found ->
     let h = Loc.Tbl.create 64 in
     Hashtbl.add r.prec tid h;
     h
@@ -136,20 +291,28 @@ let emit_range (r : t) (loc : Loc.t) (run : open_run) : unit =
   if run.or_has_read then
     if not run.or_has_write then begin
       let prec = prec_of r run.or_t in
-      match Loc.Tbl.find_opt prec loc with
-      | Some od when od.od_w = run.or_w_in ->
-        Metrics.Cost.charge r.meter PrecHit;
+      match Loc.Tbl.find prec loc with
+      | od when od.od_w_t = run.or_w_in_t && od.od_w_c = run.or_w_in_c ->
+        Metrics.Cost.charge_prec_hit r.meter;
         od.od_rl <- run.or_hi;
         od.od_rl_obs <- run.or_hi_obs
-      | prev ->
-        (match prev with
-        | Some od -> emit_dep r loc od
-        | None -> ());
-        Loc.Tbl.replace prec loc
+      | od ->
+        emit_dep r loc od;
+        od.od_w_t <- run.or_w_in_t;
+        od.od_w_c <- run.or_w_in_c;
+        od.od_w_obs <- run.or_w_obs;
+        od.od_rf_t <- run.or_t;
+        od.od_rf_c <- run.or_lo;
+        od.od_rl <- run.or_hi;
+        od.od_rl_obs <- run.or_hi_obs
+      | exception Not_found ->
+        Loc.Tbl.add prec loc
           {
-            od_w = run.or_w_in;
+            od_w_t = run.or_w_in_t;
+            od_w_c = run.or_w_in_c;
             od_w_obs = run.or_w_obs;
-            od_rf = (run.or_t, run.or_lo);
+            od_rf_t = run.or_t;
+            od_rf_c = run.or_lo;
             od_rl = run.or_hi;
             od_rl_obs = run.or_hi_obs;
           }
@@ -164,158 +327,214 @@ let emit_range (r : t) (loc : Loc.t) (run : open_run) : unit =
          future readers, earlier ones blind).  [W+ R+]: the trailing reads
          see the run's last own write. *)
       let prec = prec_of r run.or_t in
-      (match Loc.Tbl.find_opt prec loc with
-      | Some od ->
+      (match Loc.Tbl.find prec loc with
+      | od ->
         emit_dep r loc od;
         Loc.Tbl.remove prec loc
-      | None -> ());
-      Metrics.Cost.charge r.meter DepAppend;
-      let w, w_obs, rf, rl, rl_obs =
-        if run.or_first_read_after_w > 0 then
-          ( Some (run.or_t, run.or_last_write),
-            run.or_last_write_obs,
-            run.or_first_read_after_w,
-            run.or_hi,
-            run.or_hi_obs )
-        else
-          ( run.or_w_in,
-            run.or_w_obs,
-            run.or_lo,
-            run.or_last_prefix_read,
-            run.or_last_prefix_read_obs )
-      in
-      r.deps <-
-        { Log.loc; w; w_obs; rf = (run.or_t, rf); rl_c = rl; dep_obs = rl_obs }
-        :: r.deps
+      | exception Not_found -> ());
+      Metrics.Cost.charge_dep_append r.meter;
+      let b = Arena.reserve r.deps dep_width in
+      let a = r.deps.buf in
+      a.(b) <- loc.obj;
+      a.(b + 1) <- loc.fld;
+      a.(b + 5) <- run.or_t;
+      if run.or_first_read_after_w > 0 then begin
+        a.(b + 2) <- run.or_t;
+        a.(b + 3) <- run.or_last_write;
+        a.(b + 4) <- run.or_last_write_obs;
+        a.(b + 6) <- run.or_first_read_after_w;
+        a.(b + 7) <- run.or_hi;
+        a.(b + 8) <- run.or_hi_obs
+      end
+      else begin
+        a.(b + 2) <- run.or_w_in_t;
+        a.(b + 3) <- run.or_w_in_c;
+        a.(b + 4) <- run.or_w_obs;
+        a.(b + 6) <- run.or_lo;
+        a.(b + 7) <- run.or_last_prefix_read;
+        a.(b + 8) <- run.or_last_prefix_read_obs
+      end
     end
     else begin
       (* write-containing run: the prec entry for this (thread, loc) must be
          flushed first so records stay disjoint in counter space *)
       let prec = prec_of r run.or_t in
-      (match Loc.Tbl.find_opt prec loc with
-      | Some od ->
+      (match Loc.Tbl.find prec loc with
+      | od ->
         emit_dep r loc od;
         Loc.Tbl.remove prec loc
-      | None -> ());
-      Metrics.Cost.charge r.meter DepAppend;
-      r.ranges <-
-        {
-          Log.loc;
-          rt = run.or_t;
-          lo = run.or_lo;
-          hi = run.or_hi;
-          w_in = run.or_w_in;
-          prefix_reads = run.or_prefix_reads;
-          has_write = run.or_has_write;
-          rng_obs = run.or_hi_obs;
-          lo_obs = run.or_lo_obs;
-          w_obs = run.or_w_obs;
-        }
-        :: r.ranges
+      | exception Not_found -> ());
+      Metrics.Cost.charge_dep_append r.meter;
+      let b = Arena.reserve r.ranges range_width in
+      let a = r.ranges.buf in
+      a.(b) <- loc.obj;
+      a.(b + 1) <- loc.fld;
+      a.(b + 2) <- run.or_t;
+      a.(b + 3) <- run.or_lo;
+      a.(b + 4) <- run.or_hi;
+      a.(b + 5) <- run.or_w_in_t;
+      a.(b + 6) <- run.or_w_in_c;
+      a.(b + 7) <- (if run.or_prefix_reads then 1 else 0);
+      a.(b + 8) <- (if run.or_has_write then 1 else 0);
+      a.(b + 9) <- run.or_hi_obs;
+      a.(b + 10) <- run.or_lo_obs;
+      a.(b + 11) <- run.or_w_obs
     end
 
 (* ------------------------------------------------------------------ *)
 (* Access handling                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let on_access (r : t) (a : Event.access) : unit =
+let on_access_fast (r : t) ~(tid : int) ~(c : int) ~(loc : Loc.t)
+    ~(kind : Event.akind) ~(site : int) ~(ghost : Event.ghost_kind) : unit =
   let open Metrics.Cost in
   r.accesses <- r.accesses + 1;
-  let guarded = a.ghost = NotGhost && r.variant.o2 && r.plan.guarded_site a.site in
+  if site >= 0 && site < Array.length r.site_hits then
+    Array.unsafe_set r.site_hits site (Array.unsafe_get r.site_hits site + 1);
+  let guarded =
+    ghost = NotGhost && r.variant.o2
+    && site >= 0
+    && site < Bytes.length r.modes
+    && Bytes.unsafe_get r.modes site = Plan.m_guarded
+  in
   if guarded then begin
     (* O2: the guarding lock's ghost deps subsume this access; the woven
        code keeps only an inlined counter increment — no recording, no lw
        update (every site on this location is guarded, so lw is never
        consulted for it either) *)
-    charge r.meter GuardedTick;
+    charge_guarded_tick r.meter;
     r.skipped_guarded <- r.skipped_guarded + 1
   end
   else begin
-    charge r.meter CounterTick;
-    let e : Log.evt = (a.tid, a.c) in
+    charge_tick r.meter;
     let now = r.accesses in  (* this access's clock stamp *)
     if r.variant.o1 then begin
       (* O1 run tracking: extending the thread's own run is a thread-local
          fast path; breaking another thread's run takes the striped atomic *)
-      (match Loc.Tbl.find_opt r.runs a.loc with
-      | Some run when run.or_t = a.tid ->
-        charge r.meter RunExtend;
-        run.or_hi <- snd e;
+      (match Loc.Tbl.find r.runs loc with
+      | run when run.or_t = tid ->
+        charge_extend r.meter;
+        run.or_hi <- c;
         run.or_hi_obs <- now;
-        (match a.kind with
+        (match kind with
         | Write ->
           if run.or_first_read_after_w > 0 then run.or_middle_read <- true;
           run.or_has_write <- true;
-          run.or_last_write <- snd e;
+          run.or_last_write <- c;
           run.or_last_write_obs <- now;
           run.or_first_read_after_w <- 0
         | Read ->
           run.or_has_read <- true;
           if not run.or_has_write then begin
-            run.or_last_prefix_read <- snd e;
+            run.or_last_prefix_read <- c;
             run.or_last_prefix_read_obs <- now
           end
-          else if run.or_first_read_after_w = 0 then run.or_first_read_after_w <- snd e)
-      | prev ->
-        let level = touch r.stripes a.loc ~tid:a.tid in
-        charge r.meter (RunSwitch { level });
-        (match prev with
-        | Some run -> emit_range r a.loc run
-        | None -> ());
-        let w_in = if a.kind = Read then Loc.Tbl.find_opt r.lw a.loc else None in
-        Loc.Tbl.replace r.runs a.loc
+          else if run.or_first_read_after_w = 0 then run.or_first_read_after_w <- c)
+      | run ->
+        (* another thread's run: close it and reuse its descriptor in place *)
+        let level = touch r.stripes loc ~tid in
+        charge_switch r.meter ~level;
+        emit_range r loc run;
+        let is_read = kind = Event.Read in
+        let wslot = if is_read then Lw.find r.lw loc.obj loc.fld else -1 in
+        run.or_t <- tid;
+        run.or_lo <- c;
+        run.or_lo_obs <- now;
+        run.or_hi <- c;
+        run.or_hi_obs <- now;
+        (if wslot >= 0 then begin
+           run.or_w_in_t <- Array.unsafe_get r.lw.Lw.wt wslot;
+           run.or_w_in_c <- Array.unsafe_get r.lw.Lw.wc wslot;
+           run.or_w_obs <- Array.unsafe_get r.lw.Lw.wobs wslot
+         end
+         else begin
+           run.or_w_in_t <- -1;
+           run.or_w_in_c <- -1;
+           run.or_w_obs <- 0
+         end);
+        run.or_prefix_reads <- is_read;
+        run.or_has_write <- not is_read;
+        run.or_has_read <- is_read;
+        run.or_middle_read <- false;
+        run.or_last_prefix_read <- (if is_read then c else 0);
+        run.or_last_prefix_read_obs <- (if is_read then now else 0);
+        run.or_last_write <- (if is_read then 0 else c);
+        run.or_last_write_obs <- (if is_read then 0 else now);
+        run.or_first_read_after_w <- 0
+      | exception Not_found ->
+        let level = touch r.stripes loc ~tid in
+        charge_switch r.meter ~level;
+        let is_read = kind = Event.Read in
+        let wslot = if is_read then Lw.find r.lw loc.obj loc.fld else -1 in
+        Loc.Tbl.add r.runs loc
           {
-            or_t = a.tid;
-            or_lo = snd e;
+            or_t = tid;
+            or_lo = c;
             or_lo_obs = now;
-            or_hi = snd e;
+            or_hi = c;
             or_hi_obs = now;
-            or_w_in = Option.map fst w_in;
-            or_w_obs = (match w_in with Some (_, o) -> o | None -> 0);
-            or_prefix_reads = a.kind = Read;
-            or_has_write = a.kind = Write;
-            or_has_read = a.kind = Read;
+            or_w_in_t = (if wslot >= 0 then r.lw.Lw.wt.(wslot) else -1);
+            or_w_in_c = (if wslot >= 0 then r.lw.Lw.wc.(wslot) else -1);
+            or_w_obs = (if wslot >= 0 then r.lw.Lw.wobs.(wslot) else 0);
+            or_prefix_reads = is_read;
+            or_has_write = not is_read;
+            or_has_read = is_read;
             or_middle_read = false;
-            or_last_prefix_read = (if a.kind = Read then snd e else 0);
-            or_last_prefix_read_obs = (if a.kind = Read then now else 0);
-            or_last_write = (if a.kind = Write then snd e else 0);
-            or_last_write_obs = (if a.kind = Write then now else 0);
+            or_last_prefix_read = (if is_read then c else 0);
+            or_last_prefix_read_obs = (if is_read then now else 0);
+            or_last_write = (if is_read then 0 else c);
+            or_last_write_obs = (if is_read then 0 else now);
             or_first_read_after_w = 0;
           });
-      if a.kind = Write then Loc.Tbl.replace r.lw a.loc (e, now)
+      if kind = Event.Write then Lw.set r.lw loc.obj loc.fld ~wt:tid ~wc:c ~wobs:now
     end
     else begin
       (* Algorithm 1 verbatim *)
-      match a.kind with
+      match kind with
       | Write ->
-        let level = touch r.stripes a.loc ~tid:a.tid in
-        charge r.meter (LwUpdate { level });
-        Loc.Tbl.replace r.lw a.loc (e, now)
+        let level = touch r.stripes loc ~tid in
+        charge_lw r.meter ~level;
+        Lw.set r.lw loc.obj loc.fld ~wt:tid ~wc:c ~wobs:now
       | Read ->
-        let level = touch r.stripes a.loc ~tid:a.tid in
-        charge r.meter (ValidateRead { level });
-        let cw = Loc.Tbl.find_opt r.lw a.loc in
-        let prec = prec_of r a.tid in
-        (match Loc.Tbl.find_opt prec a.loc with
-        | Some od when od.od_w = Option.map fst cw ->
+        let level = touch r.stripes loc ~tid in
+        charge_validate r.meter ~level;
+        let wslot = Lw.find r.lw loc.obj loc.fld in
+        let cw_t = if wslot >= 0 then Array.unsafe_get r.lw.Lw.wt wslot else -1 in
+        let cw_c = if wslot >= 0 then Array.unsafe_get r.lw.Lw.wc wslot else -1 in
+        let prec = prec_of r tid in
+        (match Loc.Tbl.find prec loc with
+        | od when od.od_w_t = cw_t && od.od_w_c = cw_c ->
           (* same write as the previous read: extend the span (line 7) *)
-          charge r.meter PrecHit;
-          od.od_rl <- snd e;
+          charge_prec_hit r.meter;
+          od.od_rl <- c;
           od.od_rl_obs <- now
-        | prev ->
-          (match prev with
-          | Some od -> emit_dep r a.loc od
-          | None -> ());
-          Loc.Tbl.replace prec a.loc
+        | od ->
+          emit_dep r loc od;
+          od.od_w_t <- cw_t;
+          od.od_w_c <- cw_c;
+          od.od_w_obs <- (if wslot >= 0 then Array.unsafe_get r.lw.Lw.wobs wslot else 0);
+          od.od_rf_t <- tid;
+          od.od_rf_c <- c;
+          od.od_rl <- c;
+          od.od_rl_obs <- now
+        | exception Not_found ->
+          Loc.Tbl.add prec loc
             {
-              od_w = Option.map fst cw;
-              od_w_obs = (match cw with Some (_, o) -> o | None -> 0);
-              od_rf = e;
-              od_rl = snd e;
+              od_w_t = cw_t;
+              od_w_c = cw_c;
+              od_w_obs = (if wslot >= 0 then r.lw.Lw.wobs.(wslot) else 0);
+              od_rf_t = tid;
+              od_rf_c = c;
+              od_rl = c;
               od_rl_obs = now;
             })
     end
   end
+
+(** Exposed for white-box tests; [hooks] routes accesses through the
+    flattened fast path directly. *)
+let on_access (r : t) (a : Event.access) : unit =
+  on_access_fast r ~tid:a.tid ~c:a.c ~loc:a.loc ~kind:a.kind ~site:a.site ~ghost:a.ghost
 
 (* ------------------------------------------------------------------ *)
 (* Finalization                                                        *)
@@ -328,25 +547,66 @@ let finalize (r : t) ~(outcome : Interp.outcome) : Log.t =
   Loc.Tbl.reset r.runs;
   Hashtbl.iter (fun _ tbl -> Loc.Tbl.iter (fun loc od -> emit_dep r loc od) tbl) r.prec;
   Hashtbl.reset r.prec;
+  (* materialize the arenas, back to front (the lists come out in emission
+     order, as the seed's reversed cons-lists did) *)
+  let deps = ref [] in
+  let a = r.deps.Arena.buf in
+  let b = ref (r.deps.Arena.len - dep_width) in
+  while !b >= 0 do
+    let b0 = !b in
+    deps :=
+      {
+        Log.loc = { Loc.obj = a.(b0); fld = a.(b0 + 1) };
+        w = (if a.(b0 + 2) < 0 then None else Some (a.(b0 + 2), a.(b0 + 3)));
+        w_obs = a.(b0 + 4);
+        rf = (a.(b0 + 5), a.(b0 + 6));
+        rl_c = a.(b0 + 7);
+        dep_obs = a.(b0 + 8);
+      }
+      :: !deps;
+    b := b0 - dep_width
+  done;
+  let ranges = ref [] in
+  let a = r.ranges.Arena.buf in
+  let b = ref (r.ranges.Arena.len - range_width) in
+  while !b >= 0 do
+    let b0 = !b in
+    ranges :=
+      {
+        Log.loc = { Loc.obj = a.(b0); fld = a.(b0 + 1) };
+        rt = a.(b0 + 2);
+        lo = a.(b0 + 3);
+        hi = a.(b0 + 4);
+        w_in = (if a.(b0 + 5) < 0 then None else Some (a.(b0 + 5), a.(b0 + 6)));
+        prefix_reads = a.(b0 + 7) = 1;
+        has_write = a.(b0 + 8) = 1;
+        rng_obs = a.(b0 + 9);
+        lo_obs = a.(b0 + 10);
+        w_obs = a.(b0 + 11);
+      }
+      :: !ranges;
+    b := b0 - range_width
+  done;
   {
-    Log.deps = List.rev r.deps;
-    ranges = List.rev r.ranges;
+    Log.deps = !deps;
+    ranges = !ranges;
     syscalls = outcome.syscalls;
     counters = outcome.counters;
     o1 = r.variant.o1;
     o2 = r.variant.o2;
   }
 
-(** Interpreter hooks for a recording run. *)
+(** Interpreter hooks for a recording run (the allocation-free flattened
+    access hook; no [Event.t] is ever constructed). *)
 let hooks (r : t) : Interp.hooks =
   {
     Interp.default_hooks with
-    observe =
+    on_shared =
       Some
-        (fun ev ->
-          match ev with
-          | Event.Access (a, _) -> on_access r a
-          | _ -> ());
+        (fun ~tid ~c ~loc ~kind ~site ~ghost ->
+          on_access_fast r ~tid ~c ~loc ~kind ~site ~ghost);
   }
 
 let meter (r : t) : Metrics.Cost.meter = r.meter
+
+let site_hits (r : t) : int array = r.site_hits

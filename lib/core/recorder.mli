@@ -8,7 +8,12 @@
     (Algorithm 1, lines 7/9) compresses a write followed by several reads
     from one thread; O1 (Lemma 4.3) records only the endpoints of
     non-interleaved same-thread runs; O2 (Lemma 4.2) skips recording at
-    sites the static analysis proves consistently lock-guarded. *)
+    sites the static analysis proves consistently lock-guarded.
+
+    The per-access fast path is allocation-free: the plan decision is a
+    byte load from the baked {!Runtime.Plan.modes} table, the last-write
+    map is a flat open-addressing int table, and closed records accumulate
+    in int arenas until {!finalize} materializes the {!Core.Log.t}. *)
 
 open Runtime
 
@@ -21,17 +26,37 @@ val variant_name : variant -> string
 
 type t
 
-val create : ?variant:variant -> ?weights:Metrics.Cost.weights -> Plan.t -> t
+val create : ?variant:variant -> ?weights:Metrics.Cost.weights -> Bytes.t -> t
+(** [create modes] builds a recorder over the per-site decision table baked
+    by {!Runtime.Plan.modes} (one byte per static site id). *)
 
 val hooks : t -> Interp.hooks
-(** Interpreter hooks for a recording run. *)
+(** Interpreter hooks for a recording run (installs the allocation-free
+    [on_shared] hook). *)
 
 val finalize : t -> outcome:Interp.outcome -> Log.t
 (** Flush open records and assemble the log (merging the thread-local
     buffers, attaching syscall values and final counters). *)
 
+val on_access_fast :
+  t ->
+  tid:int ->
+  c:int ->
+  loc:Loc.t ->
+  kind:Event.akind ->
+  site:int ->
+  ghost:Event.ghost_kind ->
+  unit
+(** The zero-allocation per-access entry point; [hooks] routes accesses
+    here. *)
+
 val on_access : t -> Event.access -> unit
-(** Exposed for white-box tests; [hooks] routes accesses here. *)
+(** Exposed for white-box tests; unpacks the access record into
+    {!on_access_fast}. *)
 
 val meter : t -> Metrics.Cost.meter
 (** The cost accumulator charged by this recorder's hooks. *)
+
+val site_hits : t -> int array
+(** Per-site access counts indexed by static site id ([light record
+    --profile]). *)

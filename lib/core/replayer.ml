@@ -203,6 +203,7 @@ let driver (sch : schedule) ~(plan : Plan.t) : driver =
       {
         Interp.gate = Some gate;
         observe = Some observe;
+        on_shared = None;
         syscall_override = Some syscall_override;
         choose_wakeup = Some choose_wakeup;
         suppress_write = Some suppress_write;

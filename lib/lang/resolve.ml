@@ -72,6 +72,13 @@ type compiled = {
   cp_main : rfn;
   cp_globals : int array;  (** interned ids of declared globals, decl order *)
   cp_max_sid : int;
+  cp_site_dense : int array;
+      (** compile-time site resolution: maps a static site id to a dense
+          access-site index [0 .. cp_n_access_sites-1] (program order, main
+          first), or [-1] for non-access statements.  Consumers (profiling,
+          per-site tables) can then use flat arrays of exactly
+          [cp_n_access_sites] slots instead of sid-keyed hashtables. *)
+  cp_n_access_sites : int;
   cp_src : Ast.program;    (** the source program, for tooling *)
 }
 
@@ -160,12 +167,48 @@ let resolve_fn (p : Ast.program) (fd : Ast.fndef) : rfn =
   let frame, body = resolve_block p fd.params fd.body in
   { rf_name = fd.fname; rf_nparams = List.length fd.params; rf_frame = frame; rf_body = body }
 
+let is_access_node = function
+  | RLoad _ | RStore _ | RLoadIdx _ | RStoreIdx _ | RGlobalLoad _ | RGlobalStore _
+  | RMapGet _ | RMapPut _ | RMapHas _ -> true
+  | _ -> false
+
+(* Dense numbering of access sites, program order (main first, then the
+   functions in declaration order). *)
+let number_sites (max_sid : int) (main : rfn) (fns : rfn array) : int array * int =
+  let dense = Array.make (max_sid + 1) (-1) in
+  let next = ref 0 in
+  let rec block (b : rblock) =
+    List.iter
+      (fun (s : rstmt) ->
+        (if is_access_node s.rnode && s.rsid >= 0 && s.rsid <= max_sid
+            && dense.(s.rsid) < 0 then begin
+           dense.(s.rsid) <- !next;
+           incr next
+         end);
+        match s.rnode with
+        | RIf (_, b1, b2) -> block b1; block b2
+        | RWhile (_, b1) | RSync (_, b1) -> block b1
+        | _ -> ())
+      b
+  in
+  block main.rf_body;
+  Array.iter (fun (f : rfn) -> block f.rf_body) fns;
+  (dense, !next)
+
 let compile (p : Ast.program) : compiled =
   let main_frame, main_body = resolve_block p [] p.main in
+  let fns = Array.of_list (List.map (resolve_fn p) p.fns) in
+  let main =
+    { rf_name = "$main"; rf_nparams = 0; rf_frame = main_frame; rf_body = main_body }
+  in
+  let max_sid = Ast.max_sid p in
+  let site_dense, n_access_sites = number_sites max_sid main fns in
   {
-    cp_fns = Array.of_list (List.map (resolve_fn p) p.fns);
-    cp_main = { rf_name = "$main"; rf_nparams = 0; rf_frame = main_frame; rf_body = main_body };
+    cp_fns = fns;
+    cp_main = main;
     cp_globals = Array.of_list (List.map Intern.id p.globals);
-    cp_max_sid = Ast.max_sid p;
+    cp_max_sid = max_sid;
+    cp_site_dense = site_dense;
+    cp_n_access_sites = n_access_sites;
     cp_src = p;
   }

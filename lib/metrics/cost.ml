@@ -123,6 +123,37 @@ let charge (m : meter) (op : op) : unit =
   m.units <- m.units + cost ~w:m.weights op;
   m.ops <- m.ops + 1
 
+(* Direct charge entry points for the recording fast path: equivalent to
+   [charge m (Op {...})] but without constructing the [op] block, so a hot
+   per-access charge allocates nothing.  Weights are read from the meter, so
+   units match [cost] exactly. *)
+
+let[@inline] charge_units (m : meter) (u : int) : unit =
+  m.units <- m.units + u;
+  m.ops <- m.ops + 1
+
+let[@inline] charge_tick (m : meter) : unit = charge_units m m.weights.w_tick
+
+let[@inline] charge_guarded_tick (m : meter) : unit =
+  charge_units m m.weights.w_guarded_tick
+
+let[@inline] charge_extend (m : meter) : unit = charge_units m m.weights.w_extend
+
+let[@inline] charge_switch (m : meter) ~(level : int) : unit =
+  charge_units m (m.weights.w_switch + (level * m.weights.w_switch_level))
+
+let[@inline] charge_lw (m : meter) ~(level : int) : unit =
+  charge_units m (m.weights.w_lw + (level * m.weights.w_lw_level))
+
+let[@inline] charge_validate (m : meter) ~(level : int) : unit =
+  charge_units m (m.weights.w_validate + (level * m.weights.w_validate_level))
+
+let[@inline] charge_dep_append (m : meter) : unit =
+  charge_units m m.weights.w_dep_append
+
+let[@inline] charge_prec_hit (m : meter) : unit =
+  charge_units m m.weights.w_prec_hit
+
 (** Recording overhead relative to the uninstrumented run, as a fraction
     (0.44 = 44%), given the interpreter step count of the run. *)
 let overhead (m : meter) ~(steps : int) : float =

@@ -320,14 +320,19 @@ let solver_bench ?(seed = 3) ?(json_path = "BENCH_solver.json") ?pool () ppf :
 (* Interpreter throughput (BENCH_interp.json)                           *)
 (* ------------------------------------------------------------------ *)
 
+(* one timed series: median is the headline number (robust to a single
+   slow iteration on a shared runner), min approximates the noise floor,
+   max completes the recorded spread *)
+type series = { sps_med : float; sps_min : float; sps_max : float }
+
 type interp_measure = {
   im_bm : string;
-  im_steps : int;        (* steps of one uninstrumented run *)
-  im_ref_sps : float;    (* reference interpreter (string-keyed), native *)
-  im_native_sps : float; (* slot-resolved interpreter, native *)
-  im_basic_sps : float;  (* under Light recording, uncompressed *)
-  im_o1_sps : float;
-  im_both_sps : float;
+  im_steps : int;     (* steps of one uninstrumented run *)
+  im_ref : series;    (* reference interpreter (string-keyed), native *)
+  im_native : series; (* slot-resolved interpreter, native *)
+  im_basic : series;  (* under Light recording, uncompressed *)
+  im_o1 : series;
+  im_both : series;
 }
 
 (* CI runs with a reduced budget via LIGHT_BENCH_ITERS *)
@@ -337,42 +342,58 @@ let bench_iters () =
   | None -> 5
 
 (* steps/second of [run]: one warmup execution (whose step count is
-   returned), then [iters] timed executions *)
-let steps_per_sec ~iters (run : unit -> Interp.outcome) : int * float =
+   returned), then [iters] individually timed executions *)
+let steps_per_sec ~iters (run : unit -> Interp.outcome) : int * series =
   let o0 = run () in
-  let t0 = Unix.gettimeofday () in
-  for _ = 1 to iters do
-    ignore (run ())
-  done;
-  let dt = Unix.gettimeofday () -. t0 in
-  (o0.steps, float_of_int (o0.steps * iters) /. Float.max dt 1e-9)
+  let steps = float_of_int o0.steps in
+  let samples =
+    Array.init iters (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (run ());
+        let dt = Unix.gettimeofday () -. t0 in
+        steps /. Float.max dt 1e-9)
+  in
+  Array.sort compare samples;
+  let n = Array.length samples in
+  let med =
+    if n land 1 = 1 then samples.(n / 2)
+    else 0.5 *. (samples.((n / 2) - 1) +. samples.(n / 2))
+  in
+  (o0.steps, { sps_med = med; sps_min = samples.(0); sps_max = samples.(n - 1) })
 
 let measure_interp ?(seed = 7) ~iters (bm : Workloads.benchmark) : interp_measure =
   let p = Workloads.program bm in
   let sched () = Workloads.scheduler ~seed bm in
   let cp = Interp.compile p in
-  let steps, native_sps =
+  let steps, native =
     steps_per_sec ~iters (fun () -> Interp.run_compiled ~sched:(sched ()) cp)
   in
-  let _, ref_sps = steps_per_sec ~iters (fun () -> Interp_ref.run ~sched:(sched ()) p) in
-  let record variant () =
-    (Light_core.Light.record ~variant ~sched:(sched ()) ~seed p).outcome
+  let _, ref_ = steps_per_sec ~iters (fun () -> Interp_ref.run ~sched:(sched ()) p) in
+  (* instrument once, record every iteration: the analysis and the slot
+     resolution are prepare-time costs (measured by the analysis bench);
+     what this bench times is the recording fast path *)
+  let record variant =
+    let pp = Light_core.Light.prepare ~variant p in
+    fun () -> (Light_core.Light.record_prepared ~sched:(sched ()) ~seed pp).outcome
   in
-  let _, basic_sps = steps_per_sec ~iters (record Light_core.Light.v_basic) in
-  let _, o1_sps = steps_per_sec ~iters (record Light_core.Light.v_o1) in
-  let _, both_sps = steps_per_sec ~iters (record Light_core.Light.v_both) in
+  let _, basic = steps_per_sec ~iters (record Light_core.Light.v_basic) in
+  let _, o1 = steps_per_sec ~iters (record Light_core.Light.v_o1) in
+  let _, both = steps_per_sec ~iters (record Light_core.Light.v_both) in
   {
     im_bm = bm.name;
     im_steps = steps;
-    im_ref_sps = ref_sps;
-    im_native_sps = native_sps;
-    im_basic_sps = basic_sps;
-    im_o1_sps = o1_sps;
-    im_both_sps = both_sps;
+    im_ref = ref_;
+    im_native = native;
+    im_basic = basic;
+    im_o1 = o1;
+    im_both = both;
   }
 
 let geomean (f : interp_measure -> float) (ms : interp_measure list) : float =
   exp (List.fold_left (fun a m -> a +. log (f m)) 0. ms /. float_of_int (List.length ms))
+
+(* relative iteration spread of a series, (max - min) / median *)
+let spread (s : series) : float = (s.sps_max -. s.sps_min) /. Float.max s.sps_med 1e-9
 
 let interp_json ~iters (ms : interp_measure list) : string =
   let buf = Buffer.create 4096 in
@@ -384,41 +405,51 @@ let interp_json ~iters (ms : interp_measure list) : string =
            "    {\"workload\": %S, \"steps\": %d, \"ref_sps\": %.0f, \
             \"native_sps\": %.0f, \"basic_sps\": %.0f, \"o1_sps\": %.0f, \
             \"both_sps\": %.0f, \"speedup_vs_ref\": %.2f, \"ratio_basic\": %.2f, \
-            \"ratio_o1\": %.2f, \"ratio_both\": %.2f}%s\n"
-           m.im_bm m.im_steps m.im_ref_sps m.im_native_sps m.im_basic_sps
-           m.im_o1_sps m.im_both_sps
-           (m.im_native_sps /. m.im_ref_sps)
-           (m.im_native_sps /. m.im_basic_sps)
-           (m.im_native_sps /. m.im_o1_sps)
-           (m.im_native_sps /. m.im_both_sps)
+            \"ratio_o1\": %.2f, \"ratio_both\": %.2f,\n\
+           \     \"native_sps_min\": %.0f, \"native_sps_max\": %.0f, \
+            \"basic_sps_min\": %.0f, \"basic_sps_max\": %.0f, \
+            \"o1_sps_min\": %.0f, \"o1_sps_max\": %.0f, \
+            \"both_sps_min\": %.0f, \"both_sps_max\": %.0f, \
+            \"native_spread\": %.3f}%s\n"
+           m.im_bm m.im_steps m.im_ref.sps_med m.im_native.sps_med
+           m.im_basic.sps_med m.im_o1.sps_med m.im_both.sps_med
+           (m.im_native.sps_med /. m.im_ref.sps_med)
+           (m.im_native.sps_med /. m.im_basic.sps_med)
+           (m.im_native.sps_med /. m.im_o1.sps_med)
+           (m.im_native.sps_med /. m.im_both.sps_med)
+           m.im_native.sps_min m.im_native.sps_max m.im_basic.sps_min
+           m.im_basic.sps_max m.im_o1.sps_min m.im_o1.sps_max m.im_both.sps_min
+           m.im_both.sps_max (spread m.im_native)
            (if i = List.length ms - 1 then "" else ",")))
     ms;
   Buffer.add_string buf
     (Printf.sprintf
        "  ],\n  \"geomean\": {\"speedup_vs_ref\": %.2f, \"ratio_basic\": %.2f, \
         \"ratio_o1\": %.2f, \"ratio_both\": %.2f}\n}\n"
-       (geomean (fun m -> m.im_native_sps /. m.im_ref_sps) ms)
-       (geomean (fun m -> m.im_native_sps /. m.im_basic_sps) ms)
-       (geomean (fun m -> m.im_native_sps /. m.im_o1_sps) ms)
-       (geomean (fun m -> m.im_native_sps /. m.im_both_sps) ms));
+       (geomean (fun m -> m.im_native.sps_med /. m.im_ref.sps_med) ms)
+       (geomean (fun m -> m.im_native.sps_med /. m.im_basic.sps_med) ms)
+       (geomean (fun m -> m.im_native.sps_med /. m.im_o1.sps_med) ms)
+       (geomean (fun m -> m.im_native.sps_med /. m.im_both.sps_med) ms));
   Buffer.contents buf
 
 (* Per-workload interpreter throughput: the slot-resolved interpreter
    against the string-keyed reference (native, uninstrumented), and the
    per-variant recording-overhead ratios (native steps/sec divided by
-   recorded steps/sec).  Runs sequentially — timing inside the domain pool
-   would measure contention, not the interpreter.  Step counts on stdout
-   are deterministic; every wall-clock-derived column hides behind
-   LIGHT_TIMINGS, and the full measurement lands in [json_path] for CI. *)
-let interp_bench ?(seed = 7) ?(json_path = "BENCH_interp.json") () ppf : unit =
+   recorded steps/sec).  All steps/sec cells are the median over the timed
+   iterations.  Runs sequentially — timing inside the domain pool would
+   measure contention, not the interpreter.  Step counts on stdout are
+   deterministic; every wall-clock-derived column hides behind
+   LIGHT_TIMINGS, and the full measurement (with per-series min/max) lands
+   in [json_path] for CI. *)
+let run_interp_measurements ~seed ppf : int * interp_measure list =
   let iters = bench_iters () in
   let ms = List.map (measure_interp ~seed ~iters) Workloads.all in
   let f1 v = Printf.sprintf "%.1f" v in
   let k sps = Printf.sprintf "%.0fk" (sps /. 1e3) in
   Chart.table
     ~title:
-      "Interpreter throughput (steps/sec: reference vs slot-resolved, native \
-       and under recording)"
+      "Interpreter throughput (median steps/sec: reference vs slot-resolved, \
+       native and under recording)"
     ~header:
       [ "workload"; "steps"; "ref"; "native"; "speedup"; "basic"; "o1"; "o1+o2";
         "xbasic"; "xo1"; "xo1+o2" ]
@@ -427,31 +458,107 @@ let interp_bench ?(seed = 7) ?(json_path = "BENCH_interp.json") () ppf : unit =
          [
            m.im_bm;
            string_of_int m.im_steps;
-           timing_cell (k m.im_ref_sps);
-           timing_cell (k m.im_native_sps);
-           timing_cell (f1 (m.im_native_sps /. m.im_ref_sps));
-           timing_cell (k m.im_basic_sps);
-           timing_cell (k m.im_o1_sps);
-           timing_cell (k m.im_both_sps);
-           timing_cell (f1 (m.im_native_sps /. m.im_basic_sps));
-           timing_cell (f1 (m.im_native_sps /. m.im_o1_sps));
-           timing_cell (f1 (m.im_native_sps /. m.im_both_sps));
+           timing_cell (k m.im_ref.sps_med);
+           timing_cell (k m.im_native.sps_med);
+           timing_cell (f1 (m.im_native.sps_med /. m.im_ref.sps_med));
+           timing_cell (k m.im_basic.sps_med);
+           timing_cell (k m.im_o1.sps_med);
+           timing_cell (k m.im_both.sps_med);
+           timing_cell (f1 (m.im_native.sps_med /. m.im_basic.sps_med));
+           timing_cell (f1 (m.im_native.sps_med /. m.im_o1.sps_med));
+           timing_cell (f1 (m.im_native.sps_med /. m.im_both.sps_med));
          ])
        ms)
     ppf;
   Fmt.pf ppf "  total steps (one native run each): %d@."
     (List.fold_left (fun a m -> a + m.im_steps) 0 ms);
-  if show_timings () then
+  if show_timings () then begin
     Fmt.pf ppf
       "  geomean: %.2fx vs reference; record overhead %.2fx basic, %.2fx O1, \
        %.2fx O1+O2@."
-      (geomean (fun m -> m.im_native_sps /. m.im_ref_sps) ms)
-      (geomean (fun m -> m.im_native_sps /. m.im_basic_sps) ms)
-      (geomean (fun m -> m.im_native_sps /. m.im_o1_sps) ms)
-      (geomean (fun m -> m.im_native_sps /. m.im_both_sps) ms);
+      (geomean (fun m -> m.im_native.sps_med /. m.im_ref.sps_med) ms)
+      (geomean (fun m -> m.im_native.sps_med /. m.im_basic.sps_med) ms)
+      (geomean (fun m -> m.im_native.sps_med /. m.im_o1.sps_med) ms)
+      (geomean (fun m -> m.im_native.sps_med /. m.im_both.sps_med) ms);
+    Fmt.pf ppf "  native min-of-iters geomean: %.0fk steps/sec@."
+      (geomean (fun m -> m.im_native.sps_min) ms /. 1e3);
+    let worst =
+      List.fold_left
+        (fun (wn, ws) m ->
+          let s = spread m.im_native in
+          if s > ws then (m.im_bm, s) else (wn, ws))
+        ("-", 0.) ms
+    in
+    Fmt.pf ppf "  worst native iteration spread: %.0f%% (%s)@."
+      (100. *. snd worst) (fst worst)
+  end;
+  (iters, ms)
+
+let interp_bench ?(seed = 7) ?(json_path = "BENCH_interp.json") () ppf : unit =
+  let iters, ms = run_interp_measurements ~seed ppf in
   Out_channel.with_open_text json_path (fun oc ->
       Out_channel.output_string oc (interp_json ~iters ms));
   Fmt.pf ppf "  full measurement (with timings) written to %s@.@." json_path
+
+(* scan a BENCH_interp.json for the geomean block's [key] value; a full
+   JSON parser would be a dependency for one float *)
+let scan_geomean_field (json : string) (key : string) : float option =
+  let find_from (sub : string) (from : int) : int option =
+    let n = String.length json and k = String.length sub in
+    let rec go i =
+      if i + k > n then None
+      else if String.sub json i k = sub then Some (i + k)
+      else go (i + 1)
+    in
+    go from
+  in
+  match find_from "\"geomean\"" 0 with
+  | None -> None
+  | Some g -> (
+    match find_from (Printf.sprintf "%S: " key) g with
+    | None -> None
+    | Some v ->
+      let e = ref v in
+      let n = String.length json in
+      while
+        !e < n
+        && (match json.[!e] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false)
+      do
+        incr e
+      done;
+      float_of_string_opt (String.sub json v (!e - v)))
+
+(* CI perf smoke: measure fresh, write [json_path], and compare the
+   record-mode geomean against the committed baseline.  Returns [false]
+   (fail the job) if [ratio_basic] regressed by more than [threshold]
+   relative — generous, because shared runners are noisy; the uploaded
+   artifact carries the full per-workload spread for forensics. *)
+let interp_perfcheck ?(seed = 7)
+    ?(baseline_path = "bench/BENCH_interp.baseline.json")
+    ?(json_path = "BENCH_interp.json") ?(threshold = 0.20) () ppf : bool =
+  let iters, ms = run_interp_measurements ~seed ppf in
+  Out_channel.with_open_text json_path (fun oc ->
+      Out_channel.output_string oc (interp_json ~iters ms));
+  Fmt.pf ppf "  full measurement (with timings) written to %s@." json_path;
+  let fresh = geomean (fun m -> m.im_native.sps_med /. m.im_basic.sps_med) ms in
+  match
+    if Sys.file_exists baseline_path then
+      scan_geomean_field (In_channel.with_open_text baseline_path In_channel.input_all)
+        "ratio_basic"
+    else None
+  with
+  | None ->
+    Fmt.pf ppf "  perfcheck: no baseline at %s — skipping comparison@.@." baseline_path;
+    true
+  | Some base ->
+    let rel = (fresh -. base) /. base in
+    let ok = rel <= threshold in
+    Fmt.pf ppf
+      "  perfcheck: geomean ratio_basic %.2f vs baseline %.2f (%+.0f%%, \
+       threshold +%.0f%%) — %s@.@."
+      fresh base (100. *. rel) (100. *. threshold)
+      (if ok then "ok" else "REGRESSION");
+    ok
 
 (* ------------------------------------------------------------------ *)
 (* Static-analysis precision (BENCH_analysis.json)                      *)
@@ -501,14 +608,16 @@ let measure_analysis ?(seed = 7) ~iters (bm : Workloads.benchmark) : analysis_me
          tr_s.analysis.races)
   in
   let cp = Interp.compile p in
-  let _, native_sps =
+  let _, native =
     steps_per_sec ~iters (fun () -> Interp.run_compiled ~sched:(sched ()) cp)
   in
+  let native_sps = native.sps_med in
   (* both timed runs take a precomputed plan: the point is the cost of the
      instrumentation the plan leaves behind, not of running the analysis *)
   let record_basic plan () = (record ~plan Light_core.Light.v_basic).outcome in
-  let _, basic_coarse_sps = steps_per_sec ~iters (record_basic tr_c.plan) in
-  let _, basic_sharp_sps = steps_per_sec ~iters (record_basic tr_s.plan) in
+  let _, basic_coarse = steps_per_sec ~iters (record_basic tr_c.plan) in
+  let _, basic_sharp = steps_per_sec ~iters (record_basic tr_s.plan) in
+  let basic_coarse_sps = basic_coarse.sps_med and basic_sharp_sps = basic_sharp.sps_med in
   {
     am_bm = bm.name;
     am_total = tr_s.total_access_sites;

@@ -63,6 +63,13 @@ type hooks = {
       (** consulted before a shared access (on the first ghost access for
           compound sync transitions); [false] delays the thread *)
   observe : (Event.t -> unit) option;
+  on_shared : (tid:int -> c:int -> loc:Loc.t -> kind:Event.akind -> site:int
+               -> ghost:Event.ghost_kind -> unit) option;
+      (** allocation-free variant of [observe] for shared accesses only: the
+          arguments arrive flattened (no [Event.access] record, no [Event.t]
+          constructor, no value), so a recorder on this hook pays zero
+          allocation per access.  Fired on every instrumented access,
+          including ghosts, before [observe]. *)
   syscall_override : (tid:int -> idx:int -> name:string -> Value.t option) option;
       (** replay-run substitution of recorded syscall values (Section 3.2) *)
   choose_wakeup : (lock:Value.objid -> waiters:int list -> int) option;
@@ -78,6 +85,7 @@ let default_hooks : hooks =
   {
     gate = None;
     observe = None;
+    on_shared = None;
     syscall_override = None;
     choose_wakeup = None;
     suppress_write = None;
@@ -290,6 +298,9 @@ let access st (t : thread) ~(loc : Loc.t) ~(kind : Event.akind) ~(site : int)
   | _ -> ());
   if st.collect_trace then
     st.trace_rev <- { Event.tid = t.tid; c = t.d; loc; kind; site; ghost } :: st.trace_rev;
+  (match st.hooks.on_shared with
+  | None -> ()
+  | Some f -> f ~tid:t.tid ~c:t.d ~loc ~kind ~site ~ghost);
   match st.hooks.observe with
   | None -> ()
   | Some f -> f (Access ({ Event.tid = t.tid; c = t.d; loc; kind; site; ghost }, value))

@@ -20,3 +20,29 @@ let of_tables ~(shared : (int, bool) Hashtbl.t) ~(guarded : (int, bool) Hashtbl.
     shared_site = (fun s -> Option.value ~default:false (Hashtbl.find_opt shared s));
     guarded_site = (fun s -> Option.value ~default:false (Hashtbl.find_opt guarded s));
   }
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time site resolution                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-site plan decisions resolved once into a dense byte table, so the
+    recording fast path replaces the two closure calls (each a hashtable
+    probe) with a single byte load indexed by the static site id. *)
+
+(* '\000' = not instrumented (never reaches the recorder); '\001' =
+   instrumented and recorded by Algorithm 1; '\002' = instrumented but
+   O2-exempt (Lemma 4.2) *)
+let m_local = '\000'
+let m_recorded = '\001'
+let m_guarded = '\002'
+
+(** [modes plan ~max_sid] bakes the plan into a byte per site id.  Site 0
+    (ghost accesses) is part of the table so the recorder needs no bounds
+    branch on the hot path. *)
+let modes (p : t) ~(max_sid : int) : Bytes.t =
+  let b = Bytes.make (max_sid + 1) m_local in
+  for sid = 0 to max_sid do
+    if p.shared_site sid then
+      Bytes.unsafe_set b sid (if p.guarded_site sid then m_guarded else m_recorded)
+  done;
+  b

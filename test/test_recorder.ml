@@ -147,6 +147,127 @@ let test_guarded_skip_count () =
     both.log.ranges
 
 (* ------------------------------------------------------------------ *)
+(* The five open_run closing shapes (white-box)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive the recorder directly with synthetic accesses and assert the exact
+   encoding each run shape emits at close (previously covered only
+   indirectly through the workload differentials). *)
+
+let loc0 : Loc.t = { obj = 7; fld = 0 }
+
+let outcome0 : Interp.outcome =
+  {
+    status = Interp.AllFinished;
+    steps = 0;
+    crashes = [];
+    reads = [];
+    outputs = [];
+    counters = [];
+    syscalls = [];
+    final_heap = [];
+    trace = [];
+  }
+
+(* an O1 recorder whose single site 0 is recorded *)
+let o1_recorder () = Recorder.create ~variant:Recorder.v_o1 (Bytes.make 1 Runtime.Plan.m_recorded)
+
+let access r ~tid ~c kind =
+  Recorder.on_access r
+    { Event.tid; c; loc = loc0; kind; site = 0; ghost = Event.NotGhost }
+
+let close (r : Recorder.t) : Log.t = Recorder.finalize r ~outcome:outcome0
+
+let test_shape_reads_only () =
+  (* a foreign write, then a pure-read run: closes through the prec map as
+     one dep (w_in -> read span) *)
+  let r = o1_recorder () in
+  access r ~tid:1 ~c:1 Event.Write;  (* clock 1 *)
+  access r ~tid:2 ~c:1 Event.Read;   (* clock 2: breaks t1's run *)
+  access r ~tid:2 ~c:2 Event.Read;   (* clock 3 *)
+  access r ~tid:2 ~c:3 Event.Read;   (* clock 4 *)
+  let log = close r in
+  Alcotest.(check int) "no ranges" 0 (List.length log.ranges);
+  match log.deps with
+  | [ d ] ->
+    Alcotest.(check bool) "w = t1's write" true (d.w = Some (1, 1));
+    Alcotest.(check bool) "rf = first read" true (d.rf = (2, 1));
+    Alcotest.(check int) "rl = last read" 3 d.rl_c;
+    Alcotest.(check int) "w stamped at clock 1" 1 d.w_obs;
+    Alcotest.(check int) "span stamped at clock 4" 4 d.dep_obs
+  | ds -> Alcotest.failf "expected exactly one dep, got %d" (List.length ds)
+
+let test_shape_writes_only () =
+  (* a pure-write run is dropped: its last write would be referenced by the
+     next reader's w_in, earlier writes are blind *)
+  let r = o1_recorder () in
+  access r ~tid:1 ~c:1 Event.Write;
+  access r ~tid:1 ~c:2 Event.Write;
+  access r ~tid:1 ~c:3 Event.Write;
+  let log = close r in
+  Alcotest.(check int) "no deps" 0 (List.length log.deps);
+  Alcotest.(check int) "no ranges" 0 (List.length log.ranges)
+
+let test_shape_reads_then_writes () =
+  (* [R+ W+]: one dep (w_in -> prefix-read span); the trailing writes
+     behave like V_basic writes and need no record of their own *)
+  let r = o1_recorder () in
+  access r ~tid:1 ~c:1 Event.Write;  (* clock 1: the feeding write *)
+  access r ~tid:2 ~c:1 Event.Read;   (* clock 2 *)
+  access r ~tid:2 ~c:2 Event.Read;   (* clock 3 *)
+  access r ~tid:2 ~c:3 Event.Write;  (* clock 4 *)
+  access r ~tid:2 ~c:4 Event.Write;  (* clock 5 *)
+  let log = close r in
+  Alcotest.(check int) "no ranges" 0 (List.length log.ranges);
+  match log.deps with
+  | [ d ] ->
+    Alcotest.(check bool) "w = w_in" true (d.w = Some (1, 1));
+    Alcotest.(check bool) "rf = run lo" true (d.rf = (2, 1));
+    Alcotest.(check int) "rl = last prefix read" 2 d.rl_c;
+    Alcotest.(check int) "span stamped at the last prefix read" 3 d.dep_obs
+  | ds -> Alcotest.failf "expected exactly one dep, got %d" (List.length ds)
+
+let test_shape_writes_then_reads () =
+  (* [W+ R+]: one dep (the run's own last write -> trailing read span) *)
+  let r = o1_recorder () in
+  access r ~tid:2 ~c:1 Event.Write;  (* clock 1 *)
+  access r ~tid:2 ~c:2 Event.Write;  (* clock 2: the referenced write *)
+  access r ~tid:2 ~c:3 Event.Read;   (* clock 3 *)
+  access r ~tid:2 ~c:4 Event.Read;   (* clock 4 *)
+  let log = close r in
+  Alcotest.(check int) "no ranges" 0 (List.length log.ranges);
+  match log.deps with
+  | [ d ] ->
+    Alcotest.(check bool) "w = own last write" true (d.w = Some (2, 2));
+    Alcotest.(check int) "w stamped at clock 2" 2 d.w_obs;
+    Alcotest.(check bool) "rf = first read after w" true (d.rf = (2, 3));
+    Alcotest.(check int) "rl = run hi" 4 d.rl_c;
+    Alcotest.(check int) "span stamped at run hi" 4 d.dep_obs
+  | ds -> Alcotest.failf "expected exactly one dep, got %d" (List.length ds)
+
+let test_shape_middle_read () =
+  (* a read strictly between two own writes: no single dep carries the
+     interval's noninterference constraint — a range record is emitted *)
+  let r = o1_recorder () in
+  access r ~tid:2 ~c:1 Event.Write;  (* clock 1 *)
+  access r ~tid:2 ~c:2 Event.Read;   (* clock 2 *)
+  access r ~tid:2 ~c:3 Event.Write;  (* clock 3 *)
+  let log = close r in
+  Alcotest.(check int) "no deps" 0 (List.length log.deps);
+  match log.ranges with
+  | [ rg ] ->
+    Alcotest.(check int) "owned by t2" 2 rg.rt;
+    Alcotest.(check int) "lo" 1 rg.lo;
+    Alcotest.(check int) "hi" 3 rg.hi;
+    Alcotest.(check bool) "no feeding write (run starts with a write)" true
+      (rg.w_in = None);
+    Alcotest.(check bool) "no prefix reads" false rg.prefix_reads;
+    Alcotest.(check bool) "has a write" true rg.has_write;
+    Alcotest.(check int) "lo stamped at clock 1" 1 rg.lo_obs;
+    Alcotest.(check int) "hi stamped at clock 3" 3 rg.rng_obs
+  | rs -> Alcotest.failf "expected exactly one range, got %d" (List.length rs)
+
+(* ------------------------------------------------------------------ *)
 (* Serialization                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -171,6 +292,131 @@ let test_log_roundtrip_tricky_values () =
   let r = Light.record ~sched:(Sched.round_robin ()) p in
   let log' = Log.of_string (Log.to_string r.log) in
   Alcotest.(check bool) "tricky fields roundtrip" true (r.log.deps = log'.deps && r.log.ranges = log'.ranges)
+
+(* the writer emits digit-by-digit; pin the exact bytes of a small log so a
+   formatting regression cannot hide behind a parser that accepts it *)
+let test_serialization_exact_bytes () =
+  let fx = Loc.fld_of_name "f x" in
+  let log : Log.t =
+    {
+      deps =
+        [
+          { loc = { obj = 3; fld = fx }; w = Some (1, 4); rf = (2, 5); rl_c = 7;
+            dep_obs = 11; w_obs = 2 };
+          { loc = { obj = 3; fld = -5 }; w = None; rf = (1, 1); rl_c = 1;
+            dep_obs = 1; w_obs = 0 };
+        ];
+      ranges =
+        [
+          { loc = { obj = 3; fld = fx }; rt = 2; lo = 6; hi = 9; w_in = None;
+            prefix_reads = true; has_write = false; rng_obs = 12; lo_obs = 8;
+            w_obs = 0 };
+        ];
+      syscalls = [ (1, 0, "@rand", Runtime.Value.VInt 42) ];
+      counters = [ (1, 5); (2, 9) ];
+      o1 = true;
+      o2 = false;
+    }
+  in
+  let expected =
+    Printf.sprintf
+      "light-log v3 o1=true o2=false\n\
+       F %d f%%20x\n\
+       T 1 5\n\
+       T 2 9\n\
+       D 3/%d 1:4 2:5 7 11 2\n\
+       D 3/-5 - 1:1 1 1 0\n\
+       R 3/%d 2 6 9 - true false 12 8 0\n\
+       S 1 0 @rand i42\n"
+      fx fx fx
+  in
+  Alcotest.(check string) "v3 bytes pinned" expected (Log.to_string log);
+  let expected_v2 =
+    "light-log v2 o1=true o2=false\n\
+     T 1 5\n\
+     T 2 9\n\
+     D 3/f%20x 1:4 2:5 7 11 2\n\
+     D 3/#2 - 1:1 1 1 0\n\
+     R 3/f%20x 2 6 9 - true false 12 8 0\n\
+     S 1 0 @rand i42\n"
+  in
+  Alcotest.(check string) "v2 bytes pinned" expected_v2 (Log.to_string_v2 log)
+
+(* qcheck: serialization round-trips over random logs (v2 and v3) *)
+let log_gen : Log.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let field_name =
+    oneofl [ "f"; "g"; "count"; "k 1%x"; "a/b:c"; "m%20"; "x y z" ]
+  in
+  let loc =
+    let* obj = int_range (-5) 500 in
+    let* fld =
+      oneof [ map Loc.fld_of_name field_name; map (fun i -> -(2 * i) - 1) (int_range 0 20) ]
+    in
+    return { Loc.obj; fld }
+  in
+  let evt = pair (int_range 1 9) (int_range 1 999) in
+  let dep =
+    let* loc = loc in
+    let* w = opt evt in
+    let* rf = evt in
+    let* span = int_range 0 50 in
+    let* dep_obs = int_range 0 5000 in
+    let* w_obs = int_range 0 5000 in
+    return { Log.loc; w; rf; rl_c = snd rf + span; dep_obs; w_obs }
+  in
+  let range =
+    let* loc = loc in
+    let* rt = int_range 1 9 in
+    let* lo = int_range 1 999 in
+    let* span = int_range 0 50 in
+    let* w_in = opt evt in
+    let* prefix_reads = bool in
+    let* has_write = bool in
+    let* rng_obs = int_range 0 5000 in
+    let* lo_obs = int_range 0 5000 in
+    let* w_obs = int_range 0 5000 in
+    return
+      { Log.loc; rt; lo; hi = lo + span; w_in; prefix_reads; has_write; rng_obs;
+        lo_obs; w_obs }
+  in
+  let value =
+    let open Runtime.Value in
+    oneof
+      [
+        map (fun n -> VInt n) small_signed_int;
+        map (fun b -> VBool b) bool;
+        return VNull;
+        map (fun o -> VRef o) (int_range 0 99);
+        map (fun s -> VStr s) (oneofl [ ""; "v 2%y"; "plain"; "a:b/c" ]);
+        map (fun t -> VThread t) (int_range 1 9);
+      ]
+  in
+  let syscall =
+    let* t = int_range 1 9 in
+    let* i = int_range 0 20 in
+    let* name = oneofl [ "@time"; "@rand"; "@strlen" ] in
+    let* v = value in
+    return (t, i, name, v)
+  in
+  let gen =
+    let* deps = list_size (int_range 0 6) dep in
+    let* ranges = list_size (int_range 0 6) range in
+    let* syscalls = list_size (int_range 0 4) syscall in
+    let* counters = list_size (int_range 0 4) (pair (int_range 1 9) (int_range 1 999)) in
+    let* o1 = bool in
+    let* o2 = bool in
+    return { Log.deps; ranges; syscalls; counters; o1; o2 }
+  in
+  QCheck.make
+    ~print:(fun l -> Log.to_string_v2 l ^ "\n---\n" ^ Log.to_string l)
+    gen
+
+let prop_random_log_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"random logs round-trip (v2 and v3)" log_gen
+    (fun log ->
+      Log.of_string (Log.to_string log) = log
+      && Log.of_string (Log.to_string_v2 log) = log)
 
 (* qcheck: recorder invariants over random seeds and variants *)
 let seed_variant_gen =
@@ -201,10 +447,20 @@ let () =
           Alcotest.test_case "overhead sane" `Quick test_overhead_positive;
           Alcotest.test_case "O2 skips guarded fields" `Quick test_guarded_skip_count;
         ] );
+      ( "closing-shapes",
+        [
+          Alcotest.test_case "reads-only -> prec dep" `Quick test_shape_reads_only;
+          Alcotest.test_case "writes-only -> dropped" `Quick test_shape_writes_only;
+          Alcotest.test_case "R+W+ -> dep on w_in" `Quick test_shape_reads_then_writes;
+          Alcotest.test_case "W+R+ -> dep on own write" `Quick test_shape_writes_then_reads;
+          Alcotest.test_case "middle read -> range" `Quick test_shape_middle_read;
+        ] );
       ( "serialization",
         [
           Alcotest.test_case "roundtrip" `Quick test_log_roundtrip;
           Alcotest.test_case "tricky values" `Quick test_log_roundtrip_tricky_values;
+          Alcotest.test_case "exact bytes pinned" `Quick test_serialization_exact_bytes;
+          QCheck_alcotest.to_alcotest prop_random_log_roundtrip;
           QCheck_alcotest.to_alcotest prop_log_wellformed;
         ] );
     ]
