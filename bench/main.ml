@@ -59,6 +59,7 @@ let run_example () = Report.Experiments.running_example () ppf
 let run_solver () = Report.Experiments.solver_bench ~pool () ppf
 let run_interp () = Report.Experiments.interp_bench () ppf
 let run_analysis () = Report.Experiments.analysis_bench () ppf
+let run_explore () = Report.Experiments.explore_bench ~pool () ppf
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks                                  *)
@@ -158,6 +159,7 @@ let all_experiments =
     ("solver", run_solver);
     ("interp", run_interp);
     ("analysis", run_analysis);
+    ("explore", run_explore);
   ]
 
 let () =

@@ -314,10 +314,131 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Run the 24-benchmark overhead comparison (Figures 4/5/7)")
     Term.(const run $ jobs_arg)
 
+(* ---- schedule-space exploration ---- *)
+
+let context_of ~seed ~stickiness file =
+  let p = or_die (read_program file) in
+  let make_sched () = sched_of ~seed ~stickiness in
+  (p, or_die (Explore.make_context ~make_sched p))
+
+let explore_cmd =
+  let run file seed stickiness limit jobs =
+    let _, ctx = context_of ~seed ~stickiness file in
+    let results = Explore.explore ~pool:(pool_of jobs) ~limit ctx in
+    Printf.printf "%d flip candidate(s) from the recorded run:\n\n" (List.length results);
+    List.iter
+      (fun (r : Explore.explored) ->
+        Format.printf "  %-10s %a  (solve %.4fs)%s@."
+          (Explore.verdict_name r.ex_verdict)
+          Explore.pp_flip r.ex_flip r.ex_solve_s
+          (if r.ex_validate <> [] then "  INVALID: " ^ String.concat "; " r.ex_validate
+           else "");
+        match r.ex_verdict with
+        | Explore.Crashed cs ->
+          List.iter
+            (fun (c : Runtime.Interp.crash) ->
+              Printf.printf "      !! thread %d crashes at line %d: %s\n" c.tid c.line c.msg)
+            cs
+        | Explore.Divergent ds ->
+          List.iteri (fun i d -> if i < 3 then Printf.printf "      ~ %s\n" d) ds
+        | _ -> ())
+      results;
+    let count v =
+      List.length
+        (List.filter (fun (r : Explore.explored) ->
+             Explore.verdict_name r.ex_verdict = v) results)
+    in
+    Printf.printf
+      "\n%d same, %d divergent, %d crashed, %d stuck, %d infeasible, %d aborted\n"
+      (count "same") (count "divergent") (count "crashed") (count "stuck")
+      (count "infeasible") (count "aborted")
+  in
+  let limit =
+    Arg.(value & opt int 32 & info [ "limit" ] ~doc:"Max flip candidates to evaluate")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Record one run, then enumerate feasible alternative schedules by \
+          flipping racy access pairs and re-solving the constraint system")
+    Term.(const run $ file_arg $ seed_arg $ stick_arg $ limit $ jobs_arg)
+
+let hunt_cmd =
+  let run file seed stickiness limit depth out jobs =
+    let _, ctx = context_of ~seed ~stickiness file in
+    if ctx.recording.outcome.crashes <> [] then
+      or_die
+        (Error
+           "the recorded run already crashes; hunt starts from a passing run \
+            (try another --seed)");
+    let hr = Explore.hunt ~pool:(pool_of jobs) ~limit ~depth ctx in
+    match hr.hr_repro with
+    | None ->
+      Printf.printf "no crashing schedule found (%d flip sets tried)\n" hr.hr_tried
+    | Some rp ->
+      Printf.printf "found a crashing schedule after %d flip set(s); minimal flips:\n"
+        hr.hr_tried;
+      List.iter (fun f -> Format.printf "  %a@." Explore.pp_flip f) rp.rp_flips;
+      (match hr.hr_outcome with
+      | Some o ->
+        List.iter
+          (fun (c : Runtime.Interp.crash) ->
+            Printf.printf "  !! thread %d crashes at line %d: %s\n" c.tid c.line c.msg)
+          o.crashes
+      | None -> ());
+      Out_channel.with_open_text out (fun oc ->
+          Out_channel.output_string oc (Explore.reproducer_to_string rp));
+      Printf.printf "reproducer written to %s\n" out
+  in
+  let limit =
+    Arg.(value & opt int 32 & info [ "limit" ] ~doc:"Max flip candidates per level")
+  in
+  let depth =
+    Arg.(value & opt int 2 & info [ "depth" ] ~doc:"Max flips combined in one schedule")
+  in
+  let out =
+    Arg.(value & opt string "repro.light" & info [ "o"; "output" ] ~doc:"Reproducer file")
+  in
+  Cmd.v
+    (Cmd.info "hunt"
+       ~doc:
+         "Flaky-test harness: record a passing run, search schedule space by \
+          flip distance for a failing schedule, emit a minimal replayable \
+          reproducer")
+    Term.(const run $ file_arg $ seed_arg $ stick_arg $ limit $ depth $ out $ jobs_arg)
+
+let reproduce_cmd =
+  let run file repro_file =
+    let p = or_die (read_program file) in
+    let rp =
+      or_die
+        (Explore.reproducer_of_string
+           (In_channel.with_open_text repro_file In_channel.input_all))
+    in
+    match Explore.run_reproducer p rp with
+    | Error e -> or_die (Error e)
+    | Ok o ->
+      print_outcome o;
+      let got = List.sort compare (List.map (fun (c : Runtime.Interp.crash) -> (c.tid, c.site, c.msg)) o.crashes) in
+      if got = List.sort compare rp.rp_expected then
+        print_endline "REPRODUCED (crash signature matches the reproducer)"
+      else begin
+        print_endline "!! crash signature differs from the reproducer";
+        exit 1
+      end
+  in
+  let repro_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"REPRO" ~doc:"Reproducer file")
+  in
+  Cmd.v
+    (Cmd.info "reproduce" ~doc:"Replay a reproducer emitted by hunt and check the failure")
+    Term.(const run $ file_arg $ repro_arg)
+
 let main =
   Cmd.group
     (Cmd.info "light" ~version:"1.0"
        ~doc:"Light: replay via tightly bounded recording (PLDI 2015)")
-    [ run_cmd; analyze_cmd; record_cmd; replay_cmd; roundtrip_cmd; weave_cmd; bugs_cmd; bench_cmd ]
+    [ run_cmd; analyze_cmd; record_cmd; replay_cmd; roundtrip_cmd; weave_cmd; bugs_cmd;
+      bench_cmd; explore_cmd; hunt_cmd; reproduce_cmd ]
 
 let () = exit (Cmd.eval main)

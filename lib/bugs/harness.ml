@@ -47,6 +47,20 @@ let find_trigger ?(tries = 60) ?(plan = Plan.all_shared) (p : Lang.Ast.program) 
   in
   go (candidates ~tries)
 
+(** Search for a schedule under which the program runs to completion with
+    no crash — the "passing CI run" a flaky-test hunt starts from. *)
+let find_passing ?(tries = 60) ?(plan = Plan.all_shared) (p : Lang.Ast.program) :
+    trigger option =
+  let rec go = function
+    | [] -> None
+    | (descr, mk) :: rest ->
+      let outcome = Interp.run ~plan ~sched:(mk ()) ~max_steps:400_000 p in
+      if outcome.crashes = [] && outcome.status = Interp.AllFinished then
+        Some { make_sched = mk; descr; outcome }
+      else go rest
+  in
+  go (candidates ~tries)
+
 (* ------------------------------------------------------------------ *)
 (* Per-tool reproduction                                               *)
 (* ------------------------------------------------------------------ *)

@@ -30,6 +30,17 @@
       When [zstart(I)] is itself an event of [J] it is necessarily [J]'s
       last write and no constraint is needed beyond the hard source edge.
 
+    {b Exploration hooks.}  Schedule-space exploration (lib/explore)
+    deliberately steps outside the recorded equivalence class: [~free]
+    names interval start events whose incoming dependence pin is dropped
+    (the interval becomes a {e sourceless} reader: noninterference still
+    keeps writers out of its interior, but its read-from write may change),
+    and [~extra_events] materializes additional order variables for
+    accesses the log never referenced (they join their thread's order
+    chain and participate in no clause, so the solver — and the replay
+    gate — can place them).  With both empty the generated system is
+    byte-identical to the unrelaxed one.
+
     {b Pruning.}  Materializing the noninterference disjunction for every
     (reader, writer) pair is quadratic per location and dominates both
     generation and solving at workload scale.  Most pairs are already
@@ -342,9 +353,17 @@ let reach_entry (r : reach option) (v : int) (tid : int) : int =
 (* Generation                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let generate ?(naive = false) (log : Log.t) : t =
+let generate ?(naive = false) ?(free = []) ?(extra_events = []) (log : Log.t) : t =
   let t_start = Sys.time () in
   let intervals = intervals_of_log log in
+  (* freed interval starts: their source pin is dropped (exploration) *)
+  let freed : (Log.evt, unit) Hashtbl.t = Hashtbl.create (max 4 (List.length free)) in
+  List.iter (fun e -> Hashtbl.replace freed e ()) free;
+  let eff_src (iv : interval) : Log.evt option option =
+    match iv.src with
+    | Some _ when Hashtbl.mem freed iv.start_e -> None
+    | s -> s
+  in
   (* variable per referenced event *)
   let vars : (Log.evt, int) Hashtbl.t = Hashtbl.create 1024 in
   let evts_rev = ref [] in
@@ -363,6 +382,8 @@ let generate ?(naive = false) (log : Log.t) : t =
       ignore (var iv.end_e);
       match iv.src with Some (Some w) -> ignore (var w) | _ -> ())
     intervals;
+  (* exploration events: a variable in the thread-order chain, no clauses *)
+  List.iter (fun e -> ignore (var e)) extra_events;
   let evts = Array.of_list (List.rev !evts_rev) in
   let est = event_time_estimator log in
   let prio = Array.map est evts in
@@ -402,7 +423,7 @@ let generate ?(naive = false) (log : Log.t) : t =
     (fun _ ivs ->
       List.iter
         (fun iv ->
-          match iv.src with
+          match eff_src iv with
           | Some (Some w) -> add_hard (var w) (var iv.start_e)
           | Some None | None -> ())
         ivs)
@@ -429,7 +450,7 @@ let generate ?(naive = false) (log : Log.t) : t =
               List.iter
                 (fun j ->
                   if j != i && j.writes then
-                    match i.src with
+                    match eff_src i with
                     | Some None ->
                       (* initial-value reads precede every write on the loc *)
                       add_hard (var i.end_e) (var j.start_e)
@@ -449,7 +470,10 @@ let generate ?(naive = false) (log : Log.t) : t =
                         emit_clause ~iobs:i.obs ~jobs:j.obs lits
                       end
                     | None ->
-                      if fst i.start_e <> fst j.start_e then begin
+                      if
+                        fst i.start_e <> fst j.start_e
+                        && not (Hashtbl.mem freed i.start_e)
+                      then begin
                         incr n_pairs;
                         let lits =
                           if i.obs <= j.obs then
@@ -505,7 +529,7 @@ let generate ?(naive = false) (log : Log.t) : t =
         let writers = writers_of ivs in
         List.iter
           (fun i ->
-            if i.reads && i.src = Some None then
+            if i.reads && eff_src i = Some None then
               List.iter
                 (fun (_, ws, _) ->
                   (* first writer that is not the reader itself: the edge to
@@ -549,11 +573,19 @@ let generate ?(naive = false) (log : Log.t) : t =
         let writers = writers_of ivs in
         List.iter
           (fun i ->
-            if i.reads && i.src <> Some None then begin
+            (* a freed interval is fully unpinned: its reads no longer claim
+               a consistent source, so it emits no reader-side interference
+               (it still interferes as a writer with other intervals'
+               zones) *)
+            if
+              i.reads
+              && eff_src i <> Some None
+              && not (Hashtbl.mem freed i.start_e)
+            then begin
               let t1 = fst i.start_e in
               let c_end_i = snd i.end_e in
               let zstart_e, w_opt =
-                match i.src with
+                match eff_src i with
                 | Some (Some w) -> (w, Some w)
                 | _ -> (i.start_e, None)
               in

@@ -149,7 +149,12 @@ let pred_rank (sch : schedule) (t : int) (c : int) : int option =
     done;
     if !best < 0 then None else Hashtbl.find_opt sch.rank_of (t, arr.(!best))
 
-let driver (sch : schedule) ~(plan : Plan.t) : driver =
+(** [?suppress:false] turns off blind-write suppression — the exploration
+    mode: every executed step is then a legal program step, so any crash a
+    flipped schedule reaches is a genuine interleaving of the program, not
+    an artifact of replay-time write elision.  Replay of the {e recorded}
+    schedule keeps the default ([true]); see the module doc. *)
+let driver ?(suppress = true) (sch : schedule) ~(plan : Plan.t) : driver =
   let next_rank = ref 0 in
   let executed = Hashtbl.create 1024 in
   let advance () =
@@ -182,7 +187,8 @@ let driver (sch : schedule) ~(plan : Plan.t) : driver =
     | _ -> ()
   in
   let suppress_write (pre : Event.pre) : bool =
-    pre.ghost = Event.NotGhost
+    suppress
+    && pre.ghost = Event.NotGhost
     && (not (Hashtbl.mem sch.rank_of (pre.tid, pre.c)))
     && (not (in_interval sch pre.tid pre.loc pre.c))
     && not (plan.guarded_site pre.site)
@@ -213,7 +219,7 @@ let driver (sch : schedule) ~(plan : Plan.t) : driver =
   }
 
 (** Execute the replay run. *)
-let replay ?(max_steps = 10_000_000) (program : Lang.Ast.program) ~(plan : Plan.t)
-    (sch : schedule) : Interp.outcome =
-  let d = driver sch ~plan in
+let replay ?(max_steps = 10_000_000) ?suppress (program : Lang.Ast.program)
+    ~(plan : Plan.t) (sch : schedule) : Interp.outcome =
+  let d = driver ?suppress sch ~plan in
   Interp.run ~hooks:d.hooks ~plan ~max_steps ~sched:(Sched.round_robin ()) program

@@ -17,11 +17,20 @@
       so tests enable it on small logs; the linear checks above run at
       workload scale.
 
-    Returns human-readable violations; [[]] means the schedule validates. *)
+    Returns human-readable violations; [[]] means the schedule validates.
+
+    [~free] mirrors {!Constraints.generate}'s relaxation for exploration:
+    a freed read interval's source pin is not required (the flip deliberately
+    re-orders it), but every other dependence — and, with [~zones:true], the
+    noninterference condition with the freed reader treated as sourceless —
+    still must hold. *)
 
 open Runtime
 
-let check ?(zones = false) (log : Log.t) (sch : Replayer.schedule) : string list =
+let check ?(zones = false) ?(free = []) (log : Log.t) (sch : Replayer.schedule) :
+    string list =
+  let freed : (Log.evt, unit) Hashtbl.t = Hashtbl.create (max 4 (List.length free)) in
+  List.iter (fun e -> Hashtbl.replace freed e ()) free;
   let errs = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
   let rank e = Hashtbl.find_opt sch.Replayer.rank_of e in
@@ -57,11 +66,12 @@ let check ?(zones = false) (log : Log.t) (sch : Replayer.schedule) : string list
   in
   List.iter
     (fun (d : Log.dep) ->
-      match d.w with Some w -> dep_edge "dep" w d.rf | None -> ())
+      if not (Hashtbl.mem freed d.rf) then
+        match d.w with Some w -> dep_edge "dep" w d.rf | None -> ())
     log.deps;
   List.iter
     (fun (r : Log.range) ->
-      if r.prefix_reads then
+      if r.prefix_reads && not (Hashtbl.mem freed (r.rt, r.lo)) then
         match r.w_in with Some w -> dep_edge "range" w (r.rt, r.lo) | None -> ())
     log.ranges;
   (* Equation-1 zones, checked straight from the interval normalization the
@@ -94,7 +104,12 @@ let check ?(zones = false) (log : Log.t) (sch : Replayer.schedule) : string list
                 (fun (j : Constraints.interval) ->
                   if j != i && j.writes then begin
                     let clear = must i.end_e < must j.start_e in
-                    match i.src with
+                    let src =
+                      match i.src with
+                      | Some _ when Hashtbl.mem freed i.start_e -> None
+                      | s -> s
+                    in
+                    match src with
                     | Some None ->
                       if not clear then
                         err "init reader %s..%s not before writer %s" (pp i.start_e)

@@ -803,6 +803,92 @@ let table1 ?(scale_factor = 1) ?pool () ppf : unit =
     \   seconds differ — the reproduced shape is solve time tracking recorded space.)@.@."
 
 (* ------------------------------------------------------------------ *)
+(* Schedule-space exploration bench (BENCH_explore.json)                *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-workload exploration throughput: every flip candidate of the
+   recorded run is re-solved twice — seeded with the recording's witness
+   and fresh — executed, and classified.  LIGHT_EXPLORE_FLIPS caps the
+   candidates per workload (CI uses a reduced budget); verdict counts on
+   stdout are deterministic, wall-clock columns hide behind LIGHT_TIMINGS,
+   and the full measurement lands in [json_path] for the CI artifact. *)
+let explore_bench ?(seed = 3) ?(json_path = "BENCH_explore.json") ?pool () ppf
+    : unit =
+  let limit =
+    match Sys.getenv_opt "LIGHT_EXPLORE_FLIPS" with
+    | Some s -> (try int_of_string s with _ -> 8)
+    | None -> 8
+  in
+  let rows =
+    Engine.Batch.map ?pool Workloads.all ~f:(fun (bm : Workloads.benchmark) ->
+        let p = Workloads.program bm in
+        match
+          Explore.make_context ~seed
+            ~make_sched:(fun () -> Workloads.scheduler ~seed bm)
+            p
+        with
+        | Error e -> Error (bm.name, e)
+        | Ok ctx -> Ok (Explore.measure ~limit ~label:bm.name ctx))
+  in
+  let skipped = List.filter_map (function Error x -> Some x | Ok _ -> None) rows in
+  let ms = List.filter_map (function Ok m -> Some m | Error _ -> None) rows in
+  Chart.table
+    ~title:
+      "Schedule-space exploration (per-workload flip candidates: verdicts, \
+       witness-seeded vs fresh re-solve)"
+    ~header:
+      [ "workload"; "flips"; "same"; "div"; "crash"; "stuck"; "infeas"; "abort";
+        "re-solve (s)"; "fresh (s)"; "sched/s" ]
+    (List.map
+       (fun (m : Explore.stats) ->
+         [
+           m.st_label;
+           string_of_int m.st_candidates;
+           string_of_int m.st_same;
+           string_of_int m.st_divergent;
+           string_of_int m.st_crashed;
+           string_of_int m.st_stuck;
+           string_of_int m.st_infeasible;
+           string_of_int m.st_aborted;
+           timing_cell (Printf.sprintf "%.4f" m.st_resolve_s);
+           timing_cell (Printf.sprintf "%.4f" m.st_fresh_s);
+           timing_cell (Printf.sprintf "%.1f" m.st_sched_per_s);
+         ])
+       ms)
+    ppf;
+  List.iter
+    (fun (name, e) -> Fmt.pf ppf "  %-13s skipped: %s@." name e)
+    skipped;
+  let totf f = List.fold_left (fun a m -> a +. f m) 0.0 ms in
+  let tot f = List.fold_left (fun a m -> a + f m) 0 ms in
+  let resolve = totf (fun m -> m.Explore.st_resolve_s)
+  and fresh = totf (fun m -> m.Explore.st_fresh_s) in
+  Fmt.pf ppf
+    "  %d flip candidates over %d workloads (capped at %d per workload; \
+     LIGHT_EXPLORE_FLIPS overrides): %d feasible neighbors (%d same, %d \
+     divergent, %d crashed, %d stuck), %d infeasible, %d aborted@."
+    (tot (fun m -> m.st_candidates))
+    (List.length ms)
+    limit
+    (tot (fun m -> m.st_same + m.st_divergent + m.st_crashed + m.st_stuck))
+    (tot (fun m -> m.st_same))
+    (tot (fun m -> m.st_divergent))
+    (tot (fun m -> m.st_crashed))
+    (tot (fun m -> m.st_stuck))
+    (tot (fun m -> m.st_infeasible))
+    (tot (fun m -> m.st_aborted));
+  if show_timings () then
+    Fmt.pf ppf
+      "  witness-seeded re-solve %.4fs vs fresh %.4fs -> %.1fx speedup (%d \
+       fresh aborts)@."
+      resolve fresh
+      (if resolve > 0.0 then fresh /. resolve else 0.0)
+      (tot (fun m -> m.st_fresh_aborted));
+  Out_channel.with_open_text json_path (fun oc ->
+      Out_channel.output_string oc (Explore.stats_to_json ms));
+  Fmt.pf ppf "  full measurement (with timings) written to %s@.@." json_path
+
+(* ------------------------------------------------------------------ *)
 (* Running example (Sections 2.3/2.4)                                   *)
 (* ------------------------------------------------------------------ *)
 

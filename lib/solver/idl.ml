@@ -216,6 +216,9 @@ let solve ?max_backtracks ?(budget = default_budget) ?hint (p : problem) : resul
             incr sp;
             if !sp > !max_depth then max_depth := !sp;
             incr decisions;
+            (* conflict-free searches over large graphs would otherwise
+               never observe the wall-clock budget *)
+            check_budget ();
             i := !ci + 1;
             decided := true
           end
