@@ -24,7 +24,13 @@
     BENCH_analysis.json — static-analysis precision, coarse (name buckets)
     vs sharp (points-to + escape + must-alias locks): instrumented/guarded
     sites, Section-5 space units, record-overhead ratios, and static race
-    pairs with dynamic happens-before confirmation.
+    pairs with dynamic happens-before confirmation.  The [epochs]
+    experiment (explicit-only: its default budget records 12M steps)
+    writes BENCH_epochs.json — epoch-mode streaming recording of a
+    synthetic service loop under LIGHT_EPOCH_STEPS / LIGHT_EPOCH_LEN,
+    with peak-RSS and per-window log-size evidence for bounded-memory
+    recording, per-epoch incremental solve times, and O(epoch)
+    single-epoch replays.
 
     Experiments fan out across the engine's domain pool; set LIGHT_JOBS=N
     to choose the pool size (default: one worker per core, capped at 8).
@@ -173,12 +179,16 @@ let () =
         match List.assoc_opt n all_experiments with
         | Some f -> f ()
         | None when n = "bechamel" -> run_bechamel ()
+        | None when n = "epochs" ->
+          (* explicit-only, like bechamel: the default budget is a 12M-step
+             recording (LIGHT_EPOCH_STEPS reduces it in CI) *)
+          Report.Experiments.epochs_bench () ppf
         | None when n = "perfcheck" ->
           (* CI perf smoke: interp measurement + comparison against the
              committed baseline; nonzero exit on regression *)
           if not (Report.Experiments.interp_perfcheck () ppf) then exit 1
         | None ->
-          Format.printf "unknown experiment %s (have: %s bechamel perfcheck)@." n
+          Format.printf "unknown experiment %s (have: %s bechamel epochs perfcheck)@." n
             (String.concat " " (List.map fst all_experiments)))
       names);
   (* wall-clock on stderr: stdout stays byte-identical across runs/pools *)

@@ -179,46 +179,86 @@ let analyze_cmd =
        ~doc:"Static analysis: classification, guards, races, coarse-vs-sharp elision")
     Term.(const run $ target_arg $ weave_flag)
 
+(* per-site dynamic hit counts, hottest first, so perf work can target
+   actual hot sites rather than geomeans.  In epoch mode the counts are
+   the recorder's cumulative totals across every sealed epoch. *)
+let print_profile (p : Lang.Ast.program) (site_hits : int array) (topn : int) =
+  let stmts : (int, Lang.Ast.stmt) Hashtbl.t = Hashtbl.create 64 in
+  Lang.Ast.fold_stmts (fun () (s : Lang.Ast.stmt) -> Hashtbl.replace stmts s.sid s) () p;
+  let sites = ref [] in
+  Array.iteri
+    (fun sid hits -> if hits > 0 then sites := (sid, hits) :: !sites)
+    site_hits;
+  let sites = List.sort (fun (_, a) (_, b) -> compare (b : int) a) !sites in
+  let total = List.fold_left (fun a (_, h) -> a + h) 0 sites in
+  Printf.printf "\nsite profile: %d instrumented accesses over %d hot sites"
+    total (List.length sites);
+  if List.length sites > topn then Printf.printf " (top %d shown)" topn;
+  Printf.printf "\n";
+  List.iteri
+    (fun i (sid, hits) ->
+      if i < topn then
+        match Hashtbl.find_opt stmts sid with
+        | Some s ->
+          Printf.printf "  %8d  sid %-4d line %-4d %s\n" hits sid s.line
+            (Lang.Pp.stmt_to_string s)
+        | None -> Printf.printf "  %8d  sid %-4d (sync ghost)\n" hits sid)
+    sites
+
 let record_cmd =
-  let run file seed stickiness variant out profile =
+  let run file seed stickiness variant out profile epoch =
     let p = or_die (read_program file) in
-    let r = Light_core.Light.record ~variant ~sched:(sched_of ~seed ~stickiness) p in
-    print_outcome r.outcome;
-    Printf.printf "recorded %d deps + %d ranges = %d longs (overhead %.0f%%)\n"
-      (List.length r.log.deps) (List.length r.log.ranges) r.space_longs
-      (100. *. r.overhead);
-    (match profile with
-    | None -> ()
-    | Some topn ->
-      (* per-site dynamic hit counts from the recorder, hottest first, so
-         perf work can target actual hot sites rather than geomeans *)
-      let stmts : (int, Lang.Ast.stmt) Hashtbl.t = Hashtbl.create 64 in
-      Lang.Ast.fold_stmts (fun () (s : Lang.Ast.stmt) -> Hashtbl.replace stmts s.sid s) () p;
-      let sites = ref [] in
-      Array.iteri
-        (fun sid hits -> if hits > 0 then sites := (sid, hits) :: !sites)
-        r.site_hits;
-      let sites = List.sort (fun (_, a) (_, b) -> compare (b : int) a) !sites in
-      let total = List.fold_left (fun a (_, h) -> a + h) 0 sites in
-      Printf.printf "\nsite profile: %d instrumented accesses over %d hot sites"
-        total (List.length sites);
-      if List.length sites > topn then Printf.printf " (top %d shown)" topn;
-      Printf.printf "\n";
-      List.iteri
-        (fun i (sid, hits) ->
-          if i < topn then
-            match Hashtbl.find_opt stmts sid with
-            | Some s ->
-              Printf.printf "  %8d  sid %-4d line %-4d %s\n" hits sid s.line
-                (Lang.Pp.stmt_to_string s)
-            | None -> Printf.printf "  %8d  sid %-4d (sync ghost)\n" hits sid)
-        sites);
-    match out with
-    | Some path ->
-      Out_channel.with_open_text path (fun oc ->
-          Out_channel.output_string oc (Light_core.Log.to_string r.log));
-      Printf.printf "log written to %s\n" path
-    | None -> ()
+    if epoch > 0 then begin
+      (* epoch mode: checkpoint + seal every [epoch] steps, write v4 *)
+      let pp = Light_core.Light.prepare ~variant p in
+      let r =
+        Light_core.Epoch.record_epochs ~sched:(sched_of ~seed ~stickiness)
+          ~epoch_len:epoch pp
+      in
+      print_outcome r.er_outcome;
+      let longs =
+        List.fold_left
+          (fun a (e : Light_core.Epoch.epoch) ->
+            a + Light_core.Log.space_longs e.ep_log)
+          0 r.er_epochs
+      in
+      Printf.printf "recorded %d epoch(s) of %d steps, %d longs total\n"
+        (List.length r.er_epochs) epoch longs;
+      List.iter
+        (fun (e : Light_core.Epoch.epoch) ->
+          Printf.printf
+            "  epoch %d: steps %d..%d, %d deps + %d ranges, clock %d\n" e.ep_idx
+            e.ep_start_steps e.ep_steps
+            (List.length e.ep_log.Light_core.Log.deps)
+            (List.length e.ep_log.Light_core.Log.ranges)
+            e.ep_clock)
+        r.er_epochs;
+      (match profile with
+      | None -> ()
+      | Some topn -> print_profile p r.er_site_hits topn);
+      match out with
+      | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Light_core.Epoch.to_string_v4 r));
+        Printf.printf "v4 log written to %s\n" path
+      | None -> ()
+    end
+    else begin
+      let r = Light_core.Light.record ~variant ~sched:(sched_of ~seed ~stickiness) p in
+      print_outcome r.outcome;
+      Printf.printf "recorded %d deps + %d ranges = %d longs (overhead %.0f%%)\n"
+        (List.length r.log.deps) (List.length r.log.ranges) r.space_longs
+        (100. *. r.overhead);
+      (match profile with
+      | None -> ()
+      | Some topn -> print_profile p r.site_hits topn);
+      match out with
+      | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Light_core.Log.to_string r.log));
+        Printf.printf "log written to %s\n" path
+      | None -> ()
+    end
   in
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Write the log here")
@@ -230,39 +270,95 @@ let record_cmd =
       & info [ "profile" ] ~docv:"N"
           ~doc:"Print per-site hit counts and the $(docv) hottest instrumented sites")
   in
+  let epoch =
+    Arg.(
+      value & opt int 0
+      & info [ "epoch" ] ~docv:"N"
+          ~doc:
+            "Epoch-based recording: checkpoint the interpreter and seal the \
+             log every $(docv) steps, writing format v4 (0 = monolithic v3)")
+  in
   Cmd.v (Cmd.info "record" ~doc:"Record a run with the Light recorder")
-    Term.(const run $ file_arg $ seed_arg $ stick_arg $ variant_arg $ out $ profile)
+    Term.(const run $ file_arg $ seed_arg $ stick_arg $ variant_arg $ out $ profile $ epoch)
 
 let replay_cmd =
-  let run file logfile =
+  let print_solve (report : Light_core.Replayer.solve_report) =
+    Printf.printf "generated %d noninterference pairs -> %d clauses (%d entailed, %d unit, %d dedup)\n"
+      report.gen_stats.n_pairs report.n_clauses report.gen_stats.n_pruned
+      report.gen_stats.n_unit report.gen_stats.n_dedup;
+    Printf.printf "solved %d vars, %d clauses in %.3fs (%d decisions, %d backtracks, %d conflicts)\n"
+      report.n_vars report.n_clauses report.solve_time_s report.solver_stats.decisions
+      report.solver_stats.backtracks report.solver_stats.theory_conflicts
+  in
+  let replay_chunks (p : Lang.Ast.program) (f : Light_core.Epoch.file) ks =
+    let variant = { Light_core.Light.o1 = f.f_o1; o2 = f.f_o2 } in
+    let pp = Light_core.Light.prepare ~variant p in
+    List.iter
+      (fun k ->
+        match List.nth_opt f.f_chunks k with
+        | None ->
+          or_die
+            (Error (Printf.sprintf "no epoch %d (log has %d)" k (List.length f.f_chunks)))
+        | Some ck -> (
+          Printf.printf "== epoch %d (steps %d..%d) ==\n" ck.Light_core.Epoch.ck_idx
+            ck.ck_start_steps ck.ck_steps;
+          match Light_core.Epoch.replay_chunk pp ck with
+          | Error e -> or_die (Error e)
+          | Ok rr ->
+            print_solve rr.rr_report;
+            Printf.printf "replayed %d step(s)\n" rr.rr_steps;
+            List.iter
+              (fun (tid, lines) ->
+                List.iter (fun l -> Printf.printf "[thread %d] %s\n" tid l) lines)
+              rr.rr_obs.Runtime.Interp.obs_outputs))
+      ks
+  in
+  let run file logfile epoch =
     let p = or_die (read_program file) in
-    let log =
-      Light_core.Log.of_string (In_channel.with_open_text logfile In_channel.input_all)
-    in
-    let report = Light_core.Replayer.solve log in
-    (match report.schedule with
-    | None ->
-      or_die
-        (Error
-           (match report.result_kind with
-           | Light_core.Replayer.SolverAborted -> "solver budget exhausted"
-           | _ -> "constraint system unsatisfiable"))
-    | Some sch ->
-      Printf.printf "generated %d noninterference pairs -> %d clauses (%d entailed, %d unit, %d dedup)\n"
-        report.gen_stats.n_pairs report.n_clauses report.gen_stats.n_pruned
-        report.gen_stats.n_unit report.gen_stats.n_dedup;
-      Printf.printf "solved %d vars, %d clauses in %.3fs (%d decisions, %d backtracks, %d conflicts)\n"
-        report.n_vars report.n_clauses report.solve_time_s report.solver_stats.decisions
-        report.solver_stats.backtracks report.solver_stats.theory_conflicts;
-      let plan = (Instrument.Transformer.transform p).plan in
-      let o = Light_core.Replayer.replay p ~plan sch in
-      print_outcome o)
+    let txt = In_channel.with_open_text logfile In_channel.input_all in
+    if Light_core.Epoch.is_v4 txt then begin
+      let f = Light_core.Epoch.of_string_v4 txt in
+      let ks =
+        match epoch with
+        | Some k -> [ k ]
+        | None -> List.mapi (fun i _ -> i) f.f_chunks
+      in
+      replay_chunks p f ks
+    end
+    else begin
+      (match epoch with
+      | Some _ ->
+        or_die (Error "--epoch requires a v4 log (record with --epoch N)")
+      | None -> ());
+      let log = Light_core.Log.of_string txt in
+      let report = Light_core.Replayer.solve log in
+      match report.schedule with
+      | None ->
+        or_die
+          (Error
+             (match report.result_kind with
+             | Light_core.Replayer.SolverAborted -> "solver budget exhausted"
+             | _ -> "constraint system unsatisfiable"))
+      | Some sch ->
+        print_solve report;
+        let plan = (Instrument.Transformer.transform p).plan in
+        let o = Light_core.Replayer.replay p ~plan sch in
+        print_outcome o
+    end
   in
   let log_arg =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"LOG" ~doc:"Recorded log file")
   in
+  let epoch =
+    Arg.(
+      value & opt (some int) None
+      & info [ "epoch" ] ~docv:"K"
+          ~doc:
+            "Replay only epoch $(docv) of a v4 log, from its checkpoint — \
+             O(epoch) work (default: every epoch in order)")
+  in
   Cmd.v (Cmd.info "replay" ~doc:"Compute a schedule from a log and replay it")
-    Term.(const run $ file_arg $ log_arg)
+    Term.(const run $ file_arg $ log_arg $ epoch)
 
 let roundtrip_cmd =
   let run file seed stickiness variant =

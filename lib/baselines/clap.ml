@@ -119,6 +119,12 @@ let preemptive (switches : (int * int) list) : Sched.t =
           if List.mem t runnable then cur := t
         | _ -> ());
         if List.mem !cur runnable then !cur else List.hd runnable);
+    save = (fun () -> Sched.marshal_hex (!cur, !pending));
+    load =
+      (fun s ->
+        let c, p = (Sched.unmarshal_hex s : int * (int * int) list) in
+        cur := c;
+        pending := p);
   }
 
 (* Run a candidate schedule; [None] when some thread's branch stream

@@ -110,6 +110,15 @@ let record ?variant ?sched ?max_steps ?seed ?weights ?plan
     (program : Lang.Ast.program) : recording =
   record_prepared ?sched ?max_steps ?seed ?weights (prepare ?variant ?plan program)
 
+(* Accessors for the epoch engine (and other lib/core clients of the
+   abstract [prepared]). *)
+let prepared_program (pp : prepared) = pp.pp_program
+let prepared_compiled (pp : prepared) = pp.pp_compiled
+let prepared_variant (pp : prepared) = pp.pp_variant
+let prepared_plan (pp : prepared) = pp.pp_plan
+let prepared_modes (pp : prepared) = pp.pp_modes
+let prepared_instrumented_sites (pp : prepared) = pp.pp_instrumented_sites
+
 type replay_result = {
   replay_outcome : Interp.outcome;
   faithful : Interp.mismatch list;  (** empty = Theorem 1 observables match *)

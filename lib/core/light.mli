@@ -69,6 +69,15 @@ val record_prepared :
     interpreter and the recorder's zero-allocation access fast path are on
     the clock. *)
 
+val prepared_program : prepared -> Lang.Ast.program
+val prepared_compiled : prepared -> Interp.compiled
+val prepared_variant : prepared -> variant
+val prepared_plan : prepared -> Plan.t
+val prepared_modes : prepared -> Bytes.t
+val prepared_instrumented_sites : prepared -> int
+(** Component accessors, for clients (like the epoch engine) that drive the
+    interpreter and recorder themselves over a prepared program. *)
+
 val record :
   ?variant:variant ->
   ?sched:Sched.t ->

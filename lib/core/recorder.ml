@@ -146,6 +146,13 @@ module Lw = struct
     Array.unsafe_set t.wc i wc;
     Array.unsafe_set t.wobs i wobs;
     if 2 * t.n > t.mask then grow t
+
+  (* forget every entry (capacity retained) — epoch sealing: the next
+     epoch's readers must see "no last write", i.e. the virtual
+     initialization write of the epoch's checkpoint state *)
+  let clear (t : t) : unit =
+    Array.fill t.kobj 0 (Array.length t.kobj) empty_key;
+    t.n <- 0
 end
 
 (* ------------------------------------------------------------------ *)
@@ -540,7 +547,16 @@ let on_access (r : t) (a : Event.access) : unit =
 (* Finalization                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let finalize (r : t) ~(outcome : Interp.outcome) : Log.t =
+(** Close out everything recorded since the previous seal (or creation) and
+    return it as a [Log.t].  Unlike a plain flush this also {e clears} the
+    last-write table, so accesses recorded after a seal reference writes
+    from before it as [w = None] — the virtual initialization write, whose
+    value is supplied by the epoch's checkpoint.  That one invariant is what
+    makes each sealed log a self-contained per-epoch constraint system.
+    The access clock, site-hit counts and cost meter stay cumulative across
+    seals. *)
+let seal (r : t) ~(syscalls : (int * int * string * Value.t) list)
+    ~(counters : (int * int) list) : Log.t =
   (* flush open runs first: read-only runs drain into the prec map, which is
      flushed afterwards *)
   Loc.Tbl.iter (fun loc run -> emit_range r loc run) r.runs;
@@ -587,14 +603,20 @@ let finalize (r : t) ~(outcome : Interp.outcome) : Log.t =
       :: !ranges;
     b := b0 - range_width
   done;
+  r.deps.Arena.len <- 0;
+  r.ranges.Arena.len <- 0;
+  Lw.clear r.lw;
   {
     Log.deps = !deps;
     ranges = !ranges;
-    syscalls = outcome.syscalls;
-    counters = outcome.counters;
+    syscalls;
+    counters;
     o1 = r.variant.o1;
     o2 = r.variant.o2;
   }
+
+let finalize (r : t) ~(outcome : Interp.outcome) : Log.t =
+  seal r ~syscalls:outcome.syscalls ~counters:outcome.counters
 
 (** Interpreter hooks for a recording run (the allocation-free flattened
     access hook; no [Event.t] is ever constructed). *)
@@ -610,3 +632,7 @@ let hooks (r : t) : Interp.hooks =
 let meter (r : t) : Metrics.Cost.meter = r.meter
 
 let site_hits (r : t) : int array = r.site_hits
+
+(** Cumulative access-clock value: total instrumented accesses recorded so
+    far, across every sealed epoch (never reset by {!seal}). *)
+let accesses (r : t) : int = r.accesses

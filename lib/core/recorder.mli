@@ -38,6 +38,22 @@ val finalize : t -> outcome:Interp.outcome -> Log.t
 (** Flush open records and assemble the log (merging the thread-local
     buffers, attaching syscall values and final counters). *)
 
+val seal :
+  t ->
+  syscalls:(int * int * string * Value.t) list ->
+  counters:(int * int) list ->
+  Log.t
+(** Epoch boundary: like {!finalize} but callable mid-run, attaching the
+    window's syscalls and the current counter watermark.  Also clears the
+    last-write table, so accesses after the seal record pre-seal writes as
+    the virtual initialization write ([w = None]) — their values come from
+    the epoch checkpoint instead of the previous epoch's log.  The access
+    clock, cost meter and {!site_hits} stay cumulative across seals. *)
+
+val accesses : t -> int
+(** Cumulative access-clock value across all seals (the [_obs] stamp
+    domain). *)
+
 val on_access_fast :
   t ->
   tid:int ->

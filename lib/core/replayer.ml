@@ -44,6 +44,9 @@ type solve_report = {
   n_hard : int;
   n_clauses : int;
   solve_time_s : float;
+  max_model : int;
+      (** largest model value assigned (0 when unsolved) — epoch chaining
+          shifts the next epoch's hint above this watermark *)
 }
 
 let build_schedule (log : Log.t) (cs : Constraints.t) (model : int array) : schedule =
@@ -99,12 +102,21 @@ let build_schedule (log : Log.t) (cs : Constraints.t) (model : int array) : sche
     the solver's work so a pathological constraint system aborts with
     honest statistics instead of hanging; [naive] switches to the
     unpruned quadratic generator (differential oracle). *)
-let solve ?(naive = false) ?budget (log : Log.t) : solve_report =
+let solve ?(naive = false) ?budget ?(hint_shift = 0) (log : Log.t) : solve_report =
   let cs = Constraints.generate ~naive log in
+  let hint =
+    (* IDL is translation-invariant, so shifting the witness hint by a
+       constant preserves satisfaction; epoch chaining shifts each epoch's
+       hint above the previous epoch's solved ranks so the concatenated
+       per-epoch orders stay globally consistent. *)
+    match cs.hint with
+    | Some h when hint_shift <> 0 -> Some (Array.map (fun v -> v + hint_shift) h)
+    | h -> h
+  in
   let t0 = Unix.gettimeofday () in
-  let result = Dlsolver.Idl.solve ?budget ?hint:cs.hint cs.problem in
+  let result = Dlsolver.Idl.solve ?budget ?hint cs.problem in
   let dt = Unix.gettimeofday () -. t0 in
-  let mk kind stats schedule =
+  let mk kind stats schedule max_model =
     {
       schedule;
       result_kind = kind;
@@ -114,12 +126,16 @@ let solve ?(naive = false) ?budget (log : Log.t) : solve_report =
       n_hard = cs.n_hard;
       n_clauses = cs.n_clauses;
       solve_time_s = dt;
+      max_model;
     }
   in
   match result with
-  | Sat (model, stats) -> mk Solved stats (Some (build_schedule log cs model))
-  | Unsat stats -> mk Unsatisfiable stats None
-  | Aborted stats -> mk SolverAborted stats None
+  | Sat (model, stats) ->
+    mk Solved stats
+      (Some (build_schedule log cs model))
+      (Array.fold_left max 0 model)
+  | Unsat stats -> mk Unsatisfiable stats None 0
+  | Aborted stats -> mk SolverAborted stats None 0
 
 (* ------------------------------------------------------------------ *)
 (* Replay-run driver                                                   *)

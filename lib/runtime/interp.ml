@@ -916,8 +916,12 @@ type compiled = Resolve.compiled
 
 let compile : Ast.program -> compiled = Resolve.compile
 
-let run_compiled ?(hooks = default_hooks) ?(plan = Plan.all_shared) ?(max_steps = 5_000_000)
-    ?(collect_trace = false) ?(seed = 0) ~(sched : Sched.t) (cp : compiled) : outcome =
+(** Build the initial interpreter state: globals object, main thread, seeded
+    RNG.  Running is a separate step ({!run_state}) so callers can pause at
+    step boundaries, snapshot, and resume — the substrate of epoch-based
+    recording. *)
+let init_state ?(hooks = default_hooks) ?(plan = Plan.all_shared) ?(collect_trace = false)
+    ?(seed = 0) (cp : compiled) : state =
   let shared = Array.init (cp.cp_max_sid + 1) (fun sid -> plan.Plan.shared_site sid) in
   let st =
     {
@@ -944,10 +948,20 @@ let run_compiled ?(hooks = default_hooks) ?(plan = Plan.all_shared) ?(max_steps 
   let main_thread = make_thread ~tid:1 ~frames:[ new_frame cp.cp_main ~ret_to:None ] in
   main_thread.started <- true;  (* main has no spawn ghost to read *)
   push_thread st main_thread;
+  st
+
+(** Run until termination, [max_steps], or the [stop_at] step watermark.
+    Returns [None] when paused at [stop_at] (the run can be resumed by
+    calling [run_state] again on the same state), [Some status] when the run
+    actually ended.  The pause point is a clean step boundary: no thread is
+    mid-transition. *)
+let run_state ?(max_steps = 5_000_000) ?(stop_at = max_int) ~(sched : Sched.t)
+    (st : state) : status_summary option =
   let gated = st.hooks.gate <> None in
   let finished = ref false in
+  let paused = ref false in
   let status = ref AllFinished in
-  while not !finished do
+  while not !finished && not !paused do
     (* one backwards walk of the creation-order vector: the accumulated list
        comes out in creation order, exactly as the seed's list-filter
        construction did.  The [live] list is only needed to report a
@@ -982,6 +996,7 @@ let run_compiled ?(hooks = default_hooks) ?(plan = Plan.all_shared) ?(max_steps 
            else GateStuck sem_enabled)
       end
       else if st.steps >= max_steps then (finished := true; status := StepLimit)
+      else if st.steps >= stop_at then paused := true
       else begin
         let tid = sched.pick ~step:st.steps ~runnable in
         let tid = if List.mem tid runnable then tid else List.hd runnable in
@@ -994,13 +1009,18 @@ let run_compiled ?(hooks = default_hooks) ?(plan = Plan.all_shared) ?(max_steps 
       end
     end
   done;
-  let per_thread f =
-    List.init st.n_threads (fun i ->
-        let t = st.order.(i) in
-        (t.tid, f t))
-  in
+  if !paused then None else Some !status
+
+let per_thread (st : state) f =
+  List.init st.n_threads (fun i ->
+      let t = st.order.(i) in
+      (t.tid, f t))
+
+(** Assemble the outcome record from a finished (or paused) state. *)
+let outcome_of_state (st : state) (status : status_summary) : outcome =
+  let per_thread f = per_thread st f in
   {
-    status = !status;
+    status;
     steps = st.steps;
     crashes = List.rev st.crashes;
     reads = per_thread (fun t -> List.rev t.reads_rev);
@@ -1017,9 +1037,255 @@ let run_compiled ?(hooks = default_hooks) ?(plan = Plan.all_shared) ?(max_steps 
     trace = List.rev st.trace_rev;
   }
 
+let run_compiled ?hooks ?plan ?max_steps ?collect_trace ?seed ~(sched : Sched.t)
+    (cp : compiled) : outcome =
+  let st = init_state ?hooks ?plan ?collect_trace ?seed cp in
+  match run_state ?max_steps ~sched st with
+  | Some status -> outcome_of_state st status
+  | None -> assert false (* stop_at defaults to max_int: never pauses *)
+
 let run ?hooks ?plan ?max_steps ?collect_trace ?seed ~(sched : Sched.t)
     (program : Ast.program) : outcome =
   run_compiled ?hooks ?plan ?max_steps ?collect_trace ?seed ~sched (compile program)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental observables (epoch recording)                           *)
+(* ------------------------------------------------------------------ *)
+
+(** The per-epoch slice of the Theorem-1 observables.  [drain_observables]
+    returns everything accumulated since the previous drain (or the start of
+    the run) and clears the buffers, so an epoch recorder owns exactly its
+    window of reads/outputs/syscalls while the cumulative counters (D(t),
+    sys_idx, steps) keep advancing monotonically. *)
+type observables = {
+  obs_reads : (int * (int * Value.t) list) list;
+  obs_outputs : (int * string list) list;
+  obs_syscalls : (int * int * string * Value.t) list;
+}
+
+let drain_observables (st : state) : observables =
+  let obs =
+    {
+      obs_reads = per_thread st (fun t -> List.rev t.reads_rev);
+      obs_outputs = per_thread st (fun t -> List.rev t.outputs_rev);
+      obs_syscalls = List.rev st.syscalls_rev;
+    }
+  in
+  for i = 0 to st.n_threads - 1 do
+    let t = st.order.(i) in
+    t.reads_rev <- [];
+    t.outputs_rev <- []
+  done;
+  st.syscalls_rev <- [];
+  obs
+
+(** Final D(t) per thread right now — the counter watermark an epoch log
+    stores so its c-values can be windowed against the checkpoint. *)
+let state_counters (st : state) : (int * int) list = per_thread st (fun t -> t.d)
+
+let state_steps (st : state) : int = st.steps
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore (epoch checkpoints)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A continuation is serialized positionally: every [CSeq] node's [todo]
+   list is a suffix of some statement list of the compiled program
+   (pop_stmt only ever moves to tails), so the head statement's globally
+   unique sid identifies the whole suffix.  [CUnlock] carries its own
+   payload.  Restoring aliases the program's own statement lists, which is
+   safe: [todo] is reassigned but the lists themselves are never mutated. *)
+type scont = SSeq of int | SUnlock of Value.objid * int
+
+type snap_frame = {
+  sn_cont : scont list;  (* outermost-first chain, [] = CDone *)
+  sn_slots : Value.t array;
+  sn_ret_to : int option;
+}
+
+type snap_thread = {
+  sn_tid : int;
+  sn_frames : snap_frame list;
+  sn_status : tstatus;
+  sn_held : (Value.objid * int) list;
+  sn_wait_restore : int;
+  sn_alloc : int;
+  sn_d : int;
+  sn_sys_idx : int;
+  sn_spawn_idx : int;
+  sn_started : bool;
+}
+
+(** A complete, self-contained interpreter checkpoint.  Heap fields are
+    keyed by field {e name} (not interned id) so a snapshot written by one
+    process can be restored by another with a differently-populated intern
+    table.  Observable buffers (reads/outputs) are {e not} captured: epoch
+    recording drains them at every boundary, so they are empty by invariant
+    at snapshot time.  The RNG and scheduler states are hex-marshalled
+    tokens ({!Sched.marshal_hex}). *)
+type snapshot = {
+  snap_steps : int;
+  snap_heap : (Value.objid * string * (string * Value.t) list) list;
+      (* (id, class, fields sorted by name), ascending id *)
+  snap_threads : snap_thread list;  (* creation order *)
+  snap_locks : (Value.objid * (int * int)) list;  (* lock -> owner, count *)
+  snap_waitsets : (Value.objid * int list) list;  (* FIFO, oldest first *)
+  snap_crashes : crash list;  (* chronological *)
+  snap_rng : string;
+}
+
+let rec encode_cont (c : cont) : scont list =
+  match norm c with
+  | CDone -> []
+  | CSeq { todo = s :: _; next } -> SSeq s.rsid :: encode_cont next
+  | CSeq { todo = []; _ } -> assert false (* excluded by norm *)
+  | CUnlock (m, sid, k) -> SUnlock (m, sid) :: encode_cont k
+
+(** Map every statement's sid to the statement-list suffix it heads, over
+    all blocks of the compiled program (function bodies and nested
+    if/while/sync bodies).  Sids are globally unique by construction. *)
+let suffix_map (cp : compiled) : (int, rstmt list) Hashtbl.t =
+  let sm = Hashtbl.create 256 in
+  let rec walk_list = function
+    | [] -> ()
+    | (s :: rest) as suffix ->
+      Hashtbl.replace sm s.rsid suffix;
+      (match s.rnode with
+      | RIf (_, b1, b2) ->
+        walk_list b1;
+        walk_list b2
+      | RWhile (_, b) | RSync (_, b) -> walk_list b
+      | _ -> ());
+      walk_list rest
+  in
+  Array.iter (fun (fn : rfn) -> walk_list fn.rf_body) cp.cp_fns;
+  walk_list cp.cp_main.rf_body;
+  sm
+
+let decode_cont (sm : (int, rstmt list) Hashtbl.t) (sc : scont list) : cont =
+  List.fold_right
+    (fun sc next ->
+      match sc with
+      | SSeq sid -> (
+        match Hashtbl.find_opt sm sid with
+        | Some suffix -> CSeq { todo = suffix; next }
+        | None -> invalid_arg (Printf.sprintf "decode_cont: unknown sid %d" sid))
+      | SUnlock (m, sid) -> CUnlock (m, sid, next))
+    sc CDone
+
+let snapshot (st : state) : snapshot =
+  let snap_frame (f : frame) =
+    { sn_cont = encode_cont f.cont; sn_slots = Array.copy f.slots; sn_ret_to = f.ret_to }
+  in
+  let snap_thread (t : thread) =
+    {
+      sn_tid = t.tid;
+      sn_frames = List.map snap_frame t.frames;
+      sn_status = t.status;
+      sn_held = t.held;
+      sn_wait_restore = t.wait_restore;
+      sn_alloc = t.alloc;
+      sn_d = t.d;
+      sn_sys_idx = t.sys_idx;
+      sn_spawn_idx = t.spawn_idx;
+      sn_started = t.started;
+    }
+  in
+  {
+    snap_steps = st.steps;
+    snap_heap =
+      Hashtbl.fold (fun id (o : obj) acc -> (id, o) :: acc) st.heap []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> List.map (fun (id, o) ->
+             ( id,
+               o.cls,
+               Hashtbl.fold (fun f v acc -> (Loc.fld_name f, v) :: acc) o.fields []
+               |> List.sort compare ));
+    snap_threads = List.init st.n_threads (fun i -> snap_thread st.order.(i));
+    snap_locks =
+      Hashtbl.fold (fun m ov acc -> (m, ov) :: acc) st.locks []
+      |> List.sort compare;
+    snap_waitsets =
+      Hashtbl.fold
+        (fun m q acc -> (m, List.rev (Queue.fold (fun acc x -> x :: acc) [] q)) :: acc)
+        st.waitsets []
+      |> List.sort compare;
+    snap_crashes = List.rev st.crashes;
+    snap_rng = Sched.marshal_hex st.rng;
+  }
+
+(** Rebuild a runnable state from a checkpoint.  The compiled program must
+    be the same program the snapshot was taken from (continuations are
+    decoded against its statement lists).  Hooks and plan are supplied
+    fresh: a replayer restores a recording-time snapshot under its own gate
+    hooks. *)
+let restore_state ?(hooks = default_hooks) ?(plan = Plan.all_shared)
+    ?(collect_trace = false) (cp : compiled) (sn : snapshot) : state =
+  let shared = Array.init (cp.cp_max_sid + 1) (fun sid -> plan.Plan.shared_site sid) in
+  let st =
+    {
+      program = cp;
+      hooks;
+      shared;
+      heap = Hashtbl.create 1024;
+      threads = Hashtbl.create 16;
+      order = [||];
+      n_threads = 0;
+      locks = Hashtbl.create 16;
+      waitsets = Hashtbl.create 16;
+      steps = sn.snap_steps;
+      crashes = List.rev sn.snap_crashes;
+      syscalls_rev = [];
+      trace_rev = [];
+      collect_trace;
+      rng = (Sched.unmarshal_hex sn.snap_rng : Random.State.t);
+    }
+  in
+  List.iter
+    (fun (id, cls, fields) ->
+      let o = { cls; fields = Hashtbl.create (max 8 (List.length fields)) } in
+      List.iter (fun (fname, v) -> Hashtbl.replace o.fields (Loc.fld_of_name fname) v) fields;
+      Hashtbl.replace st.heap id o)
+    sn.snap_heap;
+  let sm = suffix_map cp in
+  List.iter
+    (fun (snt : snap_thread) ->
+      let frames =
+        List.map
+          (fun (f : snap_frame) ->
+            {
+              cont = decode_cont sm f.sn_cont;
+              slots = Array.copy f.sn_slots;
+              ret_to = f.sn_ret_to;
+            })
+          snt.sn_frames
+      in
+      let t =
+        {
+          tid = snt.sn_tid;
+          frames;
+          status = snt.sn_status;
+          held = snt.sn_held;
+          wait_restore = snt.sn_wait_restore;
+          alloc = snt.sn_alloc;
+          d = snt.sn_d;
+          sys_idx = snt.sn_sys_idx;
+          spawn_idx = snt.sn_spawn_idx;
+          started = snt.sn_started;
+          reads_rev = [];
+          outputs_rev = [];
+        }
+      in
+      push_thread st t)
+    sn.snap_threads;
+  List.iter (fun (m, ov) -> Hashtbl.replace st.locks m ov) sn.snap_locks;
+  List.iter
+    (fun (m, waiters) ->
+      let q = Queue.create () in
+      List.iter (fun w -> Queue.push w q) waiters;
+      Hashtbl.replace st.waitsets m q)
+    sn.snap_waitsets;
+  st
 
 (* ------------------------------------------------------------------ *)
 (* Determinism oracle (Theorem 1 observables)                           *)

@@ -11,7 +11,33 @@ type t = {
   name : string;
   pick : step:int -> runnable:int list -> int;
       (** chooses among the runnable thread ids (non-empty list) *)
+  save : unit -> string;
+      (** serialize the pick state (epoch checkpoints); line-safe text *)
+  load : string -> unit;
+      (** restore a state produced by [save] on the same constructor *)
 }
+
+(* Pick-state serialization helper: any marshalable value to a single
+   line-safe hex token and back.  Used for [Random.State] (which has no
+   public accessors) and for compound cursor state. *)
+let marshal_hex (v : 'a) : string =
+  let s = Marshal.to_string v [] in
+  let hex = "0123456789abcdef" in
+  let b = Buffer.create (2 * String.length s) in
+  String.iter
+    (fun c ->
+      Buffer.add_char b hex.[Char.code c lsr 4];
+      Buffer.add_char b hex.[Char.code c land 15])
+    s;
+  Buffer.contents b
+
+let unmarshal_hex (h : string) : 'a =
+  let n = String.length h / 2 in
+  let s = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set s i (Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
+  done;
+  Marshal.from_bytes s 0
 
 (* Every scheduler here is a [unit -> t]-style constructor: a [t] value
    carries mutable pick state, and sharing one instance across runs (or
@@ -28,32 +54,43 @@ let round_robin () : t =
         let t = match above with x :: _ -> x | [] -> List.hd runnable in
         last := t;
         t);
+    save = (fun () -> string_of_int !last);
+    load = (fun s -> last := int_of_string s);
   }
 
 let random ~seed : t =
-  let st = Random.State.make [| seed; 0x11 |] in
+  let st = ref (Random.State.make [| seed; 0x11 |]) in
   {
     name = Printf.sprintf "random(%d)" seed;
     pick =
       (fun ~step:_ ~runnable ->
-        List.nth runnable (Random.State.int st (List.length runnable)));
+        List.nth runnable (Random.State.int !st (List.length runnable)));
+    save = (fun () -> marshal_hex !st);
+    load = (fun s -> st := (unmarshal_hex s : Random.State.t));
   }
 
 (** Keeps running the current thread; switches with probability
     [1/stickiness] (or when the thread is no longer runnable).  Larger
     [stickiness] produces longer uninterleaved access sequences. *)
 let sticky ~seed ~stickiness : t =
-  let st = Random.State.make [| seed; 0x22; stickiness |] in
+  let st = ref (Random.State.make [| seed; 0x22; stickiness |]) in
   let cur = ref (-1) in
   {
     name = Printf.sprintf "sticky(%d,%d)" seed stickiness;
     pick =
       (fun ~step:_ ~runnable ->
         let switch =
-          (not (List.mem !cur runnable)) || Random.State.int st stickiness = 0
+          (not (List.mem !cur runnable)) || Random.State.int !st stickiness = 0
         in
-        if switch then cur := List.nth runnable (Random.State.int st (List.length runnable));
+        if switch then
+          cur := List.nth runnable (Random.State.int !st (List.length runnable));
         !cur);
+    save = (fun () -> marshal_hex (!st, !cur));
+    load =
+      (fun s ->
+        let rs, c = (unmarshal_hex s : Random.State.t * int) in
+        st := rs;
+        cur := c);
   }
 
 (** Follows an explicit thread-id script; once exhausted (or when the
@@ -73,23 +110,25 @@ let scripted (script : int list) : t =
             if List.mem t runnable then t else next ()
         in
         next ());
+    save = (fun () -> marshal_hex !rest);
+    load = (fun s -> rest := (unmarshal_hex s : int list));
   }
 
 (** PCT-style priority scheduler: random fixed priorities with [depth]
     random priority-change points; always runs the highest-priority runnable
     thread.  Good at exposing rare-interleaving bugs. *)
 let pct ~seed ~depth ~expected_steps : t =
-  let st = Random.State.make [| seed; 0x33 |] in
+  let st = ref (Random.State.make [| seed; 0x33 |]) in
   let prio : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let change_points =
     List.init depth (fun _ ->
-        if expected_steps <= 0 then 0 else Random.State.int st expected_steps)
+        if expected_steps <= 0 then 0 else Random.State.int !st expected_steps)
   in
   let get_prio t =
     match Hashtbl.find_opt prio t with
     | Some p -> p
     | None ->
-      let p = Random.State.int st 1_000_000 in
+      let p = Random.State.int !st 1_000_000 in
       Hashtbl.add prio t p;
       p
   in
@@ -108,4 +147,14 @@ let pct ~seed ~depth ~expected_steps : t =
         List.fold_left
           (fun best t -> if get_prio t > get_prio best then t else best)
           (List.hd runnable) runnable);
+    save =
+      (fun () ->
+        let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) prio [] in
+        marshal_hex (!st, List.sort compare entries));
+    load =
+      (fun s ->
+        let rs, entries = (unmarshal_hex s : Random.State.t * (int * int) list) in
+        st := rs;
+        Hashtbl.reset prio;
+        List.iter (fun (k, v) -> Hashtbl.add prio k v) entries);
   }

@@ -8,13 +8,28 @@
     A [t] value carries mutable pick state, so every scheduler is exposed
     as a constructor: build a fresh instance per run, and never share an
     instance across runs or across domains (the batch engine's determinism
-    contract depends on this). *)
+    contract depends on this).  The [save]/[load] pair serializes that pick
+    state so an epoch checkpoint can capture the scheduler's exact position
+    and a later replay can resume it mid-run. *)
 
 type t = {
   name : string;
   pick : step:int -> runnable:int list -> int;
       (** choose among the runnable thread ids (non-empty) *)
+  save : unit -> string;
+      (** serialize the pick state as a single line-safe token *)
+  load : string -> unit;
+      (** restore state produced by [save] on the same constructor (same
+          scheduler kind and construction parameters) *)
 }
+
+val marshal_hex : 'a -> string
+(** Marshal any (closure-free) value into a line-safe hex token.  Shared by
+    scheduler [save] implementations and by interpreter checkpoints (which
+    need to serialize [Random.State.t], a type with no public accessors). *)
+
+val unmarshal_hex : string -> 'a
+(** Inverse of {!marshal_hex}; the caller must ascribe the result type. *)
 
 val round_robin : unit -> t
 (** Lowest thread id above the previously picked one, wrapping around.

@@ -16,7 +16,19 @@
       objects from all threads — the regime where synchronized per-access
       recording collapses (the paper's up-to-17.85X Leap cases). *)
 
+(** Program shape.  [Loops] is the original shared-memory loop generator
+    behind the 24 paper benchmarks; the message-passing shapes stress
+    channel-style contention (monitor queues, hand-offs, barriers) whose
+    flip lattices look nothing like loop interleavings. *)
+type shape =
+  | Loops
+  | Queue     (** bounded queue: 4 producers + 4 consumers *)
+  | Pipeline  (** 8 stages hand off through 1-slot cells *)
+  | FanIn     (** 7 producers feed 1 aggregator *)
+  | Barrier   (** 8 workers in phases separated by a generation barrier *)
+
 type params = {
+  shape : shape;
   threads : int;
   iters : int;          (** outer iterations per worker *)
   local_work : int;     (** pure-local ops per iteration *)
@@ -42,7 +54,7 @@ type benchmark = {
 (* Program generation                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let generate ?(scale = 1) (p : params) : string =
+let generate_loops ?(scale = 1) (p : params) : string =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
   let iters = p.iters * scale in
@@ -128,6 +140,289 @@ let generate ?(scale = 1) (p : params) : string =
   add "}";
   Buffer.contents b
 
+(* ------------------------------------------------------------------ *)
+(* Message-passing generators                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* All four shapes spawn exactly [base.threads = 8] worker threads, like
+   the loop generator, so suite-wide invariants (9 final counters) hold
+   uniformly.  Monitors follow the standard guarded-wait discipline:
+   [sync (m) { while (!cond) { wait m; } ...; notifyall m; }] —
+   [notifyall] everywhere, so no wakeup is ever lost. *)
+
+let queue_cap = 4
+
+(* 4 producers + 4 consumers over a bounded circular buffer; producers
+   count themselves out via [closed], consumers drain then exit. *)
+let generate_queue ~(iters : int) : string =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  add "class Q { buf; head; tail; count; closed; done; }";
+  add "global q;";
+  add "";
+  add "fn producer(id) {";
+  add "  qq = q;";
+  add "  i = 0;";
+  add "  while (i < %d) {" iters;
+  add "    sync (qq) {";
+  add "      while (qq.count == %d) { wait qq; }" queue_cap;
+  add "      b = qq.buf;";
+  add "      b[qq.tail] = id * 1000 + i;";
+  add "      qq.tail = (qq.tail + 1) %% %d;" queue_cap;
+  add "      qq.count = qq.count + 1;";
+  add "      notifyall qq;";
+  add "    }";
+  add "    i = i + 1;";
+  add "  }";
+  add "  sync (qq) { qq.closed = qq.closed + 1; notifyall qq; }";
+  add "  return i;";
+  add "}";
+  add "";
+  add "fn consumer(id) {";
+  add "  qq = q;";
+  add "  run = 1;";
+  add "  got = 0;";
+  add "  while (run == 1) {";
+  add "    sync (qq) {";
+  add "      while ((qq.count == 0) && (qq.closed < 4)) { wait qq; }";
+  add "      if (qq.count > 0) {";
+  add "        b = qq.buf;";
+  add "        v = b[qq.head];";
+  add "        qq.head = (qq.head + 1) %% %d;" queue_cap;
+  add "        qq.count = qq.count - 1;";
+  add "        got = (got + v) %% 1000000;";
+  add "        notifyall qq;";
+  add "      } else {";
+  add "        run = 0;";
+  add "      }";
+  add "    }";
+  add "  }";
+  add "  sync (qq) { qq.done = (qq.done + got) %% 1000000; }";
+  add "  return got;";
+  add "}";
+  add "";
+  add "main {";
+  add "  q = new Q;";
+  add "  bf = new[%d];" queue_cap;
+  add "  sync (q) {";
+  add "    q.buf = bf;";
+  add "    q.head = 0;";
+  add "    q.tail = 0;";
+  add "    q.count = 0;";
+  add "    q.closed = 0;";
+  add "    q.done = 0;";
+  add "  }";
+  for t = 1 to 4 do
+    add "  spawn p%d = producer(%d);" t t
+  done;
+  for t = 1 to 4 do
+    add "  spawn c%d = consumer(%d);" t t
+  done;
+  for t = 1 to 4 do
+    add "  join p%d;" t
+  done;
+  for t = 1 to 4 do
+    add "  join c%d;" t
+  done;
+  add "  print q.done;";
+  add "}";
+  Buffer.contents b
+
+(* 8 stages; stage s consumes the 1-slot cell s-1 and fills cell s, the
+   last stage accumulates into a sink. *)
+let generate_pipeline ~(iters : int) : string =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  add "class Cell { v; full; }";
+  add "class Sink { total; }";
+  add "global cells;";
+  add "global sink;";
+  add "";
+  add "fn stage(s) {";
+  add "  cs = cells;";
+  add "  i = 0;";
+  add "  while (i < %d) {" iters;
+  add "    x = s;";
+  add "    if (s > 1) {";
+  add "      c = cs[s - 1];";
+  add "      sync (c) {";
+  add "        while (c.full == 0) { wait c; }";
+  add "        x = c.v;";
+  add "        c.full = 0;";
+  add "        notifyall c;";
+  add "      }";
+  add "    }";
+  add "    if (s < 8) {";
+  add "      c2 = cs[s];";
+  add "      sync (c2) {";
+  add "        while (c2.full == 1) { wait c2; }";
+  add "        c2.v = (x + s) %% 1000000;";
+  add "        c2.full = 1;";
+  add "        notifyall c2;";
+  add "      }";
+  add "    } else {";
+  add "      sk = sink;";
+  add "      sync (sk) { sk.total = (sk.total + x) %% 1000000; }";
+  add "    }";
+  add "    i = i + 1;";
+  add "  }";
+  add "  return i;";
+  add "}";
+  add "";
+  add "main {";
+  add "  cells = new[8];";
+  add "  cs = cells;";
+  add "  ci = 1;";
+  add "  while (ci < 8) {";
+  add "    c = new Cell;";
+  add "    sync (c) { c.v = 0; c.full = 0; }";
+  add "    cs[ci] = c;";
+  add "    ci = ci + 1;";
+  add "  }";
+  add "  sink = new Sink;";
+  add "  sk = sink;";
+  add "  sync (sk) { sk.total = 0; }";
+  for t = 1 to 8 do
+    add "  spawn s%d = stage(%d);" t t
+  done;
+  for t = 1 to 8 do
+    add "  join s%d;" t
+  done;
+  add "  print sk.total;";
+  add "}";
+  Buffer.contents b
+
+(* 7 producers push a fixed count each; 1 aggregator consumes exactly
+   7 * iters items — termination needs no close protocol. *)
+let generate_fanin ~(iters : int) : string =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  add "class Q { buf; head; tail; count; total; }";
+  add "global q;";
+  add "";
+  add "fn producer(id) {";
+  add "  qq = q;";
+  add "  i = 0;";
+  add "  while (i < %d) {" iters;
+  add "    sync (qq) {";
+  add "      while (qq.count == %d) { wait qq; }" queue_cap;
+  add "      b = qq.buf;";
+  add "      b[qq.tail] = id * 100 + (i %% 100);";
+  add "      qq.tail = (qq.tail + 1) %% %d;" queue_cap;
+  add "      qq.count = qq.count + 1;";
+  add "      notifyall qq;";
+  add "    }";
+  add "    i = i + 1;";
+  add "  }";
+  add "  return i;";
+  add "}";
+  add "";
+  add "fn aggregator(n) {";
+  add "  qq = q;";
+  add "  i = 0;";
+  add "  while (i < n) {";
+  add "    sync (qq) {";
+  add "      while (qq.count == 0) { wait qq; }";
+  add "      b = qq.buf;";
+  add "      v = b[qq.head];";
+  add "      qq.head = (qq.head + 1) %% %d;" queue_cap;
+  add "      qq.count = qq.count - 1;";
+  add "      qq.total = (qq.total + v) %% 1000000;";
+  add "      notifyall qq;";
+  add "    }";
+  add "    i = i + 1;";
+  add "  }";
+  add "  return i;";
+  add "}";
+  add "";
+  add "main {";
+  add "  q = new Q;";
+  add "  bf = new[%d];" queue_cap;
+  add "  sync (q) {";
+  add "    q.buf = bf;";
+  add "    q.head = 0;";
+  add "    q.tail = 0;";
+  add "    q.count = 0;";
+  add "    q.total = 0;";
+  add "  }";
+  for t = 1 to 7 do
+    add "  spawn p%d = producer(%d);" t t
+  done;
+  add "  spawn agg = aggregator(%d);" (7 * iters);
+  for t = 1 to 7 do
+    add "  join p%d;" t
+  done;
+  add "  join agg;";
+  add "  print q.total;";
+  add "}";
+  Buffer.contents b
+
+(* 8 workers alternate phase work on rotated array partitions with a
+   generation barrier (count + generation stamp, notifyall on the last
+   arrival). *)
+let generate_barrier ~(phases : int) ~(array_size : int) : string =
+  let chunk = max 1 (array_size / 8) in
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  add "class Bar { count; gen; }";
+  add "global bar;";
+  add "global data;";
+  add "";
+  add "fn worker(id) {";
+  add "  bb = bar;";
+  add "  d = data;";
+  add "  ph = 0;";
+  add "  acc = id;";
+  add "  while (ph < %d) {" phases;
+  (* read the partition one step rotated from our own for this phase *)
+  add "    j = 0;";
+  add "    while (j < %d) {" chunk;
+  add "      acc = (acc + d[(((id + ph) %% 8) * %d) + j]) %% 65536;" chunk;
+  add "      j = j + 1;";
+  add "    }";
+  add "    j = 0;";
+  add "    while (j < %d) {" chunk;
+  add "      d[((id - 1) * %d) + j] = (acc + j) %% 65536;" chunk;
+  add "      j = j + 1;";
+  add "    }";
+  add "    sync (bb) {";
+  add "      g = bb.gen;";
+  add "      bb.count = bb.count + 1;";
+  add "      if (bb.count == 8) {";
+  add "        bb.count = 0;";
+  add "        bb.gen = bb.gen + 1;";
+  add "        notifyall bb;";
+  add "      } else {";
+  add "        while (bb.gen == g) { wait bb; }";
+  add "      }";
+  add "    }";
+  add "    ph = ph + 1;";
+  add "  }";
+  add "  return acc;";
+  add "}";
+  add "";
+  add "main {";
+  add "  data = new[%d];" (chunk * 8);
+  add "  bar = new Bar;";
+  add "  sync (bar) { bar.count = 0; bar.gen = 0; }";
+  for t = 1 to 8 do
+    add "  spawn w%d = worker(%d);" t t
+  done;
+  for t = 1 to 8 do
+    add "  join w%d;" t
+  done;
+  add "  print bar.gen;";
+  add "}";
+  Buffer.contents b
+
+let generate ?(scale = 1) (p : params) : string =
+  match p.shape with
+  | Loops -> generate_loops ~scale p
+  | Queue -> generate_queue ~iters:(p.iters * scale)
+  | Pipeline -> generate_pipeline ~iters:(p.iters * scale)
+  | FanIn -> generate_fanin ~iters:(p.iters * scale)
+  | Barrier -> generate_barrier ~phases:(p.iters * scale) ~array_size:p.array_size
+
 let program ?scale (bm : benchmark) : Lang.Ast.program =
   Lang.Check.validate_exn (Lang.Parser.parse_program (generate ?scale bm.params))
 
@@ -140,6 +435,7 @@ let scheduler ?(seed = 7) (bm : benchmark) : Runtime.Sched.t =
 
 let base : params =
   {
+    shape = Loops;
     threads = 8;
     iters = 48;
     local_work = 6;
@@ -224,7 +520,28 @@ let dacapo =
       params = { base with local_work = 1; partition = false; array_size = 24; array_reads = 8; array_writes = 6; runlen = 2; hot_ops = 5; stickiness = 20 } };
   ]
 
-let all : benchmark list = jgf @ stamp @ servers @ dacapo
+let msgpass =
+  [
+    (* bounded producer/consumer queue: heavy monitor contention, close
+       protocol exercises the guarded-wait disjunction *)
+    { name = "mp-queue"; suite = "MsgPass";
+      params = { base with shape = Queue; iters = 30; stickiness = 60 } };
+    (* 8-stage hand-off chain through 1-slot cells: long dependence chains *)
+    { name = "mp-pipeline"; suite = "MsgPass";
+      params = { base with shape = Pipeline; iters = 24; stickiness = 80 } };
+    (* 7 producers into 1 aggregator: asymmetric contention on one monitor *)
+    { name = "mp-fanin"; suite = "MsgPass";
+      params = { base with shape = FanIn; iters = 20; stickiness = 60 } };
+    (* generation barrier with rotated partitions: phased all-to-all flow *)
+    { name = "mp-barrier"; suite = "MsgPass";
+      params = { base with shape = Barrier; iters = 10; array_size = 64; stickiness = 120 } };
+  ]
+
+let all : benchmark list = jgf @ stamp @ servers @ dacapo @ msgpass
+
+(* The original 24-workload matrix the paper-figure experiments run over;
+   [all] additionally carries the message-passing suite. *)
+let paper : benchmark list = jgf @ stamp @ servers @ dacapo
 
 let by_name (n : string) : benchmark option =
   List.find_opt (fun b -> String.lowercase_ascii b.name = String.lowercase_ascii n) all

@@ -14,7 +14,7 @@
      replayed on every workload: the pruned constraint generator and the
      witness-seeded solver keep even the uncompressed v_basic systems
      (tens of thousands of clauses on the DaCapo workloads) solvable in
-     milliseconds, so the full 24 x seeds x 3 matrix runs un-gated.  Each
+     milliseconds, so the full 28 x seeds x 3 matrix runs un-gated.  Each
      cell carries a solver budget; a generator or solver regression
      aborts that cell loudly with the solver's statistics instead of
      hanging the suite.
@@ -102,8 +102,8 @@ let matrix =
     |> Engine.Batch.map ~f:run_cell)
 
 let test_matrix_shape () =
-  Alcotest.(check int) "24 workloads x 2 seeds"
-    (24 * List.length seeds)
+  Alcotest.(check int) "28 workloads x 2 seeds"
+    (List.length Workloads.all * List.length seeds)
     (List.length (Lazy.force matrix))
 
 let test_replays_faithful () =

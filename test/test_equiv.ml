@@ -60,7 +60,8 @@ let params_gen : Workloads.params QCheck.Gen.t =
     int_range 1 6 >>= fun stickiness ->
     return
       {
-        Workloads.threads;
+        Workloads.shape = Workloads.Loops;
+        threads;
         iters;
         local_work;
         array_size;
@@ -131,7 +132,7 @@ let () =
     [
       ( "interp",
         [
-          Alcotest.test_case "24 workloads x 2 schedulers" `Slow test_workloads_equiv;
+          Alcotest.test_case "28 workloads x 2 schedulers" `Slow test_workloads_equiv;
           QCheck_alcotest.to_alcotest equiv_prop;
         ] );
       ( "log-format",

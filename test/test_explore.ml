@@ -158,6 +158,52 @@ let test_hunt_rediscovers () =
     Bugs.Defs.all
 
 (* ------------------------------------------------------------------ *)
+(* Message-passing workloads through the explorer                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The channel workloads are monitor-heavy — wait/notifyall ghosts and
+   lock-section reconstruction dominate the flip lattice, a regime the
+   loop workloads never enter.  The contract under test is honest total
+   classification: every enumerated candidate appears in the output with
+   a verdict, in candidate order, under a roomy budget and under a
+   starvation budget alike (the latter may only change verdicts to
+   [AbortedFlip], never drop a candidate). *)
+let starve = { Dlsolver.Idl.max_backtracks = 2; max_conflicts = 2; max_time_s = 10.0 }
+
+let test_msgpass_explored () =
+  List.iter
+    (fun (name, iters) ->
+      let bm = Option.get (Workloads.by_name name) in
+      let prm = { bm.Workloads.params with Workloads.iters } in
+      let p =
+        Lang.Check.validate_exn (Lang.Parser.parse_program (Workloads.generate prm))
+      in
+      match
+        Explore.make_context
+          ~make_sched:(fun () -> Sched.sticky ~seed:4 ~stickiness:16)
+          p
+      with
+      | Error e -> Alcotest.failf "%s: make_context: %s" name e
+      | Ok ctx ->
+        let cands = Explore.candidates ctx in
+        Alcotest.(check bool) (name ^ ": has candidates") true (cands <> []);
+        let check_total label results =
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s classifies every candidate" name label)
+            (List.length cands) (List.length results);
+          List.iter2
+            (fun f (r : Explore.explored) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %s keeps candidate order" name label)
+                true
+                (Explore.flip_key r.ex_flip = Explore.flip_key f))
+            cands results
+        in
+        check_total "explore" (Explore.explore ctx);
+        check_total "starved explore" (Explore.explore ~budget:starve ctx))
+    [ ("mp-queue", 3); ("mp-pipeline", 2); ("mp-fanin", 2); ("mp-barrier", 2) ]
+
+(* ------------------------------------------------------------------ *)
 (* Parallel = serial                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -289,6 +335,11 @@ let () =
             test_hunt_rediscovers;
           Alcotest.test_case "parallel = serial" `Quick
             test_parallel_matches_serial;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "message-passing workloads classified totally" `Slow
+            test_msgpass_explored;
         ] );
       ( "property",
         [

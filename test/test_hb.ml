@@ -124,8 +124,8 @@ let oracle_matrix =
     |> Engine.Batch.map ~f:run_oracle_cell)
 
 let test_oracle_no_elided_races () =
-  Alcotest.(check int) "24 workloads x 3 schedulers"
-    (24 * List.length oracle_scheds)
+  Alcotest.(check int) "28 workloads x 3 schedulers"
+    (List.length Workloads.all * List.length oracle_scheds)
     (List.length (Lazy.force oracle_matrix));
   List.iter
     (fun c -> List.iter Alcotest.fail c.o_elided_races)
@@ -160,7 +160,8 @@ let params_gen : Workloads.params QCheck.Gen.t =
     int_range 1 6 >>= fun stickiness ->
     return
       {
-        Workloads.threads;
+        Workloads.shape = Workloads.Loops;
+        threads;
         iters;
         local_work;
         array_size;

@@ -1,10 +1,12 @@
-(* Workload suite: all 24 benchmarks generate valid programs, run to
+(* Workload suite: all 28 benchmarks generate valid programs, run to
    completion deterministically, exhibit their intended sharing signatures,
    and (sampled) replay faithfully under Light. *)
 
 open Runtime
 
-let test_count () = Alcotest.(check int) "24 benchmarks" 24 (List.length Workloads.all)
+let test_count () =
+  Alcotest.(check int) "28 benchmarks" 28 (List.length Workloads.all);
+  Alcotest.(check int) "24 in the paper matrix" 24 (List.length Workloads.paper)
 
 let test_suites () =
   let count s =
@@ -13,7 +15,8 @@ let test_suites () =
   Alcotest.(check int) "3 JGF" 3 (count "JGF");
   Alcotest.(check int) "8 STAMP" 8 (count "STAMP");
   Alcotest.(check int) "7 servers" 7 (count "Server");
-  Alcotest.(check int) "6 DaCapo" 6 (count "DaCapo")
+  Alcotest.(check int) "6 DaCapo" 6 (count "DaCapo");
+  Alcotest.(check int) "4 MsgPass" 4 (count "MsgPass")
 
 let test_all_generate_and_run () =
   List.iter
@@ -65,7 +68,8 @@ let test_light_replays_workloads () =
         Alcotest.(check bool) (name ^ " replay finished") true
           (rr.replay_outcome.status = Interp.AllFinished);
         Alcotest.(check (list string)) (name ^ " faithful") [] rr.faithful)
-    [ "jgf-series"; "stamp-ssca2"; "weblech"; "dacapo-avrora" ]
+    [ "jgf-series"; "stamp-ssca2"; "weblech"; "dacapo-avrora"; "mp-queue";
+      "mp-pipeline"; "mp-fanin"; "mp-barrier" ]
 
 let test_measure_benchmark_fields () =
   let bm = Option.get (Workloads.by_name "jgf-series") in
@@ -81,7 +85,7 @@ let () =
     [
       ( "generation",
         [
-          Alcotest.test_case "24 benchmarks" `Quick test_count;
+          Alcotest.test_case "28 benchmarks" `Quick test_count;
           Alcotest.test_case "suite composition" `Quick test_suites;
           Alcotest.test_case "all run crash-free" `Quick test_all_generate_and_run;
           Alcotest.test_case "seeded determinism" `Quick test_deterministic_given_seed;
