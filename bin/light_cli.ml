@@ -99,22 +99,25 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a program under a seeded scheduler")
     Term.(const run $ file_arg $ seed_arg $ stick_arg $ trace)
 
+(* [analyze], [disasm]: the positional target is a .cl file or a built-in
+   workload name. *)
+let resolve_target (target : string) : Lang.Ast.program =
+  if Sys.file_exists target then or_die (read_program target)
+  else
+    match Workloads.by_name target with
+    | Some bm -> Workloads.program bm
+    | None ->
+      or_die
+        (Error
+           (Printf.sprintf
+              "%s: neither a .cl file nor a workload name\nworkloads: %s"
+              target
+              (String.concat " "
+                 (List.map (fun (b : Workloads.benchmark) -> b.name) Workloads.all))))
+
 let analyze_cmd =
   let run target weave =
-    let p =
-      if Sys.file_exists target then or_die (read_program target)
-      else
-        match Workloads.by_name target with
-        | Some bm -> Workloads.program bm
-        | None ->
-          or_die
-            (Error
-               (Printf.sprintf
-                  "%s: neither a .cl file nor a workload name\nworkloads: %s"
-                  target
-                  (String.concat " "
-                     (List.map (fun (b : Workloads.benchmark) -> b.name) Workloads.all))))
-    in
+    let p = resolve_target target in
     let tr_c = Instrument.Transformer.transform ~precision:Analysis.Analyze.Coarse p in
     let tr_s = Instrument.Transformer.transform ~precision:Analysis.Analyze.Sharp p in
     let a = tr_s.analysis in
@@ -204,6 +207,39 @@ let print_profile (p : Lang.Ast.program) (site_hits : int array) (topn : int) =
             (Lang.Pp.stmt_to_string s)
         | None -> Printf.printf "  %8d  sid %-4d (sync ghost)\n" hits sid)
     sites
+
+let disasm_cmd =
+  let run target =
+    let p = resolve_target target in
+    let bp = Lang.Compile.lower (Runtime.Interp.compile p) in
+    (* sid -> source statement, the same mapping --profile prints *)
+    let stmts : (int, Lang.Ast.stmt) Hashtbl.t = Hashtbl.create 64 in
+    Lang.Ast.fold_stmts
+      (fun () (s : Lang.Ast.stmt) -> Hashtbl.replace stmts s.sid s)
+      () p;
+    let annot sid =
+      Option.map
+        (fun (s : Lang.Ast.stmt) ->
+          (* compound statements render their whole body: keep the head line *)
+          let txt = Lang.Pp.stmt_to_string s in
+          match String.index_opt txt '\n' with
+          | Some i -> String.sub txt 0 i ^ " ..."
+          | None -> txt)
+        (Hashtbl.find_opt stmts sid)
+    in
+    print_string (Lang.Bytecode.disassemble ~annot bp)
+  in
+  let target_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PROGRAM" ~doc:"A .cl file or a built-in workload name")
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:
+         "Print the register-bytecode listing (site ids, source lines, \
+          statement boundaries) so hot-site profiles map onto the \
+          instruction stream")
+    Term.(const run $ target_arg)
 
 let record_cmd =
   let run file seed stickiness variant out profile epoch =
@@ -534,7 +570,7 @@ let main =
   Cmd.group
     (Cmd.info "light" ~version:"1.0"
        ~doc:"Light: replay via tightly bounded recording (PLDI 2015)")
-    [ run_cmd; analyze_cmd; record_cmd; replay_cmd; roundtrip_cmd; weave_cmd; bugs_cmd;
+    [ run_cmd; analyze_cmd; disasm_cmd; record_cmd; replay_cmd; roundtrip_cmd; weave_cmd; bugs_cmd;
       bench_cmd; explore_cmd; hunt_cmd; reproduce_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -64,23 +64,25 @@ type recording = {
    epoch: [record_epochs] accumulates them (and reassembles the whole-run
    observables), [record_epochs_stream] serializes and drops them, so its
    live memory is bounded by one window regardless of run length. *)
-let run_epoch_loop ~sched ~max_steps ~seed ~weights ~epoch_len
+let run_epoch_loop ~engine ~sched ~max_steps ~seed ~weights ~epoch_len
     (pp : Light.prepared) ~(on_epoch : epoch -> unit) =
   if epoch_len <= 0 then invalid_arg "record_epochs: epoch_len must be positive";
   let recorder =
     Recorder.create ~variant:(Light.prepared_variant pp) ~weights
       (Light.prepared_modes pp)
   in
-  let st =
-    Interp.init_state ~hooks:(Recorder.hooks recorder)
-      ~plan:(Light.prepared_plan pp) ~seed (Light.prepared_compiled pp)
+  let ses =
+    Vm.start_session ~hooks:(Recorder.hooks recorder)
+      ~plan:(Light.prepared_plan pp) ~seed engine
+      ~compiled:(Light.prepared_compiled pp)
+      ~bytecode:(Light.prepared_bytecode pp)
   in
   let seal_times = ref [] in
   let out_counts : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let idx = ref 0 in
   let final = ref None in
   while !final = None do
-    let sn = Interp.snapshot st in
+    let sn = ses.Vm.s_snapshot () in
     let sched_tok = sched.Sched.save () in
     let out_base =
       List.map
@@ -88,11 +90,11 @@ let run_epoch_loop ~sched ~max_steps ~seed ~weights ~epoch_len
           (t.sn_tid, Option.value ~default:0 (Hashtbl.find_opt out_counts t.sn_tid)))
         sn.snap_threads
     in
-    let stop_at = Interp.state_steps st + epoch_len in
-    let status = Interp.run_state ~max_steps ~stop_at ~sched st in
+    let stop_at = ses.Vm.s_steps () + epoch_len in
+    let status = ses.Vm.s_run ~max_steps ~stop_at ~sched () in
     let t0 = Unix.gettimeofday () in
-    let counters = Interp.state_counters st in
-    let obs = Interp.drain_observables st in
+    let counters = ses.Vm.s_counters () in
+    let obs = ses.Vm.s_drain () in
     let log = Recorder.seal recorder ~syscalls:obs.obs_syscalls ~counters in
     seal_times := (Unix.gettimeofday () -. t0) :: !seal_times;
     List.iter
@@ -104,7 +106,7 @@ let run_epoch_loop ~sched ~max_steps ~seed ~weights ~epoch_len
       {
         ep_idx = !idx;
         ep_start_steps = sn.Interp.snap_steps;
-        ep_steps = Interp.state_steps st;
+        ep_steps = ses.Vm.s_steps ();
         ep_clock = Recorder.accesses recorder;
         ep_sched = sched_tok;
         ep_snapshot = sn;
@@ -115,20 +117,21 @@ let run_epoch_loop ~sched ~max_steps ~seed ~weights ~epoch_len
     incr idx;
     final := status
   done;
-  (Option.get !final, st, recorder, List.rev !seal_times)
+  (Option.get !final, ses, recorder, List.rev !seal_times)
 
-let record_epochs ?(sched = Sched.random ~seed:1) ?(max_steps = 5_000_000)
-    ?(seed = 0) ?(weights = Metrics.Cost.default_weights) ~(epoch_len : int)
+let record_epochs ?(engine = Vm.Tree) ?(sched = Sched.random ~seed:1)
+    ?(max_steps = 5_000_000) ?(seed = 0)
+    ?(weights = Metrics.Cost.default_weights) ~(epoch_len : int)
     (pp : Light.prepared) : recording =
   let epochs = ref [] in
-  let status, st, recorder, seal_times =
-    run_epoch_loop ~sched ~max_steps ~seed ~weights ~epoch_len pp
+  let status, ses, recorder, seal_times =
+    run_epoch_loop ~engine ~sched ~max_steps ~seed ~weights ~epoch_len pp
       ~on_epoch:(fun e -> epochs := e :: !epochs)
   in
   let eps = List.rev !epochs in
   (* reassemble the whole-run observables from the per-epoch windows (the
      state's own buffers were drained at every boundary) *)
-  let base = Interp.outcome_of_state st status in
+  let base = ses.Vm.s_outcome status in
   let gather proj tid =
     List.concat_map
       (fun (e : epoch) ->
@@ -215,8 +218,8 @@ let fenced_hooks (hooks : Interp.hooks) (watermark : (int * int) list) :
 (** Replay epoch [k] of [r] standalone: solve its sealed log, restore its
     checkpoint, and run fenced at its counter watermark.  Work is
     proportional to the epoch, never the run. *)
-let replay_epoch ?solver_budget ?(max_steps = 10_000_000) (r : recording)
-    (k : int) : (epoch_replay, string) result =
+let replay_epoch ?solver_budget ?(max_steps = 10_000_000) ?(engine = Vm.Tree)
+    (r : recording) (k : int) : (epoch_replay, string) result =
   match List.nth_opt r.er_epochs k with
   | None -> Error (Printf.sprintf "no epoch %d (recording has %d)" k (List.length r.er_epochs))
   | Some e -> (
@@ -231,23 +234,25 @@ let replay_epoch ?solver_budget ?(max_steps = 10_000_000) (r : recording)
       let plan = Light.prepared_plan r.er_prepared in
       let d = Replayer.driver sch ~plan in
       let hooks = fenced_hooks d.Replayer.hooks e.ep_log.Log.counters in
-      let st =
-        Interp.restore_state ~hooks ~plan (Light.prepared_compiled r.er_prepared)
+      let ses =
+        Vm.restore_session ~hooks ~plan engine
+          ~compiled:(Light.prepared_compiled r.er_prepared)
+          ~bytecode:(Light.prepared_bytecode r.er_prepared)
           e.ep_snapshot
       in
       let status =
         match
-          Interp.run_state ~max_steps:(e.ep_start_steps + max_steps)
-            ~sched:(Sched.round_robin ()) st
+          ses.Vm.s_run ~max_steps:(e.ep_start_steps + max_steps)
+            ~sched:(Sched.round_robin ()) ()
         with
         | Some s -> s
         | None -> assert false
       in
-      let obs = Interp.drain_observables st in
+      let obs = ses.Vm.s_drain () in
       Ok
         {
           rr_status = status;
-          rr_steps = Interp.state_steps st - e.ep_start_steps;
+          rr_steps = ses.Vm.s_steps () - e.ep_start_steps;
           rr_obs = obs;
           rr_report = rep;
         })
@@ -650,20 +655,20 @@ type stream_summary = {
     memory is bounded by one window regardless of run length.  Pair [emit]
     with {!writer} + {!write_chunk} over an output channel to stream the
     log to disk as it is recorded. *)
-let record_epochs_stream ?(sched = Sched.random ~seed:1)
+let record_epochs_stream ?(engine = Vm.Tree) ?(sched = Sched.random ~seed:1)
     ?(max_steps = 5_000_000) ?(seed = 0)
     ?(weights = Metrics.Cost.default_weights) ~(epoch_len : int)
     ~(emit : chunk -> unit) (pp : Light.prepared) : stream_summary =
   let n = ref 0 in
-  let status, st, recorder, seal_times =
-    run_epoch_loop ~sched ~max_steps ~seed ~weights ~epoch_len pp
+  let status, ses, recorder, seal_times =
+    run_epoch_loop ~engine ~sched ~max_steps ~seed ~weights ~epoch_len pp
       ~on_epoch:(fun e ->
         incr n;
         emit (chunk_of_epoch e))
   in
   {
     ss_status = status;
-    ss_steps = Interp.state_steps st;
+    ss_steps = ses.Vm.s_steps ();
     ss_clock = Recorder.accesses recorder;
     ss_epochs = !n;
     ss_seal_times = seal_times;
@@ -887,7 +892,7 @@ let of_string_v4 (s : string) : file =
 
 (** Replay epoch [k] straight out of a parsed v4 file: the caller supplies
     the (re-)prepared program (v4 stores no program text, like v2/v3). *)
-let replay_chunk ?solver_budget ?(max_steps = 10_000_000)
+let replay_chunk ?solver_budget ?(max_steps = 10_000_000) ?(engine = Vm.Tree)
     (pp : Light.prepared) (ck : chunk) : (epoch_replay, string) result =
   let rep = Replayer.solve ?budget:solver_budget ck.ck_log in
   match rep.Replayer.schedule with
@@ -900,22 +905,24 @@ let replay_chunk ?solver_budget ?(max_steps = 10_000_000)
     let plan = Light.prepared_plan pp in
     let d = Replayer.driver sch ~plan in
     let hooks = fenced_hooks d.Replayer.hooks ck.ck_log.Log.counters in
-    let st =
-      Interp.restore_state ~hooks ~plan (Light.prepared_compiled pp) ck.ck_snapshot
+    let ses =
+      Vm.restore_session ~hooks ~plan engine
+        ~compiled:(Light.prepared_compiled pp)
+        ~bytecode:(Light.prepared_bytecode pp) ck.ck_snapshot
     in
     let status =
       match
-        Interp.run_state ~max_steps:(ck.ck_start_steps + max_steps)
-          ~sched:(Sched.round_robin ()) st
+        ses.Vm.s_run ~max_steps:(ck.ck_start_steps + max_steps)
+          ~sched:(Sched.round_robin ()) ()
       with
       | Some s -> s
       | None -> assert false
     in
-    let obs = Interp.drain_observables st in
+    let obs = ses.Vm.s_drain () in
     Ok
       {
         rr_status = status;
-        rr_steps = Interp.state_steps st - ck.ck_start_steps;
+        rr_steps = ses.Vm.s_steps () - ck.ck_start_steps;
         rr_obs = obs;
         rr_report = rep;
       }

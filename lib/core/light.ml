@@ -37,6 +37,7 @@ type recording = {
 type prepared = {
   pp_program : Lang.Ast.program;
   pp_compiled : Interp.compiled;
+  pp_bytecode : Lang.Bytecode.program;  (* register-VM form, lowered eagerly *)
   pp_variant : variant;
   pp_plan : Plan.t;
   pp_modes : Bytes.t;  (* per-site decision, baked (Plan.modes) *)
@@ -75,6 +76,7 @@ let prepare ?(variant = Recorder.v_both) ?plan (program : Lang.Ast.program) :
   {
     pp_program = program;
     pp_compiled = cp;
+    pp_bytecode = Lang.Compile.lower cp;
     pp_variant = variant;
     pp_plan = plan;
     pp_modes = Plan.modes plan ~max_sid:cp.Lang.Resolve.cp_max_sid;
@@ -83,13 +85,18 @@ let prepare ?(variant = Recorder.v_both) ?plan (program : Lang.Ast.program) :
 
 (** Execute one recording run over a prepared program: only the interpreter
     and the recorder's zero-allocation access hook are on the clock. *)
-let record_prepared ?(sched = Sched.random ~seed:1) ?(max_steps = 5_000_000)
-    ?(seed = 0) ?(weights = Metrics.Cost.default_weights) (pp : prepared) :
-    recording =
+let record_prepared ?(engine = Vm.Tree) ?(sched = Sched.random ~seed:1)
+    ?(max_steps = 5_000_000) ?(seed = 0)
+    ?(weights = Metrics.Cost.default_weights) (pp : prepared) : recording =
   let recorder = Recorder.create ~variant:pp.pp_variant ~weights pp.pp_modes in
   let outcome =
-    Interp.run_compiled ~hooks:(Recorder.hooks recorder) ~plan:pp.pp_plan
-      ~max_steps ~seed ~sched pp.pp_compiled
+    match engine with
+    | Vm.Tree ->
+      Interp.run_compiled ~hooks:(Recorder.hooks recorder) ~plan:pp.pp_plan
+        ~max_steps ~seed ~sched pp.pp_compiled
+    | Vm.Bytecode ->
+      Vm.run_program ~hooks:(Recorder.hooks recorder) ~plan:pp.pp_plan
+        ~max_steps ~seed ~sched pp.pp_bytecode
   in
   let log = Recorder.finalize recorder ~outcome in
   {
@@ -106,14 +113,16 @@ let record_prepared ?(sched = Sched.random ~seed:1) ?(max_steps = 5_000_000)
   }
 
 (** Run the transformer and execute the program under the Light recorder. *)
-let record ?variant ?sched ?max_steps ?seed ?weights ?plan
+let record ?variant ?engine ?sched ?max_steps ?seed ?weights ?plan
     (program : Lang.Ast.program) : recording =
-  record_prepared ?sched ?max_steps ?seed ?weights (prepare ?variant ?plan program)
+  record_prepared ?engine ?sched ?max_steps ?seed ?weights
+    (prepare ?variant ?plan program)
 
 (* Accessors for the epoch engine (and other lib/core clients of the
    abstract [prepared]). *)
 let prepared_program (pp : prepared) = pp.pp_program
 let prepared_compiled (pp : prepared) = pp.pp_compiled
+let prepared_bytecode (pp : prepared) = pp.pp_bytecode
 let prepared_variant (pp : prepared) = pp.pp_variant
 let prepared_plan (pp : prepared) = pp.pp_plan
 let prepared_modes (pp : prepared) = pp.pp_modes
@@ -126,7 +135,8 @@ type replay_result = {
 }
 
 (** Compute a replay schedule offline and execute the replay run. *)
-let replay ?max_steps ?solver_budget (r : recording) : (replay_result, string) result =
+let replay ?max_steps ?solver_budget ?engine (r : recording) :
+    (replay_result, string) result =
   let report = Replayer.solve ?budget:solver_budget r.log in
   match report.schedule with
   | None ->
@@ -138,7 +148,9 @@ let replay ?max_steps ?solver_budget (r : recording) : (replay_result, string) r
          | _ -> "constraint system unsatisfiable")
          s.decisions s.backtracks s.theory_conflicts report.solve_time_s)
   | Some sch ->
-    let replay_outcome = Replayer.replay ?max_steps r.program ~plan:r.plan sch in
+    let replay_outcome =
+      Replayer.replay ?max_steps ?engine r.program ~plan:r.plan sch
+    in
     Ok
       {
         replay_outcome;
@@ -148,9 +160,9 @@ let replay ?max_steps ?solver_budget (r : recording) : (replay_result, string) r
 
 (** Record under [sched], replay, and report whether the Theorem-1
     observables (per-thread read values, outputs, crashes) were reproduced. *)
-let record_and_replay ?variant ?sched ?max_steps ?seed ?solver_budget
+let record_and_replay ?variant ?engine ?sched ?max_steps ?seed ?solver_budget
     (program : Lang.Ast.program) : (recording * replay_result, string) result =
-  let r = record ?variant ?sched ?max_steps ?seed program in
-  match replay ?max_steps ?solver_budget r with
+  let r = record ?variant ?engine ?sched ?max_steps ?seed program in
+  match replay ?max_steps ?solver_budget ?engine r with
   | Ok rr -> Ok (r, rr)
   | Error e -> Error e

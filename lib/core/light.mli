@@ -59,6 +59,7 @@ val prepare : ?variant:variant -> ?plan:Plan.t -> Lang.Ast.program -> prepared
     you will record with). *)
 
 val record_prepared :
+  ?engine:Vm.engine ->
   ?sched:Sched.t ->
   ?max_steps:int ->
   ?seed:int ->
@@ -67,10 +68,14 @@ val record_prepared :
   recording
 (** Execute one recording run over a prepared program; only the
     interpreter and the recorder's zero-allocation access fast path are on
-    the clock. *)
+    the clock.  [engine] selects the execution substrate: [Vm.Tree] (the
+    slot-resolved tree walker, the default) or [Vm.Bytecode] (the
+    register VM over the eagerly lowered program) — recorded logs are
+    byte-identical either way. *)
 
 val prepared_program : prepared -> Lang.Ast.program
 val prepared_compiled : prepared -> Interp.compiled
+val prepared_bytecode : prepared -> Lang.Bytecode.program
 val prepared_variant : prepared -> variant
 val prepared_plan : prepared -> Plan.t
 val prepared_modes : prepared -> Bytes.t
@@ -80,6 +85,7 @@ val prepared_instrumented_sites : prepared -> int
 
 val record :
   ?variant:variant ->
+  ?engine:Vm.engine ->
   ?sched:Sched.t ->
   ?max_steps:int ->
   ?seed:int ->
@@ -104,6 +110,7 @@ type replay_result = {
 val replay :
   ?max_steps:int ->
   ?solver_budget:Dlsolver.Idl.budget ->
+  ?engine:Vm.engine ->
   recording ->
   (replay_result, string) result
 (** Generate constraints, solve offline, and execute the replay run.
@@ -115,6 +122,7 @@ val replay :
 
 val record_and_replay :
   ?variant:variant ->
+  ?engine:Vm.engine ->
   ?sched:Sched.t ->
   ?max_steps:int ->
   ?seed:int ->

@@ -234,8 +234,14 @@ let driver ?(suppress = true) (sch : schedule) ~(plan : Plan.t) : driver =
     progress = (fun () -> Hashtbl.length executed);
   }
 
-(** Execute the replay run. *)
-let replay ?(max_steps = 10_000_000) ?suppress (program : Lang.Ast.program)
-    ~(plan : Plan.t) (sch : schedule) : Interp.outcome =
+(** Execute the replay run, on either execution engine (the driver hooks
+    are engine-agnostic; the schedule constrains shared accesses, which
+    both engines present identically). *)
+let replay ?(max_steps = 10_000_000) ?suppress ?(engine = Vm.Tree)
+    (program : Lang.Ast.program) ~(plan : Plan.t) (sch : schedule) :
+    Interp.outcome =
   let d = driver ?suppress sch ~plan in
-  Interp.run ~hooks:d.hooks ~plan ~max_steps ~sched:(Sched.round_robin ()) program
+  let run =
+    match engine with Vm.Tree -> Interp.run | Vm.Bytecode -> Vm.run
+  in
+  run ~hooks:d.hooks ~plan ~max_steps ~sched:(Sched.round_robin ()) program

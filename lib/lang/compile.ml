@@ -1,0 +1,468 @@
+(** Lowering from the slot-resolved form ({!Resolve}) to register
+    bytecode ({!Bytecode}).
+
+    The pass is a single walk over each function body.  Correctness is
+    dominated by one concern: the VM must crash (and tick D(t)) in
+    exactly the order the tree interpreter does, so operand evaluation
+    replicates [Interp.eval]'s order — including the places where that
+    order is OCaml's right-to-left function-application order:
+
+    - arithmetic/comparison ([let va = eval a and vb = eval b]): a, b
+    - [==]/[!=] ([Value.equal (eval a) (eval b)]): b, then a
+    - array index ([match eval a, eval i]): a, then i (native tuple
+      match is left-to-right)
+    - map ops ([Loc.mapkey (eval_ref m) (eval k)]): k, then m
+    - store value operands: evaluated after the target is evaluated
+      {e and} reference-checked
+    - call/spawn/syscall arguments ([List.map]): left to right
+
+    A leaf operand (variable or constant) normally rides in the
+    instruction itself — its unbound check happens when the instruction
+    reads it.  That is only sound while no {e later} operand's code runs
+    first, so a leaf variable followed by a compound operand is
+    materialized with an [IMove] at its source position ([operands]).
+    Compound operands always evaluate into fresh temporaries; statement
+    temporaries are dead at boundaries by construction. *)
+
+open Resolve
+open Bytecode
+
+(* growable arrays for the emitter *)
+type 'a dyn = { mutable arr : 'a array; mutable len : int }
+
+let dyn_make (d : 'a) n : 'a dyn = { arr = Array.make n d; len = 0 }
+
+let dyn_push (d : 'a dyn) (x : 'a) : int =
+  (if d.len = Array.length d.arr then begin
+     let bigger = Array.make (2 * max 8 d.len) x in
+     Array.blit d.arr 0 bigger 0 d.len;
+     d.arr <- bigger
+   end);
+  d.arr.(d.len) <- x;
+  d.len <- d.len + 1;
+  d.len - 1
+
+let dyn_to_array (d : 'a dyn) : 'a array = Array.sub d.arr 0 d.len
+
+type emitter = {
+  code : instr dyn;
+  sids : int dyn;
+  lines : int dyn;
+  anchors : int dyn;
+  starts : bool dyn;
+  templates : template_entry list dyn;
+  stmts : rstmt option dyn;
+  fn_of : int dyn;
+  consts : (const, int) Hashtbl.t;
+  const_list : const dyn;
+  pc_of_sid : int array;
+  exit_pc_of_sid : int array;
+  (* current function *)
+  mutable cur_fn : int;
+  mutable nslots : int;
+  mutable next_temp : int;
+  mutable max_reg : int;
+  mutable reg_names : (int, string) Hashtbl.t;
+  (* current statement *)
+  mutable cur_sid : int;
+  mutable cur_line : int;
+  mutable cur_anchor : int;  (* -1: the next emitted pc becomes the anchor *)
+  mutable pending : (template_entry list * rstmt option) option;
+      (* boundary to mark on the next emitted instruction *)
+}
+
+let cur_pc (e : emitter) : int = e.code.len
+
+let emit (e : emitter) (i : instr) : int =
+  let pc = dyn_push e.code i in
+  ignore (dyn_push e.sids e.cur_sid);
+  ignore (dyn_push e.lines e.cur_line);
+  if e.cur_anchor < 0 then e.cur_anchor <- pc;
+  ignore (dyn_push e.anchors e.cur_anchor);
+  ignore (dyn_push e.fn_of e.cur_fn);
+  (match e.pending with
+  | Some (tpl, st) ->
+    ignore (dyn_push e.starts true);
+    ignore (dyn_push e.templates tpl);
+    ignore (dyn_push e.stmts st);
+    e.pending <- None
+  | None ->
+    ignore (dyn_push e.starts false);
+    ignore (dyn_push e.templates []);
+    ignore (dyn_push e.stmts None));
+  pc
+
+let patch (e : emitter) (pc : int) (i : instr) : unit = e.code.arr.(pc) <- i
+
+let const_operand (e : emitter) (k : const) : operand =
+  let idx =
+    match Hashtbl.find_opt e.consts k with
+    | Some i -> i
+    | None ->
+      let i = dyn_push e.const_list k in
+      Hashtbl.add e.consts k i;
+      i
+  in
+  -1 - idx
+
+let fresh_temp (e : emitter) : int =
+  let t = e.next_temp in
+  e.next_temp <- t + 1;
+  if t + 1 > e.max_reg then e.max_reg <- t + 1;
+  t
+
+let is_leaf = function
+  | RInt _ | RBool _ | RNull | RStr _ | RVar _ -> true
+  | RBinop _ | RUnop _ -> false
+
+let leaf_operand (e : emitter) (x : rexpr) : operand =
+  match x with
+  | RInt n -> const_operand e (KInt n)
+  | RBool b -> const_operand e (KBool b)
+  | RNull -> const_operand e KNull
+  | RStr s -> const_operand e (KStr s)
+  | RVar (slot, name) ->
+    if not (Hashtbl.mem e.reg_names slot) then Hashtbl.add e.reg_names slot name;
+    slot
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec emit_expr (e : emitter) (dst : int) (x : rexpr) : unit =
+  match x with
+  | RInt _ | RBool _ | RNull | RStr _ | RVar _ ->
+    ignore (emit e (IMove (dst, leaf_operand e x)))
+  | RUnop (Ast.Not, a) ->
+    let oa = operand_simple e a in
+    ignore (emit e (INot (dst, oa)))
+  | RUnop (Ast.Neg, a) ->
+    let oa = operand_simple e a in
+    ignore (emit e (INeg (dst, oa)))
+  | RBinop (Ast.And, a, b) -> emit_shortcircuit e dst a b true
+  | RBinop (Ast.Or, a, b) -> emit_shortcircuit e dst a b false
+  | RBinop (Ast.Eq, a, b) -> (
+    (* OCaml application order: b's code runs first, then a's *)
+    match operands e [ b; a ] with
+    | [ ob; oa ] -> ignore (emit e (IEq (dst, oa, ob)))
+    | _ -> assert false)
+  | RBinop (Ast.Ne, a, b) -> (
+    match operands e [ b; a ] with
+    | [ ob; oa ] -> ignore (emit e (INe (dst, oa, ob)))
+    | _ -> assert false)
+  | RBinop (op, a, b) -> (
+    let kind =
+      match op with
+      | Ast.Add -> BAdd | Ast.Sub -> BSub | Ast.Mul -> BMul | Ast.Div -> BDiv
+      | Ast.Mod -> BMod | Ast.Lt -> BLt | Ast.Le -> BLe | Ast.Gt -> BGt
+      | Ast.Ge -> BGe
+      | Ast.And | Ast.Or | Ast.Eq | Ast.Ne -> assert false
+    in
+    match operands e [ a; b ] with
+    | [ oa; ob ] -> ignore (emit e (IBin (kind, dst, oa, ob)))
+    | _ -> assert false)
+
+(* One operand with no ordering constraint against siblings: leaves ride
+   in the instruction, compound expressions evaluate into a temp. *)
+and operand_simple (e : emitter) (x : rexpr) : operand =
+  if is_leaf x then leaf_operand e x
+  else begin
+    let t = fresh_temp e in
+    emit_expr e t x;
+    t
+  end
+
+(* Operands of one instruction, [xs] given in the tree interpreter's
+   evaluation order.  A leaf variable followed by a compound operand is
+   materialized with an [IMove] so its unbound check fires at its source
+   position, before the later operand's code runs.  [code_follows] marks
+   that more evaluation code runs after the whole list (a hoisted check
+   or a compound store value), forcing every leaf variable to
+   materialize.  Emission order is made explicit (left to right). *)
+and operands ?(code_follows = false) (e : emitter) (xs : rexpr list) : operand list =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let code_after = Array.make n false in
+  let acc = ref code_follows in
+  for i = n - 1 downto 0 do
+    code_after.(i) <- !acc;
+    if not (is_leaf arr.(i)) then acc := true
+  done;
+  let ops = Array.make n 0 in
+  for i = 0 to n - 1 do
+    ops.(i) <-
+      (match arr.(i) with
+      | RVar _ when code_after.(i) ->
+        let t = fresh_temp e in
+        ignore (emit e (IMove (t, leaf_operand e arr.(i))));
+        t
+      | x -> operand_simple e x)
+  done;
+  Array.to_list ops
+
+and emit_shortcircuit (e : emitter) (dst : int) (a : rexpr) (b : rexpr) (is_and : bool) :
+    unit =
+  let oa = operand_simple e a in
+  let jpc = emit e (IBoolJmp (dst, oa, -1, is_and)) in
+  let ob = operand_simple e b in
+  ignore (emit e (IBoolMove (dst, ob, is_and)));
+  patch e jpc (IBoolJmp (dst, oa, cur_pc e, is_and))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The continuation template after the current statement completes:
+   [rest] is the remainder of the enclosing block, [outer] the template
+   of the block's own continuation. *)
+let after_template (rest : rstmt list) (outer : template_entry list) :
+    template_entry list =
+  match rest with [] -> outer | s2 :: _ -> TSeq s2.rsid :: outer
+
+let begin_stmt (e : emitter) (s : rstmt) ~(outer : template_entry list) : unit =
+  e.next_temp <- e.nslots;
+  e.cur_sid <- s.rsid;
+  e.cur_line <- s.rline;
+  e.cur_anchor <- -1;
+  e.pending <- Some (TSeq s.rsid :: outer, Some s);
+  if s.rsid >= 0 && s.rsid < Array.length e.pc_of_sid then
+    e.pc_of_sid.(s.rsid) <- cur_pc e
+
+let rec emit_stmt (e : emitter) (s : rstmt) ~(rest : rstmt list)
+    ~(outer : template_entry list) : unit =
+  let sid = s.rsid in
+  match s.rnode with
+  | RNop | RYield -> ignore (emit e INop)
+  | RAssign (x, v) -> emit_expr e x v
+  | RLoad (x, o, f) ->
+    let oo = operand_simple e o in
+    ignore (emit e (ILoad (x, oo, f, sid)))
+  | RStore (o, f, v) ->
+    (* o evaluated and reference-checked before v's code *)
+    let oo = operand_simple e o in
+    if not (is_leaf v) then ignore (emit e (ICheckRef oo));
+    let ov = operand_simple e v in
+    ignore (emit e (IStore (oo, f, ov, sid)))
+  | RLoadIdx (x, a, i) -> (
+    match operands e [ a; i ] with
+    | [ oa; oi ] -> ignore (emit e (ILoadIdx (x, oa, oi, sid)))
+    | _ -> assert false)
+  | RStoreIdx (a, i, v) -> (
+    match operands e [ a; i ] with
+    | [ oa; oi ] ->
+      if not (is_leaf v) then ignore (emit e (ICheckIdx (oa, oi)));
+      let ov = operand_simple e v in
+      ignore (emit e (IStoreIdx (oa, oi, ov, sid)))
+    | _ -> assert false)
+  | RGlobalLoad (x, g) -> ignore (emit e (IGLoad (x, g, sid)))
+  | RGlobalStore (g, v) ->
+    let ov = operand_simple e v in
+    ignore (emit e (IGStore (g, ov, sid)))
+  | RNew (x, cls, fids) -> ignore (emit e (INew (x, cls, fids)))
+  | RNewArray (x, n) ->
+    let on_ = operand_simple e n in
+    ignore (emit e (INewArray (x, on_)))
+  | RNewMap x -> ignore (emit e (INewMap x))
+  | RMapGet (x, m, k) -> (
+    (* application order: k's code first, then m's *)
+    match operands e [ k; m ] with
+    | [ ok; om ] -> ignore (emit e (IMapGet (x, om, ok, sid)))
+    | _ -> assert false)
+  | RMapPut (m, k, v) -> (
+    (* with a compound value, [k]'s unbound check must also fire before
+       the hoisted ref check on [m] and before [v]'s code *)
+    match operands ~code_follows:(not (is_leaf v)) e [ k; m ] with
+    | [ ok; om ] ->
+      if not (is_leaf v) then ignore (emit e (ICheckRef om));
+      let ov = operand_simple e v in
+      ignore (emit e (IMapPut (om, ok, ov, sid)))
+    | _ -> assert false)
+  | RMapHas (x, m, k) -> (
+    match operands e [ k; m ] with
+    | [ ok; om ] -> ignore (emit e (IMapHas (x, om, ok, sid)))
+    | _ -> assert false)
+  | RIf (c, b1, b2) ->
+    let after = after_template rest outer in
+    let oc = operand_simple e c in
+    let jpc = emit e (IJmpIfNot (oc, -1)) in
+    emit_block e b1 ~outer:after;
+    if b2 = [] then patch e jpc (IJmpIfNot (oc, cur_pc e))
+    else begin
+      let j2 = emit e (IJmp (-1)) in
+      patch e jpc (IJmpIfNot (oc, cur_pc e));
+      emit_block e b2 ~outer:after;
+      patch e j2 (IJmp (cur_pc e))
+    end
+  | RWhile (c, b) ->
+    (* the while statement stays at the head of its sequence while the
+       body runs: the body's continuation template repeats its sid *)
+    let head = e.pc_of_sid.(sid) in
+    let oc = operand_simple e c in
+    let jpc = emit e (IJmpIfNot (oc, -1)) in
+    emit_block e b ~outer:(TSeq sid :: outer);
+    ignore (emit e (IJmp head));
+    patch e jpc (IJmpIfNot (oc, cur_pc e))
+  | RCall (ret, fidx, fname, args) ->
+    if fidx < 0 then ignore (emit e (ICallUndef fname))
+    else begin
+      let ops_ = operands e args in
+      ignore
+        (emit e
+           (ICall ((match ret with Some x -> x | None -> -1), fidx, Array.of_list ops_)))
+    end
+  | RReturn v ->
+    let ov =
+      match v with Some x -> operand_simple e x | None -> const_operand e KNull
+    in
+    ignore (emit e (IRet ov))
+  | RSpawn (h, fidx, fname, args) ->
+    let ops_ = operands e args in
+    ignore (emit e (ISpawn (h, fidx, fname, Array.of_list ops_)))
+  | RJoin hx ->
+    let oh = operand_simple e hx in
+    ignore (emit e (IJoin (oh, sid)))
+  | RSync (m, body) ->
+    let om = operand_simple e m in
+    ignore (emit e (IEnterSync (om, sid)));
+    let after = after_template rest outer in
+    emit_block e body ~outer:(TUnlock sid :: after);
+    (* the unlock transition is its own boundary *)
+    e.cur_sid <- sid;
+    e.cur_line <- s.rline;
+    e.cur_anchor <- -1;
+    e.pending <- Some (TUnlock sid :: after, None);
+    let xpc = emit e (IExitSync sid) in
+    if sid >= 0 && sid < Array.length e.exit_pc_of_sid then
+      e.exit_pc_of_sid.(sid) <- xpc
+  | RLock m ->
+    let om = operand_simple e m in
+    ignore (emit e (ILock (om, sid)))
+  | RUnlock m ->
+    let om = operand_simple e m in
+    ignore (emit e (IUnlock (om, sid)))
+  | RWait m ->
+    let om = operand_simple e m in
+    ignore (emit e (IWait (om, sid)))
+  | RNotify m ->
+    let om = operand_simple e m in
+    ignore (emit e (INotify (om, sid, false)))
+  | RNotifyAll m ->
+    let om = operand_simple e m in
+    ignore (emit e (INotify (om, sid, true)))
+  | RAssert c ->
+    let oc = operand_simple e c in
+    ignore (emit e (IAssert oc))
+  | RPrint v ->
+    let ov = operand_simple e v in
+    ignore (emit e (IPrint ov))
+  | RSyscall (x, name, args) ->
+    let ops_ = operands e args in
+    ignore (emit e (ISyscall (x, name, Array.of_list ops_)))
+  | ROpaque (x, name, args) ->
+    let ops_ = operands e args in
+    ignore (emit e (IOpaque (x, name, Array.of_list ops_)))
+
+and emit_block (e : emitter) (b : rblock) ~(outer : template_entry list) : unit =
+  let rec go = function
+    | [] -> ()
+    | s :: rest ->
+      begin_stmt e s ~outer;
+      emit_stmt e s ~rest ~outer;
+      go rest
+  in
+  go b
+
+(* ------------------------------------------------------------------ *)
+(* Whole program                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let compile_fn (e : emitter) (fidx : int) (fn : rfn) : fninfo =
+  e.cur_fn <- fidx;
+  e.nslots <- fn.rf_frame;
+  e.next_temp <- fn.rf_frame;
+  e.max_reg <- fn.rf_frame;
+  e.reg_names <- Hashtbl.create 16;
+  let entry = if fn.rf_body = [] then 0 else cur_pc e in
+  emit_block e fn.rf_body ~outer:[];
+  e.cur_anchor <- cur_pc e;  (* epilogue jump: never a resting pc *)
+  if fn.rf_body <> [] then ignore (emit e (IJmp 0));
+  let names =
+    Array.init e.max_reg (fun i ->
+        match Hashtbl.find_opt e.reg_names i with
+        | Some n -> n
+        | None -> if i < fn.rf_frame then Printf.sprintf "$s%d" i else Printf.sprintf "$t%d" i)
+  in
+  {
+    fi_name = fn.rf_name;
+    fi_entry = entry;
+    fi_nparams = fn.rf_nparams;
+    fi_nslots = fn.rf_frame;
+    fi_nregs = e.max_reg;
+    fi_reg_names = names;
+  }
+
+let lower (cp : Resolve.compiled) : program =
+  let nsid = cp.cp_max_sid + 1 in
+  let e =
+    {
+      code = dyn_make IHalt 256;
+      sids = dyn_make (-1) 256;
+      lines = dyn_make 0 256;
+      anchors = dyn_make 0 256;
+      starts = dyn_make false 256;
+      templates = dyn_make [] 256;
+      stmts = dyn_make None 256;
+      fn_of = dyn_make 0 256;
+      consts = Hashtbl.create 64;
+      const_list = dyn_make KNull 64;
+      pc_of_sid = Array.make (max 1 nsid) (-1);
+      exit_pc_of_sid = Array.make (max 1 nsid) (-1);
+      cur_fn = Array.length cp.cp_fns;  (* $main owns pc 0 *)
+      nslots = 0;
+      next_temp = 0;
+      max_reg = 0;
+      reg_names = Hashtbl.create 16;
+      cur_sid = -1;
+      cur_line = 0;
+      cur_anchor = 0;
+      pending = Some ([], None);  (* pc 0 is a boundary with the CDone template *)
+    }
+  in
+  ignore (emit e IHalt);
+  let nfns = Array.length cp.cp_fns in
+  let fns =
+    Array.init (nfns + 1) (fun i ->
+        if i < nfns then compile_fn e i cp.cp_fns.(i)
+        else compile_fn e nfns cp.cp_main)
+  in
+  let code = dyn_to_array e.code in
+  let n = Array.length code in
+  (* resolve IJmp chains: the pc actually rested on after a fall-through
+     or early advance.  Chains always terminate (every loop in the CFG
+     contains a non-jump instruction); the depth guard is belt and
+     braces. *)
+  let threaded =
+    Array.init n (fun pc0 ->
+        let rec follow pc depth =
+          if depth > n then pc
+          else match code.(pc) with IJmp t -> follow t (depth + 1) | _ -> pc
+        in
+        follow pc0 0)
+  in
+  {
+    bc_code = code;
+    bc_consts = dyn_to_array e.const_list;
+    bc_fns = fns;
+    bc_starts = dyn_to_array e.starts;
+    bc_stmt_start = dyn_to_array e.anchors;
+    bc_threaded = threaded;
+    bc_sid_at = dyn_to_array e.sids;
+    bc_line_at = dyn_to_array e.lines;
+    bc_templates = dyn_to_array e.templates;
+    bc_pc_of_sid = e.pc_of_sid;
+    bc_exit_pc_of_sid = e.exit_pc_of_sid;
+    bc_fn_of_pc = dyn_to_array e.fn_of;
+    bc_stmt_at = dyn_to_array e.stmts;
+    bc_src = cp;
+  }

@@ -333,6 +333,7 @@ type interp_measure = {
   im_steps : int;     (* steps of one uninstrumented run *)
   im_ref : series;    (* reference interpreter (string-keyed), native *)
   im_native : series; (* slot-resolved interpreter, native *)
+  im_vm : series;     (* register-bytecode VM, native *)
   im_basic : series;  (* under Light recording, uncompressed *)
   im_o1 : series;
   im_both : series;
@@ -372,6 +373,8 @@ let measure_interp ?(seed = 7) ~iters (bm : Workloads.benchmark) : interp_measur
   let steps, native =
     steps_per_sec ~iters (fun () -> Interp.run_compiled ~sched:(sched ()) cp)
   in
+  let bp = Lang.Compile.lower cp in
+  let _, vm = steps_per_sec ~iters (fun () -> Vm.run_program ~sched:(sched ()) bp) in
   let _, ref_ = steps_per_sec ~iters (fun () -> Interp_ref.run ~sched:(sched ()) p) in
   (* instrument once, record every iteration: the analysis and the slot
      resolution are prepare-time costs (measured by the analysis bench);
@@ -419,6 +422,7 @@ let measure_interp ?(seed = 7) ~iters (bm : Workloads.benchmark) : interp_measur
     im_steps = steps;
     im_ref = ref_;
     im_native = native;
+    im_vm = vm;
     im_basic = basic;
     im_o1 = o1;
     im_both = both;
@@ -439,25 +443,32 @@ let interp_json ~iters (ms : interp_measure list) : string =
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"workload\": %S, \"steps\": %d, \"ref_sps\": %.0f, \
-            \"native_sps\": %.0f, \"basic_sps\": %.0f, \"o1_sps\": %.0f, \
+            \"native_sps\": %.0f, \"vm_sps\": %.0f, \"basic_sps\": %.0f, \
+            \"o1_sps\": %.0f, \
             \"both_sps\": %.0f, \"epoch_sps\": %.0f, \"speedup_vs_ref\": %.2f, \
+            \"vm_speedup\": %.2f, \
             \"ratio_basic\": %.2f, \"ratio_o1\": %.2f, \"ratio_both\": %.2f, \
             \"ratio_epoch\": %.2f,\n\
            \     \"native_sps_min\": %.0f, \"native_sps_max\": %.0f, \
+            \"vm_sps_min\": %.0f, \"vm_sps_max\": %.0f, \
             \"basic_sps_min\": %.0f, \"basic_sps_max\": %.0f, \
             \"o1_sps_min\": %.0f, \"o1_sps_max\": %.0f, \
             \"both_sps_min\": %.0f, \"both_sps_max\": %.0f, \
             \"epoch_sps_min\": %.0f, \"epoch_sps_max\": %.0f, \
             \"native_spread\": %.3f}%s\n"
            m.im_bm m.im_steps m.im_ref.sps_med m.im_native.sps_med
+           m.im_vm.sps_med
            m.im_basic.sps_med m.im_o1.sps_med m.im_both.sps_med
            m.im_epoch.sps_med
            (m.im_native.sps_med /. m.im_ref.sps_med)
+           (m.im_vm.sps_med /. m.im_native.sps_med)
            (m.im_native.sps_med /. m.im_basic.sps_med)
            (m.im_native.sps_med /. m.im_o1.sps_med)
            (m.im_native.sps_med /. m.im_both.sps_med)
            (m.im_native.sps_med /. m.im_epoch.sps_med)
-           m.im_native.sps_min m.im_native.sps_max m.im_basic.sps_min
+           m.im_native.sps_min m.im_native.sps_max
+           m.im_vm.sps_min m.im_vm.sps_max
+           m.im_basic.sps_min
            m.im_basic.sps_max m.im_o1.sps_min m.im_o1.sps_max m.im_both.sps_min
            m.im_both.sps_max m.im_epoch.sps_min m.im_epoch.sps_max
            (spread m.im_native)
@@ -465,9 +476,11 @@ let interp_json ~iters (ms : interp_measure list) : string =
     ms;
   Buffer.add_string buf
     (Printf.sprintf
-       "  ],\n  \"geomean\": {\"speedup_vs_ref\": %.2f, \"ratio_basic\": %.2f, \
+       "  ],\n  \"geomean\": {\"speedup_vs_ref\": %.2f, \"vm_speedup\": %.2f, \
+        \"ratio_basic\": %.2f, \
         \"ratio_o1\": %.2f, \"ratio_both\": %.2f, \"ratio_epoch\": %.2f}\n}\n"
        (geomean (fun m -> m.im_native.sps_med /. m.im_ref.sps_med) ms)
+       (geomean (fun m -> m.im_vm.sps_med /. m.im_native.sps_med) ms)
        (geomean (fun m -> m.im_native.sps_med /. m.im_basic.sps_med) ms)
        (geomean (fun m -> m.im_native.sps_med /. m.im_o1.sps_med) ms)
        (geomean (fun m -> m.im_native.sps_med /. m.im_both.sps_med) ms)
@@ -493,8 +506,8 @@ let run_interp_measurements ~seed ppf : int * interp_measure list =
       "Interpreter throughput (median steps/sec: reference vs slot-resolved, \
        native and under recording)"
     ~header:
-      [ "workload"; "steps"; "ref"; "native"; "speedup"; "basic"; "o1"; "o1+o2";
-        "epoch"; "xbasic"; "xo1"; "xo1+o2"; "xepoch" ]
+      [ "workload"; "steps"; "ref"; "native"; "vm"; "speedup"; "vmx"; "basic";
+        "o1"; "o1+o2"; "epoch"; "xbasic"; "xo1"; "xo1+o2"; "xepoch" ]
     (List.map
        (fun m ->
          [
@@ -502,7 +515,9 @@ let run_interp_measurements ~seed ppf : int * interp_measure list =
            string_of_int m.im_steps;
            timing_cell (k m.im_ref.sps_med);
            timing_cell (k m.im_native.sps_med);
+           timing_cell (k m.im_vm.sps_med);
            timing_cell (f1 (m.im_native.sps_med /. m.im_ref.sps_med));
+           timing_cell (f1 (m.im_vm.sps_med /. m.im_native.sps_med));
            timing_cell (k m.im_basic.sps_med);
            timing_cell (k m.im_o1.sps_med);
            timing_cell (k m.im_both.sps_med);
@@ -518,9 +533,10 @@ let run_interp_measurements ~seed ppf : int * interp_measure list =
     (List.fold_left (fun a m -> a + m.im_steps) 0 ms);
   if show_timings () then begin
     Fmt.pf ppf
-      "  geomean: %.2fx vs reference; record overhead %.2fx basic, %.2fx O1, \
-       %.2fx O1+O2@."
+      "  geomean: %.2fx vs reference (VM %.2fx vs native); record overhead \
+       %.2fx basic, %.2fx O1, %.2fx O1+O2@."
       (geomean (fun m -> m.im_native.sps_med /. m.im_ref.sps_med) ms)
+      (geomean (fun m -> m.im_vm.sps_med /. m.im_native.sps_med) ms)
       (geomean (fun m -> m.im_native.sps_med /. m.im_basic.sps_med) ms)
       (geomean (fun m -> m.im_native.sps_med /. m.im_o1.sps_med) ms)
       (geomean (fun m -> m.im_native.sps_med /. m.im_both.sps_med) ms);
@@ -590,6 +606,15 @@ let interp_perfcheck ?(seed = 7)
       Out_channel.output_string oc (interp_json ~iters ms));
   Fmt.pf ppf "  full measurement (with timings) written to %s@." json_path;
   let fresh = geomean (fun m -> m.im_native.sps_med /. m.im_basic.sps_med) ms in
+  (* bytecode gate: the register VM must not fall behind the tree walker it
+     replaces as the native substrate *)
+  let vm_speedup = geomean (fun m -> m.im_vm.sps_med /. m.im_native.sps_med) ms in
+  let vm_ok = vm_speedup >= 1.0 in
+  Fmt.pf ppf
+    "  perfcheck: geomean VM speedup %.2fx vs tree interpreter (threshold \
+     1.00x) — %s@."
+    vm_speedup
+    (if vm_ok then "ok" else "VM REGRESSION");
   let fresh_epoch =
     geomean (fun m -> m.im_native.sps_med /. m.im_epoch.sps_med) ms
   in
@@ -620,7 +645,7 @@ let interp_perfcheck ?(seed = 7)
         (if ok then "ok" else "REGRESSION");
       ok
   in
-  base_ok && epoch_ok
+  base_ok && epoch_ok && vm_ok
 
 (* ------------------------------------------------------------------ *)
 (* Static-analysis precision (BENCH_analysis.json)                      *)

@@ -500,9 +500,12 @@ let do_write st (t : thread) (s : rstmt) (loc : Loc.t) (v : Value.t) : unit =
   end
   else heap_write st loc v
 
-let opaque_op (s : rstmt) (name : string) (args : Value.t list) : Value.t =
+(* Site/line-parameterized (rather than taking the statement record) so
+   the bytecode VM shares these semantics verbatim. *)
+let opaque_op ~(site : int) ~(line : int) (name : string) (args : Value.t list) :
+    Value.t =
   let module V = Value in
-  let int1 = function [ V.VInt n ] -> n | _ -> crash s.rsid s.rline "#%s: expected int" name in
+  let int1 = function [ V.VInt n ] -> n | _ -> crash site line "#%s: expected int" name in
   if String.length name >= 2 && String.sub name 0 2 = "__" then V.VNull
     (* woven instrumentation pseudo-hooks are no-ops when executed directly *)
   else
@@ -527,26 +530,31 @@ let opaque_op (s : rstmt) (name : string) (args : Value.t list) : Value.t =
   | "mix", [ V.VInt a; V.VInt b ] -> VInt (((a * a) + (b * b) + (a * b)) land 0x3FFFFFFF)
   | "floor_sqrt", _ ->
     let n = int1 args in
-    if n < 0 then crash s.rsid s.rline "#floor_sqrt of negative"
+    if n < 0 then crash site line "#floor_sqrt of negative"
     else VInt (int_of_float (sqrt (float_of_int n)))
-  | _ -> crash s.rsid s.rline "unknown opaque operation #%s" name
+  | _ -> crash site line "unknown opaque operation #%s" name
 
-let syscall_value st (t : thread) (s : rstmt) (name : string) (args : Value.t list) : Value.t =
+let syscall_builtin ~(override : (tid:int -> idx:int -> name:string -> Value.t option) option)
+    ~(steps : int) ~(tid : int) ~(sys_idx : int) ~(rng : Random.State.t) ~(site : int)
+    ~(line : int) (name : string) (args : Value.t list) : Value.t =
   let overridden =
-    match st.hooks.syscall_override with
-    | None -> None
-    | Some f -> f ~tid:t.tid ~idx:t.sys_idx ~name
+    match override with None -> None | Some f -> f ~tid ~idx:sys_idx ~name
   in
   match overridden with
   | Some v -> v
   | None -> (
     match name, args with
-    | "time", [] -> VInt (st.steps / 10)
-    | "nanotime", [] -> VInt ((st.steps * 1000) + (t.tid * 7))
-    | "rand", [ VInt n ] when n > 0 -> VInt (Random.State.int st.rng n)
-    | "rand", [] -> VInt (Random.State.int st.rng 1_000_000)
-    | "read_input", [] -> VInt (Random.State.int st.rng 100)
-    | _ -> crash s.rsid s.rline "bad syscall @%s" name)
+    | "time", [] -> VInt (steps / 10)
+    | "nanotime", [] -> VInt ((steps * 1000) + (tid * 7))
+    | "rand", [ VInt n ] when n > 0 -> VInt (Random.State.int rng n)
+    | "rand", [] -> VInt (Random.State.int rng 1_000_000)
+    | "read_input", [] -> VInt (Random.State.int rng 100)
+    | _ -> crash site line "bad syscall @%s" name)
+
+let syscall_value st (t : thread) (s : rstmt) (name : string) (args : Value.t list) :
+    Value.t =
+  syscall_builtin ~override:st.hooks.syscall_override ~steps:st.steps ~tid:t.tid
+    ~sys_idx:t.sys_idx ~rng:st.rng ~site:s.rsid ~line:s.rline name args
 
 let fifo_pop st (m : Value.objid) : int option =
   match Hashtbl.find_opt st.waitsets m with
@@ -904,7 +912,7 @@ and exec_stmt st (t : thread) (s : rstmt) (slots : Value.t array) : unit =
     set_local t x v
   | ROpaque (x, name, args) ->
     let vals = List.map (eval s slots) args in
-    let v = opaque_op s name vals in
+    let v = opaque_op ~site:s.rsid ~line:s.rline name vals in
     pop_stmt t;
     set_local t x v
 

@@ -21,6 +21,10 @@ val elem : Value.objid -> int -> t
     construction in the steady state). *)
 val mapkey : Value.objid -> Value.t -> t
 
+val mapkey_fld : Value.t -> int
+(** The bare interned field id of a map key — the register-VM fast path,
+    which carries object and field separately. *)
+
 (** Global variable slot. *)
 val global : string -> t
 
