@@ -24,7 +24,12 @@
     BENCH_analysis.json — static-analysis precision, coarse (name buckets)
     vs sharp (points-to + escape + must-alias locks): instrumented/guarded
     sites, Section-5 space units, record-overhead ratios, and static race
-    pairs with dynamic happens-before confirmation.  The [epochs]
+    pairs with dynamic happens-before confirmation.  The [sitecheck]
+    experiment (explicit-only) writes BENCH_sitecheck.json — per-workload
+    instrumented/guarded site counts under the default plan, purely
+    static — and exits nonzero if any workload instruments more or guards
+    fewer sites than the committed bench/BENCH_sitecheck.baseline.json
+    (an elision or O2 regression).  The [epochs]
     experiment (explicit-only: its default budget records 12M steps)
     writes BENCH_epochs.json — epoch-mode streaming recording of a
     synthetic service loop under LIGHT_EPOCH_STEPS / LIGHT_EPOCH_LEN,
@@ -187,8 +192,13 @@ let () =
           (* CI perf smoke: interp measurement + comparison against the
              committed baseline; nonzero exit on regression *)
           if not (Report.Experiments.interp_perfcheck () ppf) then exit 1
+        | None when n = "sitecheck" ->
+          (* CI elision gate: static site counts vs the committed baseline;
+             nonzero exit when a workload loses instrumentation precision *)
+          if not (Report.Experiments.sitecheck () ppf) then exit 1
         | None ->
-          Format.printf "unknown experiment %s (have: %s bechamel epochs perfcheck)@." n
+          Format.printf
+            "unknown experiment %s (have: %s bechamel epochs perfcheck sitecheck)@." n
             (String.concat " " (List.map fst all_experiments)))
       names);
   (* wall-clock on stderr: stdout stays byte-identical across runs/pools *)

@@ -116,11 +116,18 @@ let resolve_target (target : string) : Lang.Ast.program =
                  (List.map (fun (b : Workloads.benchmark) -> b.name) Workloads.all))))
 
 let analyze_cmd =
-  let run target weave =
+  let run target weave json =
     let p = resolve_target target in
     let tr_c = Instrument.Transformer.transform ~precision:Analysis.Analyze.Coarse p in
     let tr_s = Instrument.Transformer.transform ~precision:Analysis.Analyze.Sharp p in
     let a = tr_s.analysis in
+    if json then begin
+      print_endline
+        (Analysis.Lint.Json.to_string
+           (Analysis.Lint.analysis_json a ~instrumented:tr_s.instrumented_sites
+              ~guarded:tr_s.guarded_sites ~total_sites:tr_s.total_access_sites));
+      exit 0
+    end;
     print_endline (Analysis.Analyze.summary a);
     Printf.printf "\n  %-18s %-6s %-10s sites (lines)\n" "target" "shared" "guard";
     Analysis.Analyze.TM.iter
@@ -177,10 +184,59 @@ let analyze_cmd =
   let weave_flag =
     Arg.(value & flag & info [ "weave" ] ~doc:"Also print the woven source under the sharp plan")
   in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the full classification and race list as JSON (lint schema)")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Static analysis: classification, guards, races, coarse-vs-sharp elision")
-    Term.(const run $ target_arg $ weave_flag)
+    Term.(const run $ target_arg $ weave_flag $ json_flag)
+
+(* [lint] additionally accepts the Figure-6 bug names, so the race report
+   can be pointed straight at the paper's defects *)
+let lint_cmd =
+  let resolve (target : string) : Lang.Ast.program =
+    if Sys.file_exists target then or_die (read_program target)
+    else
+      match Workloads.by_name target with
+      | Some bm -> Workloads.program bm
+      | None -> (
+        match Bugs.Defs.by_name target with
+        | Some b -> Lang.Check.validate_exn (Lang.Parser.parse_program (b.source 1))
+        | None ->
+          or_die
+            (Error
+               (Printf.sprintf
+                  "%s: not a .cl file, workload or bug name\nworkloads: %s\nbugs: %s"
+                  target
+                  (String.concat " "
+                     (List.map (fun (b : Workloads.benchmark) -> b.name) Workloads.all))
+                  (String.concat " "
+                     (List.map (fun (b : Bugs.Defs.bug) -> b.name) Bugs.Defs.all)))))
+  in
+  let run target json =
+    let p = resolve target in
+    let a = Analysis.Analyze.analyze p in
+    if json then
+      print_endline (Analysis.Lint.Json.to_string (Analysis.Lint.report_json a))
+    else print_string (Analysis.Lint.report a)
+  in
+  let target_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PROGRAM"
+             ~doc:"A .cl file, a built-in workload name, or a Figure-6 bug name")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Ranked static race report: site pairs that survive every elision \
+          argument, with MHP witnesses and Eraser lockset evidence")
+    Term.(const run $ target_arg $ json_flag)
 
 (* per-site dynamic hit counts, hottest first, so perf work can target
    actual hot sites rather than geomeans.  In epoch mode the counts are
@@ -570,7 +626,7 @@ let main =
   Cmd.group
     (Cmd.info "light" ~version:"1.0"
        ~doc:"Light: replay via tightly bounded recording (PLDI 2015)")
-    [ run_cmd; analyze_cmd; disasm_cmd; record_cmd; replay_cmd; roundtrip_cmd; weave_cmd; bugs_cmd;
-      bench_cmd; explore_cmd; hunt_cmd; reproduce_cmd ]
+    [ run_cmd; analyze_cmd; lint_cmd; disasm_cmd; record_cmd; replay_cmd; roundtrip_cmd;
+      weave_cmd; bugs_cmd; bench_cmd; explore_cmd; hunt_cmd; reproduce_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -36,6 +36,12 @@ type target_class = {
   shared : bool;
   guarded_by : string option;  (** display name of the consistent lock *)
   guard : Sites.lock option;   (** its identity, used for consistency *)
+  covered : bool;
+      (** every conflicting pair of active sites is lock-covered, ordered,
+          or read/read ({!Lockset}): O2 applies even without [guard] *)
+  active : ISet.t;
+      (** sids with a may-happen-in-parallel conflicting counterpart on
+          this partition (refined mode; empty otherwise) *)
   sites : Sites.info list;
 }
 
@@ -51,6 +57,8 @@ type t = {
   precision : precision;
   pointsto : Pointsto.t option;  (** [Some] at Sharp precision *)
   escaping : ISet.t;             (** thread-escaping allocation sites (Sharp) *)
+  mhp : Mhp.t;                   (** fork/join may-happen-in-parallel facts *)
+  refined : bool;                (** MHP + pairwise-lockset refinement applied *)
   sites : Sites.info list;
   targets : target_class TM.t;
   races : race_pair list;
@@ -86,8 +94,12 @@ let lock_display (pt : Pointsto.t option) (p : Ast.program) (l : Sites.lock) : s
       | _ -> Printf.sprintf "lock@s%d" a)
     | None -> Printf.sprintf "lock@s%d" a)
 
-let analyze ?(precision = Sharp) (p : Ast.program) : t =
+let analyze ?(precision = Sharp) ?(refine = true) (p : Ast.program) : t =
   let cg = Callgraph.build p in
+  let mhp = Mhp.build cg p in
+  (* the MHP/pairwise-lockset refinement only applies on top of the sharp
+     pipeline; Coarse stays the legacy old-vs-new comparison baseline *)
+  let refined = refine && precision = Sharp in
   let pointsto, escaping, sites =
     match precision with
     | Coarse -> (None, ISet.empty, Sites.collect_coarse p)
@@ -159,17 +171,79 @@ let analyze ?(precision = Sharp) (p : Ast.program) : t =
             precision = Sharp && not (ISet.mem a escaping)
           | _ -> false
         in
-        let shared = contexts >= 2 && not confined in
+        (* refined: a (site, partition) membership needs instrumenting only
+           when its execution is a source of replay nondeterminism.
+
+           - A {e write} is active iff some conflicting access of the same
+             partition may run concurrently with it (including a
+             multi-instance site against its own copies).  An inactive
+             write is HB-ordered against every conflicting access, so the
+             spawn/join/lock ghost dependences — always recorded — already
+             pin its position; it executes at exactly that position in
+             replay.
+           - A {e read} is active under the same condition — or whenever
+             {e any} write of the partition is active.  The second clause
+             is about the replayer, not the read itself: the replayer
+             suppresses recorded writes that took part in no flow
+             dependence (a blind write's interleaving is unknown, so
+             executing it could corrupt a recorded read).  If a quiescent
+             read were elided while a write of its partition stays
+             instrumented, the final write the read observes may be blind
+             — recorded, suppressed at replay, and the elided read runs
+             ungated against memory that never received it.  Keeping the
+             read instrumented turns that final write into a flow
+             dependence, which is precisely the Equation-1 observation
+             that pins it.  Conversely, when no write of the partition is
+             active, every write is elided with it, elided writes are
+             never suppressed, and the write set is HB-totally-ordered —
+             so the quiescent read's value is deterministic.
+
+           Init-phase and must-join-quiescent sites fall out for free:
+           their intervals overlap no thread window. *)
+        let active =
+          if not refined then ISet.empty
+          else begin
+            let conflicts (s : Sites.info) (s' : Sites.info) =
+              (s.kind = Sites.KWrite || s'.kind = Sites.KWrite)
+              && Mhp.may_parallel mhp s.sid s'.sid
+            in
+            let active_writes =
+              List.exists
+                (fun (s : Sites.info) ->
+                  s.kind = Sites.KWrite && List.exists (conflicts s) group)
+                group
+            in
+            List.fold_left
+              (fun acc (s : Sites.info) ->
+                if
+                  List.exists (conflicts s) group
+                  || (s.kind = Sites.KRead && active_writes)
+                then ISet.add s.sid acc
+                else acc)
+              ISet.empty group
+          end
+        in
+        let shared =
+          contexts >= 2 && not confined && ((not refined) || not (ISet.is_empty active))
+        in
         let guard = if shared then intersect_locks group else None in
         let guarded_by = Option.map (lock_display pointsto p) guard in
-        { target; shared; guarded_by; guard; sites = group })
+        let covered =
+          refined && shared && guard = None
+          && Lockset.covered mhp
+               (List.filter (fun (s : Sites.info) -> ISet.mem s.sid active) group)
+        in
+        { target; shared; guarded_by; guard; covered; active; sites = group })
       groups
   in
-  (* race pairs: same shared unguarded target, >= 1 write, no common lock *)
+  (* race pairs: same shared unguarded target, >= 1 write, no common lock —
+     and, refined, only pairs that may actually happen in parallel (a pair
+     ordered by the fork/join structure is not a race candidate, and a
+     pairwise-covered partition has none by construction) *)
   let races =
     TM.fold
       (fun target (tc : target_class) acc ->
-        if (not tc.shared) || tc.guard <> None then acc
+        if (not tc.shared) || tc.guard <> None || tc.covered then acc
         else
           let rec pairs = function
             | [] -> []
@@ -184,7 +258,11 @@ let analyze ?(precision = Sharp) (p : Ast.program) : t =
                       x.unresolved_lock || y.unresolved_lock
                       || not (List.exists (fun l -> List.mem l y.locks) x.locks)
                     in
-                    if writes && no_common_lock then Some { t1 = x; t2 = y; on = target }
+                    let parallel =
+                      (not refined) || Mhp.may_parallel mhp x.sid y.sid
+                    in
+                    if writes && no_common_lock && parallel then
+                      Some { t1 = x; t2 = y; on = target }
                     else None)
                 rest
               @ pairs rest
@@ -205,7 +283,18 @@ let analyze ?(precision = Sharp) (p : Ast.program) : t =
         end)
       races
   in
-  { program = p; callgraph = cg; precision; pointsto; escaping; sites; targets; races }
+  {
+    program = p;
+    callgraph = cg;
+    precision;
+    pointsto;
+    escaping;
+    mhp;
+    refined;
+    sites;
+    targets;
+    races;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
@@ -221,7 +310,9 @@ let info_shared (a : t) (s : Sites.info) : bool =
   | Some tc -> (
     match a.precision with
     | Coarse -> (not s.base_local) && tc.shared
-    | Sharp -> (not s.init_phase) && tc.shared)
+    | Sharp ->
+      if a.refined then tc.shared && ISet.mem s.sid tc.active
+      else (not s.init_phase) && tc.shared)
 
 let shared_sids (a : t) : (int, bool) Hashtbl.t =
   let h = Hashtbl.create 64 in
@@ -253,7 +344,7 @@ let guarded_sids (a : t) : (int, bool) Hashtbl.t =
         && List.for_all
              (fun (s : Sites.info) ->
                match TM.find_opt s.target a.targets with
-               | Some tc -> tc.guard <> None
+               | Some tc -> tc.guard <> None || tc.covered
                | None -> false)
              shared_infos
       in
@@ -261,12 +352,25 @@ let guarded_sids (a : t) : (int, bool) Hashtbl.t =
     by_sid;
   h
 
+(** Distinct access sids whose every execution is ordered with every thread
+    (init-phase, must-join quiescence, unreachable code). *)
+let sequential_sids (a : t) : int =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Sites.info) ->
+      if (not (Hashtbl.mem seen s.sid)) && Mhp.sequential a.mhp s.sid then
+        Hashtbl.replace seen s.sid ())
+    a.sites;
+  Hashtbl.length seen
+
 (** Summary line for CLI / debugging. *)
 let summary (a : t) : string =
   let total = TM.cardinal a.targets in
   let shared = TM.fold (fun _ tc n -> if tc.shared then n + 1 else n) a.targets 0 in
   let guarded =
-    TM.fold (fun _ tc n -> if tc.guarded_by <> None then n + 1 else n) a.targets 0
+    TM.fold
+      (fun _ tc n -> if tc.guarded_by <> None || tc.covered then n + 1 else n)
+      a.targets 0
   in
   Printf.sprintf "%d targets (%d shared, %d lock-guarded), %d sites, %d race pairs" total
     shared guarded (List.length a.sites) (List.length a.races)

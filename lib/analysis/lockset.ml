@@ -1,0 +1,105 @@
+(** Eraser-style static lockset consistency (Savage et al., adapted to the
+    static side of Lemma 4.2).
+
+    PR 4's guard analysis demanded one lock held at {e every} access of a
+    partition.  This module refines that to the pairwise obligation O2
+    actually needs: a conflicting access pair is harmless when
+
+    - both sides are reads ([RReadRead]);
+    - the two sites can never run concurrently ([ROrdered], from {!Mhp} —
+      covers init-phase, must-join quiescence and disjoint windows); or
+    - the two sites share a must-held lock ([RLock]): the lock's ghost
+      dependences, always recorded, order the pair's critical sections.
+
+    A partition all of whose conflicting pairs are covered can run with O2
+    recording elision even when no single lock spans every site (e.g. a
+    value published under [l1] and consumed after a join, plus hot updates
+    under [l2]).  Sites' [locks] are must-held (under-approximate), so a
+    common lock is definitely held by both sides; unresolved enclosing
+    syncs only shrink the set and never unsoundly cover a pair.
+
+    The classic Eraser candidate-set state machine is kept for reporting:
+    [discipline] tells the lint report whether a partition is read-only,
+    consistently locked (with the surviving candidate set C(v)), or broken
+    — and by which site the intersection first emptied. *)
+
+type reason =
+  | RReadRead
+  | RLock of Sites.lock
+  | ROrdered
+
+(** A must-held lock common to both sites, if any. *)
+let common_lock (x : Sites.info) (y : Sites.info) : Sites.lock option =
+  List.find_opt (fun l -> List.mem l y.Sites.locks) x.Sites.locks
+
+(** Why the pair [x, y] needs no recording-order constraint; [None] = the
+    pair is a static race candidate. *)
+let pair_reason (mhp : Mhp.t) (x : Sites.info) (y : Sites.info) : reason option =
+  if x.Sites.kind = Sites.KRead && y.Sites.kind = Sites.KRead then Some RReadRead
+  else
+    match common_lock x y with
+    | Some l -> Some (RLock l)
+    | None ->
+      if not (Mhp.may_parallel mhp x.Sites.sid y.Sites.sid) then Some ROrdered
+      else None
+
+(** Every conflicting pair among [sites] (unordered, including a site with
+    itself: a multi-instance thread conflicts with its own copy) is
+    covered. *)
+let covered (mhp : Mhp.t) (sites : Sites.info list) : bool =
+  let arr = Array.of_list sites in
+  let n = Array.length arr in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      if !ok && pair_reason mhp arr.(i) arr.(j) = None then ok := false
+    done
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Candidate-set discipline, for reports                               *)
+(* ------------------------------------------------------------------ *)
+
+type discipline =
+  | DSequential
+      (** no two accesses may run concurrently (phase-ordered partition) *)
+  | DReadShared  (** concurrent accesses exist but all are reads *)
+  | DConsistent of Sites.lock list
+      (** surviving candidate lockset C(v), nonempty *)
+  | DBroken of Sites.info * Sites.lock list
+      (** the access that emptied C(v), and C(v) just before it *)
+
+(** Run the Eraser candidate-set machine over the partition's accesses that
+    can actually run concurrently with something ([Mhp.sequential] filters
+    the phase-ordered ones, generalizing Eraser's initialization grace
+    period). *)
+let discipline (mhp : Mhp.t) (sites : Sites.info list) : discipline =
+  let hot =
+    List.filter (fun (s : Sites.info) -> not (Mhp.sequential mhp s.Sites.sid)) sites
+  in
+  match hot with
+  | [] -> DSequential
+  | first :: rest ->
+    if List.for_all (fun (s : Sites.info) -> s.Sites.kind = Sites.KRead) hot then
+      DReadShared
+    else begin
+      let broken = ref None in
+      let cv =
+        List.fold_left
+          (fun cv (s : Sites.info) ->
+            if !broken <> None then cv
+            else
+              let cv' = List.filter (fun l -> List.mem l s.Sites.locks) cv in
+              if cv' = [] then begin
+                broken := Some (s, cv);
+                cv'
+              end
+              else cv')
+          first.Sites.locks rest
+      in
+      match !broken with
+      | Some (s, before) -> DBroken (s, before)
+      | None ->
+        if cv = [] then DBroken (first, []) else DConsistent cv
+    end

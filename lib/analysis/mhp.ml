@@ -1,0 +1,512 @@
+(** May-happen-in-parallel (MHP) analysis over the fork/join structure.
+
+    The recorder only needs a site instrumented when some conflicting access
+    can run concurrently with it.  PR 4's init-phase elision exploited one
+    slice of the happens-before order (main before the first spawn); this
+    module generalizes it to the whole thread structure of the program:
+
+    - [main] is walked (inlining non-recursive calls) with a symbolic
+      {e event clock} that ticks at every spawn and must-join, assigning each
+      statement executed in main context an interval of clock values;
+    - every spawn site gets a {e window} [\[lo, hi\]]: the thread cannot
+      start before its spawn edge ([lo]) and, when the walk proves the
+      handle must-joined, cannot survive its join edge ([hi]; [max_int]
+      otherwise).  Threads spawned inside other threads inherit their
+      parent's window (bounded only when must-joined in the parent body);
+    - {e multi-instance} spawn sites (a spawn in a loop whose instance
+      survives the iteration, or a site reached from two dynamic contexts)
+      may run concurrently with themselves.
+
+    Two sites may happen in parallel iff they have execution contexts in
+    distinct threads (or one multi-instance thread) whose intervals
+    overlap.  A site whose every context is a main-context interval
+    overlapping no window is {e sequential} (quiescent): totally ordered by
+    the spawn/join ghost dependences with every access in the program —
+    e.g. main folding per-phase results after joining a wave, before
+    spawning the next — so its recording can be elided outright, exactly
+    like init-phase accesses (which this subsumes: their intervals precede
+    every window).
+
+    Everything over-approximates: unknown handles are never must-joined,
+    recursive or unresolvable calls conservatively spawn their whole
+    reachable closure with unbounded windows, and loop bodies widen to the
+    whole-loop interval (any iteration may overlap any in-loop thread). *)
+
+open Lang
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+module IMap = Map.Make (Int)
+module ISet = Set.Make (Int)
+
+type athread = AMain | ASpawn of int  (** abstract thread: one per spawn site *)
+
+(** Lifetime window of a spawn site, in main event-clock units. *)
+type window = {
+  w_sid : int;       (** the spawn statement's site id *)
+  w_fn : string;     (** spawned entry function *)
+  w_lo : int;
+  w_hi : int;        (** [max_int] = never must-joined *)
+  w_multi : bool;    (** several instances may coexist *)
+}
+
+(** One execution context of a statement: which abstract thread runs it and
+    over which clock interval. *)
+type ctx = {
+  c_thread : athread;
+  c_fn : string;     (** entry function of the thread; [""] for main *)
+  c_lo : int;
+  c_hi : int;
+  c_multi : bool;
+}
+
+type t = {
+  windows : window list;
+  ctxs : (int, ctx list) Hashtbl.t;  (* sid -> execution contexts *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* The main walk                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* What a local variable may hold as a thread handle. *)
+type handle = HThread of int
+
+type wstate = {
+  clock : int;
+  env : handle SMap.t;   (* handle variables with a unique spawn site *)
+  live : ISet.t;         (* spawn sites that may have a running instance *)
+  joined : int IMap.t;   (* spawn site -> clock of its latest must-join *)
+}
+
+(* variable defined by a statement, if any *)
+let def_of (n : Ast.stmt_node) : string option =
+  match n with
+  | Assign (x, _) | Load (x, _, _) | LoadIdx (x, _, _) | GlobalLoad (x, _)
+  | New (x, _) | NewArray (x, _) | NewMap x | MapGet (x, _, _)
+  | MapHas (x, _, _) | Syscall (x, _, _) | Opaque (x, _, _) ->
+    Some x
+  | Call (Some x, _, _) -> Some x
+  | _ -> None
+
+let merge (a : wstate) (b : wstate) : wstate =
+  let live = ISet.union a.live b.live in
+  let joined =
+    IMap.merge
+      (fun _ x y ->
+        match (x, y) with
+        | Some cx, Some cy -> Some (max cx cy)
+        | Some c, None | None, Some c -> Some c
+        | None, None -> None)
+      a.joined b.joined
+    |> IMap.filter (fun sid _ -> not (ISet.mem sid live))
+  in
+  let env =
+    SMap.merge
+      (fun _ x y ->
+        match (x, y) with Some hx, Some hy when hx = hy -> Some hx | _ -> None)
+      a.env b.env
+  in
+  { clock = max a.clock b.clock; env; live; joined }
+
+(* Spawn sites lexically inside a block, with loop context. *)
+let block_spawn_sites (b : Ast.block) : (int * string * bool) list =
+  let out = ref [] in
+  let rec go ~in_loop (s : Ast.stmt) =
+    match s.node with
+    | Spawn (_, f, _) -> out := (s.sid, f, in_loop) :: !out
+    | If (_, b1, b2) ->
+      List.iter (go ~in_loop) b1;
+      List.iter (go ~in_loop) b2
+    | While (_, bb) -> List.iter (go ~in_loop:true) bb
+    | Sync (_, bb) -> List.iter (go ~in_loop) bb
+    | _ -> ()
+  in
+  List.iter (go ~in_loop:false) b;
+  List.rev !out
+
+(* Spawn sites must-joined within [b]: a straight-line spawn whose handle
+   reaches a straight-line join unclobbered.  Joins under branches or loops
+   never count (they may not execute), and nothing after a possible return
+   counts. *)
+let must_joined_sids (b : Ast.block) : ISet.t =
+  let env : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let joined = ref ISet.empty in
+  let returned = ref false in
+  let rec may_return (s : Ast.stmt) =
+    match s.node with
+    | Return _ -> true
+    | If (_, b1, b2) -> List.exists may_return b1 || List.exists may_return b2
+    | While (_, bb) | Sync (_, bb) -> List.exists may_return bb
+    | _ -> false
+  in
+  let kill_nested (bb : Ast.block) =
+    Ast.iter_stmts_block bb (fun s ->
+        match def_of s.node with
+        | Some x -> Hashtbl.remove env x
+        | None -> (match s.node with Spawn (x, _, _) -> Hashtbl.remove env x | _ -> ()))
+  in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      if not !returned then begin
+        (match s.node with
+        | Spawn (x, _, _) -> Hashtbl.replace env x s.sid
+        | Join (Var x) -> (
+          match Hashtbl.find_opt env x with
+          | Some sid ->
+            joined := ISet.add sid !joined;
+            Hashtbl.remove env x
+          | None -> ())
+        | If (_, b1, b2) ->
+          kill_nested b1;
+          kill_nested b2
+        | While (_, bb) | Sync (_, bb) -> kill_nested bb
+        | _ -> (match def_of s.node with Some x -> Hashtbl.remove env x | None -> ()));
+        if may_return s then returned := true
+      end)
+    b;
+  !joined
+
+let build (cg : Callgraph.t) (p : Ast.program) : t =
+  (* --- shared mutable tables ------------------------------------- *)
+  let iv : (int, int * int) Hashtbl.t = Hashtbl.create 256 in
+  let stamp_log : int list ref = ref [] in
+  let stamp sid lo hi =
+    stamp_log := sid :: !stamp_log;
+    match Hashtbl.find_opt iv sid with
+    | None -> Hashtbl.replace iv sid (lo, hi)
+    | Some (l, h) -> if lo < l || hi > h then Hashtbl.replace iv sid (min l lo, max h hi)
+  in
+  (* widen every statement stamped since [mark] to [lo, hi]: any loop
+     iteration may overlap any thread alive anywhere in the loop *)
+  let widen_since (mark : int list) lo hi =
+    let rec go l =
+      if l != mark then
+        match l with
+        | sid :: tl ->
+          let l0, h0 = Hashtbl.find iv sid in
+          if lo < l0 || hi > h0 then Hashtbl.replace iv sid (min l0 lo, max h0 hi);
+          go tl
+        | [] -> ()
+    in
+    go !stamp_log
+  in
+  let sp_lo : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let sp_fn : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let sp_multi : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let spawn_order : int list ref = ref [] in
+  let register_spawn sid fname lo =
+    match Hashtbl.find_opt sp_lo sid with
+    | Some l0 ->
+      (* the same spawn site reached again: several dynamic instances *)
+      if lo < l0 then Hashtbl.replace sp_lo sid lo;
+      Hashtbl.replace sp_multi sid ()
+    | None ->
+      Hashtbl.replace sp_lo sid lo;
+      Hashtbl.replace sp_fn sid fname;
+      spawn_order := sid :: !spawn_order
+  in
+  (* --- call/spawn closures over the callgraph --------------------- *)
+  let callees f =
+    Option.value ~default:SSet.empty (SMap.find_opt f cg.Callgraph.calls)
+  in
+  let call_closure (root : string) : SSet.t =
+    let seen = ref SSet.empty in
+    let rec go f =
+      if not (SSet.mem f !seen) then begin
+        seen := SSet.add f !seen;
+        SSet.iter go (callees f)
+      end
+    in
+    go root;
+    !seen
+  in
+  let body_of f = match Ast.find_fn p f with Some fd -> fd.body | None -> [] in
+  (* everything that may run because of calling [root]: closure over call
+     and spawn edges *)
+  let full_closure (root : string) : SSet.t =
+    let seen = ref SSet.empty in
+    let rec go f =
+      if not (SSet.mem f !seen) then begin
+        seen := SSet.add f !seen;
+        SSet.iter go (callees f);
+        List.iter (fun (_, g, _) -> go g) (block_spawn_sites (body_of f))
+      end
+    in
+    go root;
+    !seen
+  in
+  (* --- the walk ---------------------------------------------------- *)
+  (* recursive or unresolvable call: everything it may reach runs during
+     (threads: from) the call, with unbounded thread windows *)
+  let opaque_call (st : wstate) (f : string) : wstate =
+    let c = st.clock in
+    let fns = full_closure f in
+    let spawns =
+      SSet.fold (fun g acc -> block_spawn_sites (body_of g) @ acc) fns []
+    in
+    if spawns = [] then begin
+      (* pure synchronous call: its statements run at the call's clock *)
+      SSet.iter
+        (fun g -> Ast.iter_stmts_block (body_of g) (fun s -> stamp s.sid c c))
+        (call_closure f);
+      st
+    end
+    else begin
+      SSet.iter
+        (fun g -> Ast.iter_stmts_block (body_of g) (fun s -> stamp s.sid c (c + 1)))
+        (call_closure f);
+      let live =
+        List.fold_left
+          (fun acc (sid, g, _) ->
+            register_spawn sid g c;
+            Hashtbl.replace sp_multi sid ();
+            ISet.add sid acc)
+          st.live spawns
+      in
+      let joined =
+        List.fold_left (fun j (sid, _, _) -> IMap.remove sid j) st.joined spawns
+      in
+      { st with clock = c + 1; live; joined }
+    end
+  in
+  let rec walk_stmt (stack : SSet.t) (st : wstate) (s : Ast.stmt) : wstate =
+    let c = st.clock in
+    match s.node with
+    | Spawn (x, f, _) ->
+      stamp s.sid c c;
+      register_spawn s.sid f (c + 1);
+      {
+        clock = c + 1;
+        env = SMap.add x (HThread s.sid) st.env;
+        live = ISet.add s.sid st.live;
+        joined = IMap.remove s.sid st.joined;
+      }
+    | Join e ->
+      stamp s.sid c c;
+      (match e with
+      | Var h -> (
+        match SMap.find_opt h st.env with
+        | Some (HThread sid) when ISet.mem sid st.live && not (Hashtbl.mem sp_multi sid)
+          ->
+          {
+            st with
+            clock = c + 1;
+            live = ISet.remove sid st.live;
+            joined = IMap.add sid c st.joined;
+          }
+        | _ -> st)
+      | _ -> st)
+    | Assign (x, Var y) ->
+      stamp s.sid c c;
+      let env =
+        match SMap.find_opt y st.env with
+        | Some h -> SMap.add x h st.env
+        | None -> SMap.remove x st.env
+      in
+      { st with env }
+    | If (_, b1, b2) ->
+      let st1 = walk_block stack st b1 in
+      let st2 = walk_block stack st b2 in
+      let st' = merge st1 st2 in
+      stamp s.sid c st'.clock;
+      st'
+    | While (_, body) ->
+      let mark = !stamp_log in
+      let st1 = walk_block stack st body in
+      let c1 = st1.clock in
+      widen_since mark c c1;
+      (* an instance spawned in the body that survives to the body's end
+         may overlap the next iteration's instance *)
+      ISet.iter
+        (fun sid -> if not (ISet.mem sid st.live) then Hashtbl.replace sp_multi sid ())
+        st1.live;
+      let st' = merge st st1 in
+      stamp s.sid c st'.clock;
+      st'
+    | Sync (_, body) ->
+      let st' = walk_block stack st body in
+      stamp s.sid c st'.clock;
+      st'
+    | Call (xo, f, _) -> (
+      stamp s.sid c c;
+      let st =
+        match xo with Some x -> { st with env = SMap.remove x st.env } | None -> st
+      in
+      match Ast.find_fn p f with
+      | Some fd when not (SSet.mem f stack) ->
+        (* inline the callee on the caller's clock; its locals are fresh
+           (handles do not flow through parameters: conservative) *)
+        let st_out = walk_block (SSet.add f stack) { st with env = SMap.empty } fd.body in
+        stamp s.sid c st_out.clock;
+        { st_out with env = st.env }
+      | _ -> opaque_call st f)
+    | _ -> (
+      stamp s.sid c c;
+      match def_of s.node with
+      | Some x -> { st with env = SMap.remove x st.env }
+      | None -> st)
+  and walk_block (stack : SSet.t) (st : wstate) (b : Ast.block) : wstate =
+    match b with
+    | [] -> st
+    | ({ node = Return _; _ } as s) :: rest ->
+      stamp s.sid st.clock st.clock;
+      (* the tail may be skipped entirely *)
+      let st1 = walk_block stack st rest in
+      merge st st1
+    | s :: rest -> walk_block stack (walk_stmt stack st s) rest
+  in
+  let st_end =
+    walk_block SSet.empty
+      { clock = 0; env = SMap.empty; live = ISet.empty; joined = IMap.empty }
+      p.main
+  in
+  (* --- windows: main-reachable spawns, then nested spawns ---------- *)
+  let win : (int, window) Hashtbl.t = Hashtbl.create 16 in
+  let main_windows =
+    List.rev_map
+      (fun sid ->
+        let hi =
+          match IMap.find_opt sid st_end.joined with Some h -> h | None -> max_int
+        in
+        {
+          w_sid = sid;
+          w_fn = Hashtbl.find sp_fn sid;
+          w_lo = Hashtbl.find sp_lo sid;
+          w_hi = hi;
+          w_multi = Hashtbl.mem sp_multi sid;
+        })
+      !spawn_order
+  in
+  List.iter (fun w -> Hashtbl.replace win w.w_sid w) main_windows;
+  (* worklist: spawns inside spawned bodies inherit the parent window *)
+  let queue = Queue.create () in
+  List.iter (fun w -> Queue.add w queue) main_windows;
+  while not (Queue.is_empty queue) do
+    let w = Queue.pop queue in
+    SSet.iter
+      (fun g ->
+        let body = body_of g in
+        let bounded = must_joined_sids body in
+        List.iter
+          (fun (sid, fname, in_loop) ->
+            let w' =
+              {
+                w_sid = sid;
+                w_fn = fname;
+                w_lo = w.w_lo;
+                w_hi = (if ISet.mem sid bounded then w.w_hi else max_int);
+                w_multi = w.w_multi || in_loop;
+              }
+            in
+            match Hashtbl.find_opt win sid with
+            | None ->
+              Hashtbl.replace win sid w';
+              Queue.add w' queue
+            | Some w0 ->
+              (* a second parent context: several instances, merged window *)
+              let merged =
+                {
+                  w0 with
+                  w_lo = min w0.w_lo w'.w_lo;
+                  w_hi = max w0.w_hi w'.w_hi;
+                  w_multi = true;
+                }
+              in
+              if merged <> w0 then begin
+                Hashtbl.replace win sid merged;
+                Queue.add merged queue
+              end)
+          (block_spawn_sites body))
+      (call_closure w.w_fn)
+  done;
+  let windows = Hashtbl.fold (fun _ w acc -> w :: acc) win [] in
+  let windows = List.sort (fun a b -> Int.compare a.w_sid b.w_sid) windows in
+  (* --- execution contexts per statement --------------------------- *)
+  let ctxs : (int, ctx list) Hashtbl.t = Hashtbl.create 256 in
+  let add_ctx sid c =
+    Hashtbl.replace ctxs sid (c :: Option.value ~default:[] (Hashtbl.find_opt ctxs sid))
+  in
+  Hashtbl.iter
+    (fun sid (lo, hi) ->
+      add_ctx sid { c_thread = AMain; c_fn = ""; c_lo = lo; c_hi = hi; c_multi = false })
+    iv;
+  List.iter
+    (fun w ->
+      SSet.iter
+        (fun g ->
+          Ast.iter_stmts_block (body_of g) (fun s ->
+              add_ctx s.sid
+                {
+                  c_thread = ASpawn w.w_sid;
+                  c_fn = w.w_fn;
+                  c_lo = w.w_lo;
+                  c_hi = w.w_hi;
+                  c_multi = w.w_multi;
+                }))
+        (call_closure w.w_fn))
+    windows;
+  { windows; ctxs }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let overlap lo1 hi1 lo2 hi2 = lo1 <= hi2 && lo2 <= hi1
+
+let ctx_parallel (c1 : ctx) (c2 : ctx) : bool =
+  match (c1.c_thread, c2.c_thread) with
+  | AMain, AMain -> false
+  | ASpawn a, ASpawn b when a = b -> c1.c_multi
+  | _ -> overlap c1.c_lo c1.c_hi c2.c_lo c2.c_hi
+
+let ctxs_of (t : t) (sid : int) : ctx list =
+  Option.value ~default:[] (Hashtbl.find_opt t.ctxs sid)
+
+(** May sites [s1] and [s2] execute concurrently?  A site with no context is
+    unreachable and parallel with nothing. *)
+let may_parallel (t : t) (s1 : int) (s2 : int) : bool =
+  let cs2 = ctxs_of t s2 in
+  List.exists (fun c1 -> List.exists (ctx_parallel c1) cs2) (ctxs_of t s1)
+
+(** A pair of contexts witnessing [may_parallel], for reports. *)
+let witness (t : t) (s1 : int) (s2 : int) : (ctx * ctx) option =
+  List.fold_left
+    (fun acc c1 ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match List.find_opt (ctx_parallel c1) (ctxs_of t s2) with
+        | Some c2 -> Some (c1, c2)
+        | None -> None))
+    None (ctxs_of t s1)
+
+(** [definitely_before t s1 s2]: every execution of [s1] completes before
+    any execution of [s2] can begin, on every context pairing.  Used to
+    decide write visibility: a write definitely-after a read cannot affect
+    the value the read observes. *)
+let definitely_before (t : t) (s1 : int) (s2 : int) : bool =
+  let cs2 = ctxs_of t s2 in
+  List.for_all
+    (fun c1 -> List.for_all (fun c2 -> c1.c_hi < c2.c_lo) cs2)
+    (ctxs_of t s1)
+
+(** Is every execution of [sid] totally ordered with every thread?  True for
+    main-context statements whose interval overlaps no spawn window — the
+    must-join quiescence generalizing init-phase — and for unreachable
+    code. *)
+let sequential (t : t) (sid : int) : bool =
+  List.for_all
+    (fun c ->
+      c.c_thread = AMain
+      && List.for_all (fun w -> not (overlap c.c_lo c.c_hi w.w_lo w.w_hi)) t.windows)
+    (ctxs_of t sid)
+
+let pp_ctx (ppf : Format.formatter) (c : ctx) : unit =
+  let hi = if c.c_hi = max_int then "inf" else string_of_int c.c_hi in
+  match c.c_thread with
+  | AMain -> Format.fprintf ppf "main[%d,%s]" c.c_lo hi
+  | ASpawn s ->
+    Format.fprintf ppf "thread@s%d(%s)%s[%d,%s]" s c.c_fn
+      (if c.c_multi then "*" else "")
+      c.c_lo hi

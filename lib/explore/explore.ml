@@ -363,6 +363,10 @@ let make_context ?(variant = Light_core.Light.v_basic) ?(max_steps = 400_000)
         (fun (rc : Analysis.Hb_detector.race) -> norm_pair rc.site1 rc.site2)
         (Analysis.Hb_detector.races hb)
     in
+    (* the MHP + lockset refinement applies here too: pairs the analysis
+       proves ordered, covered, or never-parallel are off the flip
+       frontier, so exploration spends its budget on pairs that can
+       actually reorder (lint ranks the same set) *)
     let static_ =
       List.map
         (fun (rp : Analysis.Analyze.race_pair) ->

@@ -822,6 +822,136 @@ let analysis_bench ?(seed = 7) ?(json_path = "BENCH_analysis.json") () ppf : uni
   Fmt.pf ppf "  full measurement (with timings) written to %s@.@." json_path
 
 (* ------------------------------------------------------------------ *)
+(* Sitecheck: static instrumented-site gate (BENCH_sitecheck.json)      *)
+(* ------------------------------------------------------------------ *)
+
+(* The static twin of [interp_perfcheck]: no timers, no recording — just
+   the default (sharp, refined, O2) plan baked to mode bytes per workload,
+   counted with {!Plan.count_modes} so the gate measures exactly what the
+   recorder's fast path consults.  Counts are compared per workload
+   against the committed baseline: an analysis change that starts
+   instrumenting more sites (losing an elision argument) or guarding
+   fewer (losing O2 coverage) fails CI; improving either direction passes
+   and shows up in the uploaded BENCH_sitecheck.json artifact, from which
+   the baseline can be refreshed deliberately. *)
+
+type site_row = { sr_bm : string; sr_total : int; sr_instr : int; sr_guarded : int }
+
+let sitecheck_measure () : site_row list =
+  List.map
+    (fun (bm : Workloads.benchmark) ->
+      let p = Workloads.program bm in
+      let tr = Instrument.Transformer.transform p in
+      let modes = Plan.modes tr.plan ~max_sid:(Lang.Ast.max_sid p) in
+      let instr, guarded = Plan.count_modes modes in
+      {
+        sr_bm = bm.Workloads.name;
+        sr_total = tr.Instrument.Transformer.total_access_sites;
+        sr_instr = instr;
+        sr_guarded = guarded;
+      })
+    Workloads.all
+
+let sitecheck_json (rows : site_row list) : string =
+  let module J = Analysis.Lint.Json in
+  let row r =
+    J.Obj
+      [
+        ("name", J.Str r.sr_bm);
+        ("total", J.Int r.sr_total);
+        ("instrumented", J.Int r.sr_instr);
+        ("guarded", J.Int r.sr_guarded);
+      ]
+  in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 rows in
+  J.to_string
+    (J.Obj
+       [
+         ("workloads", J.List (List.map row rows));
+         ( "totals",
+           J.Obj
+             [
+               ("total", J.Int (sum (fun r -> r.sr_total)));
+               ("instrumented", J.Int (sum (fun r -> r.sr_instr)));
+               ("guarded", J.Int (sum (fun r -> r.sr_guarded)));
+             ] );
+       ])
+  ^ "\n"
+
+(* baseline rows, [None] when the file is missing or unparsable *)
+let sitecheck_baseline (path : string) : (string * (int * int)) list option =
+  let module J = Analysis.Lint.Json in
+  if not (Sys.file_exists path) then None
+  else
+    match J.of_string (In_channel.with_open_text path In_channel.input_all) with
+    | exception J.Parse_error _ -> None
+    | j ->
+      Option.bind (Option.bind (J.member "workloads" j) J.to_list) (fun rows ->
+          let parse_row r =
+            match
+              ( Option.bind (J.member "name" r) J.to_str,
+                Option.bind (J.member "instrumented" r) J.to_int,
+                Option.bind (J.member "guarded" r) J.to_int )
+            with
+            | Some n, Some i, Some g -> Some (n, (i, g))
+            | _ -> None
+          in
+          let parsed = List.filter_map parse_row rows in
+          if List.length parsed = List.length rows then Some parsed else None)
+
+let sitecheck ?(baseline_path = "bench/BENCH_sitecheck.baseline.json")
+    ?(json_path = "BENCH_sitecheck.json") () ppf : bool =
+  let rows = sitecheck_measure () in
+  Chart.table
+    ~title:"Sitecheck: instrumented/guarded sites under the default plan"
+    ~header:[ "workload"; "sites"; "instrumented"; "guarded (O2)" ]
+    (List.map
+       (fun r ->
+         [
+           r.sr_bm; string_of_int r.sr_total; string_of_int r.sr_instr;
+           string_of_int r.sr_guarded;
+         ])
+       rows)
+    ppf;
+  Out_channel.with_open_text json_path (fun oc ->
+      Out_channel.output_string oc (sitecheck_json rows));
+  Fmt.pf ppf "  site counts written to %s@." json_path;
+  match sitecheck_baseline baseline_path with
+  | None ->
+    Fmt.pf ppf "  sitecheck: no baseline at %s — skipping comparison@.@." baseline_path;
+    true
+  | Some base ->
+    let ok = ref true in
+    let complain fmt = Fmt.pf ppf fmt in
+    List.iter
+      (fun (name, (bi, bg)) ->
+        match List.find_opt (fun r -> r.sr_bm = name) rows with
+        | None ->
+          ok := false;
+          complain "  sitecheck: workload %s in baseline but not measured@." name
+        | Some r ->
+          if r.sr_instr > bi then begin
+            ok := false;
+            complain
+              "  sitecheck: %s instruments %d sites vs %d in baseline — ELISION \
+               REGRESSION@."
+              name r.sr_instr bi
+          end;
+          if r.sr_guarded < bg then begin
+            ok := false;
+            complain
+              "  sitecheck: %s guards %d sites vs %d in baseline — O2 REGRESSION@."
+              name r.sr_guarded bg
+          end)
+      base;
+    let fresh_total = List.fold_left (fun a r -> a + r.sr_instr) 0 rows in
+    let base_total = List.fold_left (fun a (_, (bi, _)) -> a + bi) 0 base in
+    Fmt.pf ppf "  sitecheck: %d instrumented sites total vs %d in baseline — %s@.@."
+      fresh_total base_total
+      (if !ok then "ok" else "REGRESSION");
+    !ok
+
+(* ------------------------------------------------------------------ *)
 (* Figure 6: real-world bugs                                            *)
 (* ------------------------------------------------------------------ *)
 

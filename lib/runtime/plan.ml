@@ -46,3 +46,17 @@ let modes (p : t) ~(max_sid : int) : Bytes.t =
       Bytes.unsafe_set b sid (if p.guarded_site sid then m_guarded else m_recorded)
   done;
   b
+
+(** [(instrumented, guarded)] site counts of a baked mode table — the site
+    accounting tools (bench sitecheck) read the same bytes the recorder's
+    fast path consults, so the gate measures what actually executes. *)
+let count_modes (b : Bytes.t) : int * int =
+  let instr = ref 0 and guard = ref 0 in
+  Bytes.iter
+    (fun c ->
+      if c <> m_local then begin
+        incr instr;
+        if c = m_guarded then incr guard
+      end)
+    b;
+  (!instr, !guard)

@@ -26,6 +26,10 @@ type shape =
   | Pipeline  (** 8 stages hand off through 1-slot cells *)
   | FanIn     (** 7 producers feed 1 aggregator *)
   | Barrier   (** 8 workers in phases separated by a generation barrier *)
+  | Phased    (** spawn-wave / join-all / sequential-fold phases, with
+                  optional nested spawn inside workers: the MHP + lockset
+                  elision stress shape (quiescent post-join reads, bounded
+                  spawn windows, lock-disciplined vs bare counters) *)
 
 type params = {
   shape : shape;
@@ -415,6 +419,92 @@ let generate_barrier ~(phases : int) ~(array_size : int) : string =
   add "}";
   Buffer.contents b
 
+(* Spawn-wave phases: each phase publishes a fresh accumulator, spawns a
+   wave of workers (bare counter bumps racing, plus a lock-disciplined
+   counter), joins the whole wave, then folds the wave's result into a
+   main-only total before the next wave starts.  [partition] additionally
+   gives each worker a nested [spawn h = helper(..); join h] so spawn
+   sites occur outside [main] and join edges nest.  This is the shape the
+   MHP analysis reasons about: per-wave spawn windows are bounded by the
+   join-all, consecutive waves never overlap, and the fold reads are
+   quiescent.  The number of waves follows [runlen] (clamped to 2..5). *)
+let generate_phased ?(scale = 1) (p : params) : string =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let waves = min 5 (max 2 p.runlen) in
+  let iters = max 1 (p.iters * scale) in
+  let threads = max 1 p.threads in
+  add "class Acc { n; v; }";
+  add "global acc;";
+  add "global lk;";
+  add "global total;";
+  add "";
+  if p.partition then begin
+    add "fn helper(hid) {";
+    add "  a = acc;";
+    add "  l = lk;";
+    add "  j = 0;";
+    add "  while (j < %d) {" iters;
+    add "    a.n = a.n + 1;";
+    add "    sync (l) { l.v = l.v + 1; }";
+    add "    j = j + 1;";
+    add "  }";
+    add "  return hid;";
+    add "}";
+    add ""
+  end;
+  add "fn worker(id) {";
+  add "  a = acc;";
+  add "  l = lk;";
+  add "  lx = id * 13 + 1;";
+  add "  i = 0;";
+  add "  while (i < %d) {" iters;
+  if p.local_work > 0 then begin
+    add "    w = 0;";
+    add "    while (w < %d) { lx = (lx * 5 + w) %% 65536; w = w + 1; }" p.local_work
+  end;
+  for _ = 1 to p.hot_ops do
+    add "    a.n = a.n + 1;"
+  done;
+  if p.locked_ops > 0 then begin
+    add "    sync (l) {";
+    for _ = 1 to p.locked_ops do
+      add "      l.v = l.v + 1;"
+    done;
+    add "    }"
+  end;
+  add "    i = i + 1;";
+  add "  }";
+  if p.partition then begin
+    add "  spawn h = helper(id + 100);";
+    add "  join h;"
+  end;
+  add "  return lx;";
+  add "}";
+  add "";
+  add "main {";
+  add "  lk = new Acc;";
+  add "  sync (lk) { lk.v = 0; }";
+  add "  total = new Acc;";
+  add "  total.n = 0;";
+  for ph = 1 to waves do
+    add "  acc = new Acc;";
+    add "  acc.n = 0;";
+    for t = 1 to threads do
+      add "  spawn w%d_%d = worker(%d);" ph t t
+    done;
+    for t = 1 to threads do
+      add "  join w%d_%d;" ph t
+    done;
+    (* quiescent fold: every thread of the wave has been joined, so these
+       reads see the wave's final counter regardless of interleaving *)
+    add "  cur%d = acc;" ph;
+    add "  total.n = total.n + cur%d.n;" ph
+  done;
+  add "  print total.n;";
+  add "}";
+  Buffer.contents b
+
 let generate ?(scale = 1) (p : params) : string =
   match p.shape with
   | Loops -> generate_loops ~scale p
@@ -422,6 +512,7 @@ let generate ?(scale = 1) (p : params) : string =
   | Pipeline -> generate_pipeline ~iters:(p.iters * scale)
   | FanIn -> generate_fanin ~iters:(p.iters * scale)
   | Barrier -> generate_barrier ~phases:(p.iters * scale) ~array_size:p.array_size
+  | Phased -> generate_phased ~scale p
 
 let program ?scale (bm : benchmark) : Lang.Ast.program =
   Lang.Check.validate_exn (Lang.Parser.parse_program (generate ?scale bm.params))

@@ -3,8 +3,9 @@
 
 open Analysis
 
-let analyze ?precision src =
-  Analyze.analyze ?precision (Lang.Check.validate_exn (Lang.Parser.parse_program src))
+let analyze ?precision ?refine src =
+  Analyze.analyze ?precision ?refine
+    (Lang.Check.validate_exn (Lang.Parser.parse_program src))
 
 (* sharp targets are per-allocation-site partitions (".f@s7"); tests match on
    the name bucket (".f", "g", "[]", "{}") across all partitions *)
@@ -58,14 +59,19 @@ let test_fresh_not_shared () =
   Alcotest.(check bool) "fresh field not shared" false (shared a ".f")
 
 let test_escaped_shared () =
-  let a =
-    analyze
-      "class C { f; } global g;
-       fn w() { x = g; x.f = 1; }
-       main { c = new C; g = c; spawn t1 = w(); spawn t2 = w(); join t1; join t2; }"
+  let src =
+    "class C { f; } global g;
+     fn w() { x = g; x.f = 1; }
+     main { c = new C; g = c; spawn t1 = w(); spawn t2 = w(); join t1; join t2; }"
   in
+  let a = analyze src in
   Alcotest.(check bool) "escaped field shared" true (shared a ".f");
-  Alcotest.(check bool) "global shared" true (shared a "g")
+  (* the global cell escapes too, but it is init-published and then only
+     read concurrently — the MHP refinement elides it.  Unrefined, the
+     escape analysis alone keeps it instrumented. *)
+  Alcotest.(check bool) "published global elided" false (shared a "g");
+  let u = analyze ~refine:false src in
+  Alcotest.(check bool) "global shared unrefined" true (shared u "g")
 
 let test_single_thread_not_shared () =
   let a = analyze "class C { f; } main { c = new C; c.f = 1; x = c.f; print x; }" in
@@ -235,7 +241,8 @@ let test_spawned_loop_lock_not_unique () =
       "class C { f; } global g;
        fn w() { m = new C; sync (m) { g.f = 1; } }
        main { c = new C; g = c; i = 0;
-              while (i < 2) { spawn t = w(); join t; i = i + 1; } }"
+              while (i < 2) { spawn t = w(); spawn u = w();
+                              join t; join u; i = i + 1; } }"
   in
   Alcotest.(check bool) "target still shared" true (shared a ".f");
   Alcotest.(check (option string)) "per-thread lock rejected" None (guarded a ".f")
@@ -287,6 +294,244 @@ let test_weave_output () =
   let o = Runtime.Interp.run ~sched:Runtime.(Sched.round_robin ()) woven in
   Alcotest.(check bool) "woven program runs" true (o.status = Runtime.Interp.AllFinished)
 
+(* ------------------------------------------------------------------ *)
+(* Callgraph direct unit tests                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_callgraph_recursion () =
+  (* mutual recursion: the reachability closure must terminate, and both
+     functions sit in every entry's reach that calls into the cycle *)
+  let p =
+    Lang.Check.validate_exn
+      (Lang.Parser.parse_program
+         "fn even(n) { if (n > 0) { odd(n - 1); } return 0; }
+          fn odd(n) { if (n > 0) { even(n - 1); } return 1; }
+          fn w() { even(4); }
+          main { spawn t = w(); join t; odd(3); }")
+  in
+  let cg = Callgraph.build p in
+  Alcotest.(check (list string)) "cycle reached from both entries"
+    [ "main"; "w" ]
+    (Callgraph.entries_reaching cg (Some "even"));
+  Alcotest.(check (list string)) "odd too (via the cycle and directly)"
+    [ "main"; "w" ]
+    (Callgraph.entries_reaching cg (Some "odd"));
+  Alcotest.(check int) "two contexts execute the cycle" 2
+    (Callgraph.context_count cg (Some "even"));
+  (* a self-recursive entry is still one thread *)
+  Alcotest.(check int) "spawned entry multiplicity" 1 (Callgraph.multiplicity cg "w")
+
+let test_callgraph_call_resolution () =
+  (* calls resolve through intermediate frames; spawn targets are entries,
+     plain callees are not *)
+  let p =
+    Lang.Check.validate_exn
+      (Lang.Parser.parse_program
+         "fn leaf() { nop; } fn mid() { leaf(); }
+          fn w1() { mid(); } fn w2() { mid(); }
+          main { spawn a = w1(); spawn b = w2(); join a; join b; }")
+  in
+  let cg = Callgraph.build p in
+  Alcotest.(check (list string)) "leaf reached from both spawned entries"
+    [ "w1"; "w2" ]
+    (Callgraph.entries_reaching cg (Some "leaf"));
+  Alcotest.(check int) "two thread contexts" 2 (Callgraph.context_count cg (Some "leaf"));
+  Alcotest.(check (list string)) "main body reached only by main" [ "main" ]
+    (Callgraph.entries_reaching cg None);
+  Alcotest.(check int) "main body is one context" 1 (Callgraph.context_count cg None)
+
+let test_callgraph_unreachable () =
+  (* a function never called nor spawned has no executing context, and its
+     accesses must not force instrumentation of the target they touch *)
+  let src =
+    "class C { f; } global g;
+     fn dead() { x = g; x.f = 99; }
+     fn w() { y = g; v = y.f; return v; }
+     main { c = new C; c.f = 0; g = c; spawn t1 = w(); spawn t2 = w();
+            join t1; join t2; }"
+  in
+  let p = Lang.Check.validate_exn (Lang.Parser.parse_program src) in
+  let cg = Callgraph.build p in
+  Alcotest.(check (list string)) "no entry reaches dead code" []
+    (Callgraph.entries_reaching cg (Some "dead"));
+  Alcotest.(check int) "zero contexts" 0 (Callgraph.context_count cg (Some "dead"));
+  (* the only write of .f sits in dead code: live accesses are read-only,
+     so the partition carries no race and no instrumentation *)
+  let a = analyze src in
+  Alcotest.(check bool) "dead write does not share the target" false (shared a ".f")
+
+(* ------------------------------------------------------------------ *)
+(* MHP refinement                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_mhp_quiescent_postjoin () =
+  (* one writer thread, main reads after joining it: no pair of accesses
+     may overlap, so the refined analysis elides the whole partition while
+     the escape analysis alone would keep it *)
+  let src =
+    "class C { n; } global g;
+     fn w() { x = g; x.n = x.n + 1; }
+     main { c = new C; c.n = 0; g = c; spawn t = w(); join t; print c.n; }"
+  in
+  let a = analyze src in
+  Alcotest.(check bool) "post-join partition elided" false (shared a ".n");
+  let u = analyze ~refine:false src in
+  Alcotest.(check bool) "kept without MHP refinement" true (shared u ".n")
+
+let test_mhp_loop_spawn_unjoined_kept () =
+  (* spawns in a loop with the joins deferred past it: instances of the
+     same spawn site coexist, so the write conflicts with itself and the
+     partition must stay instrumented even refined *)
+  let src =
+    "class C { n; } global g;
+     fn w() { x = g; x.n = x.n + 1; }
+     main { c = new C; c.n = 0; g = c; i = 0;
+            while (i < 3) { spawn t = w(); i = i + 1; }
+            print c.n; }"
+  in
+  let a = analyze src in
+  Alcotest.(check bool) "multi-instance self-conflict kept" true (shared a ".n")
+
+let test_mhp_loop_spawn_joined_serialized () =
+  (* spawn and join in the same loop iteration: each instance's window
+     closes before the next opens, so nothing ever overlaps — elided *)
+  let src =
+    "class C { n; } global g;
+     fn w() { x = g; x.n = x.n + 1; }
+     main { c = new C; c.n = 0; g = c; i = 0;
+            while (i < 3) { spawn t = w(); join t; i = i + 1; }
+            print c.n; }"
+  in
+  let a = analyze src in
+  Alcotest.(check bool) "serialized loop-spawn elided" false (shared a ".n");
+  let u = analyze ~refine:false src in
+  Alcotest.(check bool) "kept without MHP refinement" true (shared u ".n")
+
+(* ------------------------------------------------------------------ *)
+(* Pairwise lockset coverage (O2 without a partition-wide guard)        *)
+(* ------------------------------------------------------------------ *)
+
+let test_lockset_pairwise_covered () =
+  (* no single lock protects every access (guard = None), but every
+     conflicting pair shares one: reader r1 holds l1, reader r2 holds l2,
+     and the writer holds both.  O2 applies pairwise. *)
+  let src =
+    "class C { n; } global g; global l1; global l2;
+     fn r1() { sync (l1) { x = g; v = x.n; return v; } }
+     fn r2() { sync (l2) { x = g; v = x.n; return v; } }
+     fn w() { sync (l1) { sync (l2) { x = g; x.n = x.n + 1; } } }
+     main { l1 = new C; l2 = new C; c = new C; c.n = 0; g = c;
+            spawn a = r1(); spawn b = r2(); spawn d = w();
+            join a; join b; join d; }"
+  in
+  let a = analyze src in
+  let tc =
+    match List.filter (fun (tc : Analyze.target_class) -> tc.shared) (classes_of a ".n") with
+    | tc :: _ -> tc
+    | [] -> Alcotest.fail "partition not shared"
+  in
+  Alcotest.(check (option string)) "no partition-wide guard" None tc.guarded_by;
+  Alcotest.(check bool) "pairwise covered" true tc.covered;
+  Alcotest.(check int) "covered pairs are not races" 0 (List.length a.races)
+
+(* ------------------------------------------------------------------ *)
+(* Lint findings                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_lint_race_findings () =
+  let a =
+    analyze
+      "class C { n; } global g;
+       fn w() { x = g; x.n = x.n + 1; }
+       main { c = new C; g = c; spawn t1 = w(); spawn t2 = w(); join t1; join t2; }"
+  in
+  let fs = Lint.findings a in
+  Alcotest.(check bool) "at least one race finding" true
+    (List.exists (fun (f : Lint.finding) -> f.cls = Lint.Race) fs);
+  (* bare unguarded write/write on a heap object: ww(3) + bare(2) + multi? *)
+  Alcotest.(check bool) "ranked with a severity" true
+    (List.for_all (fun (f : Lint.finding) -> f.rank >= 1 && f.score >= 0) fs)
+
+let test_lint_atomicity_findings () =
+  (* perfect locking, zero races — but the two critical sections are
+     MHP-unordered: the check-then-act exposure lint must flag it *)
+  let a =
+    analyze
+      "class C { n; } global g; global lk;
+       fn w() { sync (lk) { x = g; x.n = x.n + 1; } }
+       main { lk = new C; c = new C; g = c;
+              spawn t1 = w(); spawn t2 = w(); join t1; join t2; }"
+  in
+  Alcotest.(check int) "no race pairs" 0 (List.length a.races);
+  let fs = Lint.findings a in
+  Alcotest.(check bool) "atomicity suspect reported" true
+    (List.exists (fun (f : Lint.finding) -> f.cls = Lint.Atomicity) fs)
+
+(* ------------------------------------------------------------------ *)
+(* JSON schema round-trip (the [--json] surface is a pinned contract)   *)
+(* ------------------------------------------------------------------ *)
+
+let json_keys = function Lint.Json.Obj kvs -> List.map fst kvs | _ -> []
+
+let get k j =
+  match Lint.Json.member k j with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "missing key %s" k)
+
+let test_json_roundtrip () =
+  let src =
+    "class C { n; } global g;
+     fn w() { x = g; x.n = x.n + 1; }
+     main { c = new C; g = c; spawn t1 = w(); spawn t2 = w(); join t1; join t2; }"
+  in
+  let p = Lang.Check.validate_exn (Lang.Parser.parse_program src) in
+  let a = Analyze.analyze p in
+  let tr = Instrument.Transformer.transform p in
+  let j =
+    Lint.analysis_json a ~instrumented:tr.instrumented_sites
+      ~guarded:tr.guarded_sites ~total_sites:tr.total_access_sites
+  in
+  (* encode, re-parse: the parser accepts everything the printer emits *)
+  let r = Lint.Json.of_string (Lint.Json.to_string j) in
+  Alcotest.(check (list string)) "top-level keys pinned"
+    [ "summary"; "targets"; "races" ] (json_keys r);
+  Alcotest.(check (list string)) "summary keys pinned"
+    [
+      "precision"; "refined"; "total_access_sites"; "instrumented_sites";
+      "guarded_sites"; "sequential_sids"; "race_pairs";
+    ]
+    (json_keys (get "summary" r));
+  (match Lint.Json.to_list (get "targets" r) with
+  | Some (t :: _) ->
+    Alcotest.(check (list string)) "target keys pinned"
+      [ "target"; "shared"; "guarded_by"; "covered"; "active_sids"; "sites" ]
+      (json_keys t)
+  | _ -> Alcotest.fail "no targets in analysis JSON");
+  (match Lint.Json.to_list (get "races" r) with
+  | Some (f :: _) ->
+    Alcotest.(check (list string)) "finding keys pinned"
+      [
+        "rank"; "class"; "target"; "severity"; "score"; "s1"; "s2";
+        "mhp_witness"; "lockset";
+      ]
+      (json_keys f)
+  | _ -> Alcotest.fail "no race findings in analysis JSON");
+  (* the counts survive the round trip *)
+  let summary = get "summary" r in
+  Alcotest.(check (option int)) "instrumented count"
+    (Some tr.instrumented_sites)
+    (Lint.Json.to_int (get "instrumented_sites" summary));
+  Alcotest.(check (option int)) "race count"
+    (Some (List.length a.races))
+    (Lint.Json.to_int (get "race_pairs" summary));
+  (* the lint report shares the same finding encoder *)
+  let rep = Lint.Json.of_string (Lint.Json.to_string (Lint.report_json a)) in
+  Alcotest.(check (list string)) "report keys pinned" [ "races"; "summary" ]
+    (json_keys rep);
+  Alcotest.(check (list string)) "report summary keys pinned"
+    [ "total"; "race_pairs"; "atomicity_suspects"; "high"; "medium"; "low" ]
+    (json_keys (get "summary" rep))
+
 let () =
   Alcotest.run "analysis"
     [
@@ -294,6 +539,23 @@ let () =
         [
           Alcotest.test_case "reachability" `Quick test_callgraph_reach;
           Alcotest.test_case "loop spawn multiplicity" `Quick test_spawn_in_loop_multiplicity;
+          Alcotest.test_case "recursion terminates" `Quick test_callgraph_recursion;
+          Alcotest.test_case "call-chain resolution" `Quick test_callgraph_call_resolution;
+          Alcotest.test_case "unreachable functions" `Quick test_callgraph_unreachable;
+        ] );
+      ( "mhp",
+        [
+          Alcotest.test_case "quiescent post-join elided" `Quick test_mhp_quiescent_postjoin;
+          Alcotest.test_case "unjoined loop spawn kept" `Quick test_mhp_loop_spawn_unjoined_kept;
+          Alcotest.test_case "joined loop spawn serialized" `Quick test_mhp_loop_spawn_joined_serialized;
+        ] );
+      ( "lockset",
+        [ Alcotest.test_case "pairwise coverage" `Quick test_lockset_pairwise_covered ] );
+      ( "lint",
+        [
+          Alcotest.test_case "race findings" `Quick test_lint_race_findings;
+          Alcotest.test_case "atomicity findings" `Quick test_lint_atomicity_findings;
+          Alcotest.test_case "json schema round-trip" `Quick test_json_roundtrip;
         ] );
       ( "sharing",
         [

@@ -234,7 +234,7 @@ let test_v4_pinned () =
     (List.length r.Light_core.Epoch.er_epochs)
     n_epochs;
   Alcotest.(check string) "pinned v4 bytes (rng/sched normalized)"
-    "fcb0f4b33310b24421cc817e75c6a572"
+    "ffb273b232d9b3a6c3931fe870d71378"
     (Digest.to_hex (Digest.string (normalize_v4 txt)))
 
 let test_v4_roundtrip_pinned () =

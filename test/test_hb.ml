@@ -145,6 +145,11 @@ let test_oracle_not_vacuous () =
 
 let params_gen : Workloads.params QCheck.Gen.t =
   QCheck.Gen.(
+    (* bias toward [Phased]: nested spawn/join waves and quiescent
+       post-join reads are where the MHP-based elision has to prove
+       itself against the replayer's blind-write suppression *)
+    frequency [ (2, return Workloads.Loops); (1, return Workloads.Phased) ]
+    >>= fun shape ->
     int_range 1 4 >>= fun threads ->
     int_range 1 4 >>= fun iters ->
     int_range 0 3 >>= fun local_work ->
@@ -160,7 +165,7 @@ let params_gen : Workloads.params QCheck.Gen.t =
     int_range 1 6 >>= fun stickiness ->
     return
       {
-        Workloads.shape = Workloads.Loops;
+        Workloads.shape;
         threads;
         iters;
         local_work;
