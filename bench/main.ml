@@ -35,7 +35,16 @@
     synthetic service loop under LIGHT_EPOCH_STEPS / LIGHT_EPOCH_LEN,
     with peak-RSS and per-window log-size evidence for bounded-memory
     recording, per-epoch incremental solve times, and O(epoch)
-    single-epoch replays.
+    single-epoch replays.  The [service] experiment (explicit-only) writes
+    BENCH_service.json — the record service under load: LIGHT_SERVICE_SESSIONS
+    sessions over the 28-workload x 3-variant x 2-engine corpus through the
+    bounded-queue dispatcher with recycled recorder arenas, reporting
+    sessions/sec, p50/p99 session latency, peak RSS, and per-session v3-log
+    byte-identity against a serial reference pass and against the naive
+    per-session [Light.record] loop.  The [servicecheck] experiment
+    (explicit-only) repeats it and exits nonzero if identity breaks, any
+    session fails, the speedup over the naive loop drops below 2x, or it
+    regresses more than 50% against bench/BENCH_service.baseline.json.
 
     Experiments fan out across the engine's domain pool; set LIGHT_JOBS=N
     to choose the pool size (default: one worker per core, capped at 8).
@@ -196,9 +205,18 @@ let () =
           (* CI elision gate: static site counts vs the committed baseline;
              nonzero exit when a workload loses instrumentation precision *)
           if not (Report.Experiments.sitecheck () ppf) then exit 1
+        | None when n = "service" ->
+          (* explicit-only: drives LIGHT_SERVICE_SESSIONS sessions (default
+             1008) through the record service and writes BENCH_service.json *)
+          Report.Experiments.service_bench () ppf
+        | None when n = "servicecheck" ->
+          (* CI throughput gate: service measurement + byte-identity checks
+             + speedup floor vs the naive record loop and the committed
+             bench/BENCH_service.baseline.json; nonzero exit on failure *)
+          if not (Report.Experiments.service_perfcheck () ppf) then exit 1
         | None ->
           Format.printf
-            "unknown experiment %s (have: %s bechamel epochs perfcheck sitecheck)@." n
+            "unknown experiment %s (have: %s bechamel epochs perfcheck sitecheck service servicecheck)@." n
             (String.concat " " (List.map fst all_experiments)))
       names);
   (* wall-clock on stderr: stdout stays byte-identical across runs/pools *)

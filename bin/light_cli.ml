@@ -595,6 +595,95 @@ let hunt_cmd =
           reproducer")
     Term.(const run $ file_arg $ seed_arg $ stick_arg $ limit $ depth $ out $ jobs_arg)
 
+let serve_cmd =
+  let run target sessions seed stickiness variant engine steps queue jobs
+      no_recycle reject =
+    let p = resolve_target target in
+    let pp = Light_core.Light.prepare ~variant p in
+    let sess =
+      Array.init sessions (fun i ->
+          Service.session ~label:(Printf.sprintf "%s#%d" target i) ~engine
+            ~seed:(seed + i) ~max_steps:steps
+            ~sched:(fun () -> sched_of ~seed:(seed + i) ~stickiness)
+            pp)
+    in
+    let results, stats =
+      Service.run ~pool:(pool_of jobs) ~queue_capacity:queue
+        ~recycle:(not no_recycle)
+        ~on_full:(if reject then `Reject else `Park)
+        sess
+    in
+    (* the corpus digest hashes every per-session digest in session order:
+       one line of determinism evidence for any worker/shard/recycle config *)
+    let corpus_digest =
+      Digest.to_hex
+        (Digest.string
+           (String.concat ""
+              (Array.to_list (Array.map (fun r -> r.Service.sr_digest) results))))
+    in
+    Printf.printf "%d sessions: %d done, %d rejected, %d failed\n"
+      stats.Service.st_sessions stats.Service.st_done stats.Service.st_rejected
+      stats.Service.st_failed;
+    Printf.printf "corpus digest %s (deterministic for any --jobs)\n" corpus_digest;
+    Array.iter
+      (fun (r : Service.result_) ->
+        match r.Service.sr_status with
+        | Service.Failed msg -> Printf.printf "!! %s: %s\n" r.Service.sr_label msg
+        | _ -> ())
+      results;
+    if Sys.getenv_opt "LIGHT_TIMINGS" = Some "1" then begin
+      let lat = Service.latencies results in
+      Printf.printf
+        "workers %d, recorders created %d, inline runs %d, queue peak %d\n"
+        stats.Service.st_workers stats.Service.st_recorders_created
+        stats.Service.st_inline_runs
+        stats.Service.st_queue.Engine.Bqueue.bq_peak;
+      Printf.printf "latency p50 %.2fms, p99 %.2fms\n"
+        (1000. *. Service.percentile 50. lat)
+        (1000. *. Service.percentile 99. lat)
+    end;
+    if stats.Service.st_failed > 0 then exit 1
+  in
+  let target_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PROGRAM" ~doc:"A .cl file or a built-in workload name")
+  in
+  let sessions =
+    Arg.(value & opt int 100 & info [ "sessions" ] ~doc:"Number of sessions to record")
+  in
+  let steps =
+    Arg.(value & opt int 500
+         & info [ "steps" ] ~doc:"Per-session recording window (interpreter steps)")
+  in
+  let queue =
+    Arg.(value & opt int 64 & info [ "queue" ] ~doc:"Submission queue capacity")
+  in
+  let engine_arg =
+    Arg.(value
+         & opt (enum [ ("tree", Runtime.Vm.Tree); ("vm", Runtime.Vm.Bytecode) ])
+             Runtime.Vm.Bytecode
+         & info [ "engine" ] ~doc:"Execution engine: tree | vm")
+  in
+  let no_recycle =
+    Arg.(value & flag
+         & info [ "no-recycle" ] ~doc:"Fresh recorder per session (no arena reuse)")
+  in
+  let reject =
+    Arg.(value & flag
+         & info [ "reject" ]
+             ~doc:"Reject sessions when the queue is full instead of parking \
+                   the submitter")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Drive many recording sessions of one program through the record \
+          service (bounded queue, recycled recorder arenas); per-session \
+          logs are byte-identical for any worker count")
+    Term.(const run $ target_arg $ sessions $ seed_arg $ stick_arg
+          $ variant_arg $ engine_arg $ steps $ queue $ jobs_arg $ no_recycle
+          $ reject)
+
 let reproduce_cmd =
   let run file repro_file =
     let p = or_die (read_program file) in
@@ -627,6 +716,6 @@ let main =
     (Cmd.info "light" ~version:"1.0"
        ~doc:"Light: replay via tightly bounded recording (PLDI 2015)")
     [ run_cmd; analyze_cmd; lint_cmd; disasm_cmd; record_cmd; replay_cmd; roundtrip_cmd;
-      weave_cmd; bugs_cmd; bench_cmd; explore_cmd; hunt_cmd; reproduce_cmd ]
+      weave_cmd; bugs_cmd; bench_cmd; explore_cmd; hunt_cmd; serve_cmd; reproduce_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -84,11 +84,27 @@ let prepare ?(variant = Recorder.v_both) ?plan (program : Lang.Ast.program) :
   }
 
 (** Execute one recording run over a prepared program: only the interpreter
-    and the recorder's zero-allocation access hook are on the clock. *)
+    and the recorder's zero-allocation access hook are on the clock.
+
+    [recorder] recycles a long-lived recorder across sessions (the record
+    service keeps one per worker domain): it is {!Recorder.reset} in place —
+    retargeted to this program's variant and mode table with every grown
+    capacity retained — instead of allocating a fresh one, and the returned
+    recording's [site_hits] and [meter] are {e snapshots}, so the profile
+    of one session never bleeds into (or gets clobbered by) the next
+    session on the same recorder.  When [recorder] is passed, [weights] is
+    ignored: the recycled meter keeps the weights it was created with. *)
 let record_prepared ?(engine = Vm.Tree) ?(sched = Sched.random ~seed:1)
     ?(max_steps = 5_000_000) ?(seed = 0)
-    ?(weights = Metrics.Cost.default_weights) (pp : prepared) : recording =
-  let recorder = Recorder.create ~variant:pp.pp_variant ~weights pp.pp_modes in
+    ?(weights = Metrics.Cost.default_weights) ?recorder (pp : prepared) :
+    recording =
+  let recorder, recycled =
+    match recorder with
+    | Some r ->
+      Recorder.reset ~variant:pp.pp_variant r pp.pp_modes;
+      (r, true)
+    | None -> (Recorder.create ~variant:pp.pp_variant ~weights pp.pp_modes, false)
+  in
   let outcome =
     match engine with
     | Vm.Tree ->
@@ -107,9 +123,13 @@ let record_prepared ?(engine = Vm.Tree) ?(sched = Sched.random ~seed:1)
     outcome;
     space_longs = Log.space_longs log;
     overhead = Metrics.Cost.overhead (Recorder.meter recorder) ~steps:outcome.steps;
-    meter = Recorder.meter recorder;
+    meter =
+      (if recycled then Metrics.Cost.copy_meter (Recorder.meter recorder)
+       else Recorder.meter recorder);
     instrumented_sites = pp.pp_instrumented_sites;
-    site_hits = Recorder.site_hits recorder;
+    site_hits =
+      (if recycled then Array.copy (Recorder.site_hits recorder)
+       else Recorder.site_hits recorder);
   }
 
 (** Run the transformer and execute the program under the Light recorder. *)

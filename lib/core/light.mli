@@ -64,6 +64,7 @@ val record_prepared :
   ?max_steps:int ->
   ?seed:int ->
   ?weights:Metrics.Cost.weights ->
+  ?recorder:Recorder.t ->
   prepared ->
   recording
 (** Execute one recording run over a prepared program; only the
@@ -71,7 +72,15 @@ val record_prepared :
     the clock.  [engine] selects the execution substrate: [Vm.Tree] (the
     slot-resolved tree walker, the default) or [Vm.Bytecode] (the
     register VM over the eagerly lowered program) — recorded logs are
-    byte-identical either way. *)
+    byte-identical either way.
+
+    [recorder] recycles a long-lived recorder across sessions instead of
+    allocating a fresh one: it is {!Recorder.reset} in place (retargeted to
+    this prepared program, capacities retained), the log is byte-identical
+    to a fresh recorder's, and the recording's [site_hits] and [meter] are
+    snapshots so per-session profiles never bleed across reuses.  When
+    [recorder] is passed, [weights] is ignored (the recycled meter keeps
+    its own weights). *)
 
 val prepared_program : prepared -> Lang.Ast.program
 val prepared_compiled : prepared -> Interp.compiled

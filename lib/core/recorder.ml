@@ -230,8 +230,11 @@ type open_run = {
 }
 
 type t = {
-  variant : variant;
-  modes : Bytes.t;  (* per-sid plan decision, Plan.m_* encoding *)
+  (* [variant], [modes] and [site_hits] are mutable so a long-lived recorder
+     can be retargeted to another prepared program by [reset] (the record
+     service recycles one recorder per worker domain across sessions) *)
+  mutable variant : variant;
+  mutable modes : Bytes.t;  (* per-sid plan decision, Plan.m_* encoding *)
   meter : Metrics.Cost.meter;
   stripes : Metrics.Cost.stripes;
   lw : Lw.t;  (* last write per location, with its clock *)
@@ -241,7 +244,7 @@ type t = {
   runs : open_run Loc.Tbl.t;
   deps : Arena.t;    (* merged thread-local buffers, dep_width ints each *)
   ranges : Arena.t;  (* range_width ints each *)
-  site_hits : int array;  (* per-sid access counts (observability) *)
+  mutable site_hits : int array;  (* per-sid access counts (observability) *)
   mutable accesses : int;  (* global access clock; stamps the [_obs] fields *)
   mutable skipped_guarded : int;
 }
@@ -262,6 +265,36 @@ let create ?(variant = v_both) ?(weights = Metrics.Cost.default_weights)
     accesses = 0;
     skipped_guarded = 0;
   }
+
+(** Reset-in-place for session recycling: restore exactly the observable
+    state of a fresh [create ~variant modes] while retaining every grown
+    capacity — the last-write table's five parallel arrays, the dep/range
+    arena buffers, the open-run and prec hash tables' buckets, and the
+    contention-stripe rings (~200KB of allocation per session avoided).
+    Soundness of the reuse: recording consults only table {e contents},
+    never capacity, so a cleared-but-bigger structure is indistinguishable
+    from a fresh one and recycled sessions produce byte-identical logs (the
+    service tests diff them).  [site_hits] is re-zeroed here so profile
+    counts never bleed across sessions; it only reallocates when the new
+    program has more sites.  The meter's weights are retained. *)
+let reset ?variant (r : t) (modes : Bytes.t) : unit =
+  (match variant with Some v -> r.variant <- v | None -> ());
+  r.modes <- modes;
+  Metrics.Cost.reset_meter r.meter;
+  Metrics.Cost.reset_stripes r.stripes;
+  Lw.clear r.lw;
+  (* keep the per-thread prec tables themselves: the next session almost
+     always runs the same tid range, so the outer table and the inner
+     buckets are both warm *)
+  Hashtbl.iter (fun _ tbl -> Loc.Tbl.clear tbl) r.prec;
+  Loc.Tbl.clear r.runs;
+  r.deps.Arena.len <- 0;
+  r.ranges.Arena.len <- 0;
+  let n = max 1 (Bytes.length modes) in
+  if Array.length r.site_hits < n then r.site_hits <- Array.make n 0
+  else Array.fill r.site_hits 0 (Array.length r.site_hits) 0;
+  r.accesses <- 0;
+  r.skipped_guarded <- 0
 
 let emit_dep (r : t) (loc : Loc.t) (od : open_dep) : unit =
   Metrics.Cost.charge_dep_append r.meter;

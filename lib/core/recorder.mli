@@ -30,6 +30,15 @@ val create : ?variant:variant -> ?weights:Metrics.Cost.weights -> Bytes.t -> t
 (** [create modes] builds a recorder over the per-site decision table baked
     by {!Runtime.Plan.modes} (one byte per static site id). *)
 
+val reset : ?variant:variant -> t -> Bytes.t -> unit
+(** [reset r modes] retargets [r] to a new session over [modes] in place:
+    observationally identical to a fresh [create] (cleared last-write
+    table, arenas, open runs/deps, access clock, {!site_hits}, cost meter
+    and contention stripes — recycled sessions produce byte-identical
+    logs) but retaining every grown capacity, so a long-lived worker pays
+    no per-session allocation.  Omitting [?variant] keeps the current
+    variant; the meter's weights are always retained. *)
+
 val hooks : t -> Interp.hooks
 (** Interpreter hooks for a recording run (installs the allocation-free
     [on_shared] hook). *)

@@ -33,6 +33,14 @@ val get_default : unit -> t
     {!default_size}).  Batch consumers default to this pool so that one
     process never spawns more than one set of worker domains. *)
 
+val run_indexed : t -> int -> f:(int -> unit) -> unit
+(** [run_indexed pool n ~f] runs [f 0 .. f (n-1)] across the pool's workers
+    (the caller participates; indices are claimed from an atomic counter)
+    and returns when all calls have finished.  [f] must not raise — this is
+    the raw fan-out under {!map_array}, exported for long-lived consumers
+    like the record service that pin one {e role} (producer/consumer loop)
+    per worker instead of mapping a batch. *)
+
 val map_array : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
 (** [map_array pool ~f xs] computes [f i xs.(i)] for every [i], fanning the
     calls across the pool's workers, and returns the results indexed exactly

@@ -5,32 +5,88 @@
     equality, hashing, heap field tables) work on immediates instead of
     strings.  The table is process-global and append-only.
 
-    Domain safety: [id] takes a mutex (experiments fan out across the
-    engine's domain pool, and two domains may intern concurrently).  [name]
-    is lock-free: the id->string array is copy-on-write and published through
-    an [Atomic.t], so readers always see a fully initialized prefix.  Ids are
-    assignment-order dependent and therefore only meaningful within one
-    process; serialized forms (logs) must ship the name, not the id. *)
+    Domain safety: the insert path is {e sharded} — the string→id map is
+    striped across [shard_count] independently mutexed hash tables keyed by
+    the string's hash, so concurrent [id] calls from the record service's
+    domains only collide when they touch the same stripe (the seed held one
+    global mutex, which became the cross-session bottleneck once thousands
+    of prepared sessions interned map keys concurrently).  Fresh ids are
+    allocated under a second, global append lock taken {e inside} the shard
+    lock (fixed shard→alloc order, so the pair cannot deadlock); since the
+    same string always hashes to the same shard, dedup stays race-free.
 
-let mutex = Mutex.create ()
-let table : (string, int) Hashtbl.t = Hashtbl.create 256
+    [name] is lock-free: the id→string array is copy-on-write and published
+    through an [Atomic.t], so readers always see a fully initialized prefix.
+    Ids are assignment-order dependent and therefore only meaningful within
+    one process; serialized forms (logs) must ship the name, not the id.
+
+    Contention is observable: each shard counts lookups, inserts and
+    contended acquisitions ([Mutex.try_lock] misses), summed by {!stats}.
+    [LIGHT_INTERN_SHARDS] overrides the stripe count (rounded up to a power
+    of two, max 256; 1 reproduces the seed's single global mutex — logs are
+    byte-identical either way, which the service bench checks). *)
+
+type shard = {
+  m : Mutex.t;
+  tbl : (string, int) Hashtbl.t;
+  mutable s_lookups : int;
+  mutable s_inserts : int;
+  mutable s_contended : int;
+}
+
+let shard_count =
+  let requested =
+    match Sys.getenv_opt "LIGHT_INTERN_SHARDS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 16)
+    | None -> 16
+  in
+  let rec pow2 n = if n >= requested || n >= 256 then n else pow2 (2 * n) in
+  pow2 1
+
+let shards =
+  Array.init shard_count (fun _ ->
+      {
+        m = Mutex.create ();
+        tbl = Hashtbl.create 64;
+        s_lookups = 0;
+        s_inserts = 0;
+        s_contended = 0;
+      })
+
+(* id allocation: append to the copy-on-write id→string array.  Taken only
+   on the miss path, inside the owning shard's lock. *)
+let alloc_m = Mutex.create ()
 let names : string array Atomic.t = Atomic.make [||]
 
+let[@inline] shard_of (s : string) : shard =
+  Array.unsafe_get shards (Hashtbl.hash s land (shard_count - 1))
+
 let id (s : string) : int =
-  Mutex.lock mutex;
+  let sh = shard_of s in
+  if not (Mutex.try_lock sh.m) then begin
+    Mutex.lock sh.m;
+    sh.s_contended <- sh.s_contended + 1
+  end;
+  sh.s_lookups <- sh.s_lookups + 1;
   let i =
-    match Hashtbl.find_opt table s with
+    match Hashtbl.find_opt sh.tbl s with
     | Some i -> i
     | None ->
+      Mutex.lock alloc_m;
       let arr = Atomic.get names in
       let n = Array.length arr in
       let arr' = Array.make (n + 1) s in
       Array.blit arr 0 arr' 0 n;
       Atomic.set names arr';
-      Hashtbl.add table s n;
+      Mutex.unlock alloc_m;
+      sh.s_inserts <- sh.s_inserts + 1;
+      Hashtbl.add sh.tbl s n;
       n
   in
-  Mutex.unlock mutex;
+  Mutex.unlock sh.m;
   i
 
 let name (i : int) : string =
@@ -40,9 +96,44 @@ let name (i : int) : string =
   else arr.(i)
 
 let mem (s : string) : bool =
-  Mutex.lock mutex;
-  let r = Hashtbl.mem table s in
-  Mutex.unlock mutex;
+  let sh = shard_of s in
+  Mutex.lock sh.m;
+  let r = Hashtbl.mem sh.tbl s in
+  Mutex.unlock sh.m;
   r
 
 let count () = Array.length (Atomic.get names)
+
+(* ------------------------------------------------------------------ *)
+(* Contention observability                                            *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  st_shards : int;
+  st_lookups : int;  (** [id] calls (each probes exactly one shard table) *)
+  st_inserts : int;  (** fresh ids allocated *)
+  st_contended : int;
+      (** shard-mutex acquisitions that found the stripe already held *)
+}
+
+let stats () : stats =
+  let lk = ref 0 and ins = ref 0 and cnt = ref 0 in
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.m;
+      lk := !lk + sh.s_lookups;
+      ins := !ins + sh.s_inserts;
+      cnt := !cnt + sh.s_contended;
+      Mutex.unlock sh.m)
+    shards;
+  { st_shards = shard_count; st_lookups = !lk; st_inserts = !ins; st_contended = !cnt }
+
+let reset_stats () : unit =
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.m;
+      sh.s_lookups <- 0;
+      sh.s_inserts <- 0;
+      sh.s_contended <- 0;
+      Mutex.unlock sh.m)
+    shards

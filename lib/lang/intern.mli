@@ -1,10 +1,12 @@
 (** Global string interning table: dense integer ids for field names,
     global names, map-key tags and ghost-field names.  Append-only and
-    domain-safe ([id] is mutexed, [name] is lock-free).  Ids are
-    process-local; serialized forms must ship names. *)
+    domain-safe: the insert path is sharded by string hash
+    ([LIGHT_INTERN_SHARDS] stripes, default 16), [name] is lock-free.
+    Ids are process-local; serialized forms must ship names. *)
 
 val id : string -> int
-(** Intern a string, returning its id.  Idempotent. *)
+(** Intern a string, returning its id.  Idempotent.  Takes only the owning
+    shard's mutex on the hit path (plus a global append lock on a miss). *)
 
 val name : int -> string
 (** The string behind an id.  Raises [Invalid_argument] on unknown ids. *)
@@ -14,3 +16,23 @@ val mem : string -> bool
 
 val count : unit -> int
 (** Number of interned strings so far. *)
+
+val shard_count : int
+(** Number of stripes the insert path is sharded across (a power of two;
+    [LIGHT_INTERN_SHARDS] overrides, 1 = the pre-sharding global mutex). *)
+
+type stats = {
+  st_shards : int;
+  st_lookups : int;  (** [id] calls (each probes exactly one shard table) *)
+  st_inserts : int;  (** fresh ids allocated *)
+  st_contended : int;
+      (** shard-mutex acquisitions that found the stripe already held — the
+          insert-path contention signal the service bench reports *)
+}
+
+val stats : unit -> stats
+(** Cumulative counters summed over all shards since startup (or the last
+    {!reset_stats}).  Interleaving-dependent: report behind [LIGHT_TIMINGS],
+    never on deterministic stdout. *)
+
+val reset_stats : unit -> unit

@@ -119,6 +119,16 @@ type meter = {
 
 let meter ?(weights = default_weights) () = { units = 0; ops = 0; weights }
 
+(** Zero the accumulator for a recycled recorder's next session (weights are
+    part of the meter's identity and are retained). *)
+let reset_meter (m : meter) : unit =
+  m.units <- 0;
+  m.ops <- 0
+
+(** Snapshot a meter whose accumulator will keep mutating (a recycled
+    recorder's recording keeps the values of {e its} session). *)
+let copy_meter (m : meter) : meter = { m with units = m.units }
+
 let charge (m : meter) (op : op) : unit =
   m.units <- m.units + cost ~w:m.weights op;
   m.ops <- m.ops + 1
@@ -178,6 +188,12 @@ type stripes = {
 let nstripes = 1024
 
 let stripes () = { ring = Array.make (nstripes * window) (-1); pos = Array.make nstripes 0 }
+
+(** Forget all convoy history (capacity retained): a recycled recorder's next
+    session must see exactly the contention state a fresh recorder would. *)
+let reset_stripes (s : stripes) : unit =
+  Array.fill s.ring 0 (Array.length s.ring) (-1);
+  Array.fill s.pos 0 (Array.length s.pos) 0
 
 let stripe_of (l : Runtime.Loc.t) : int = Runtime.Loc.hash l land (nstripes - 1)
 

@@ -1410,3 +1410,384 @@ let running_example () ppf : unit =
       [ "Light + O1 + O2"; Printf.sprintf "%.0f%%" (100. *. both.overhead); "~30%" ];
     ]
     ppf
+
+(* ------------------------------------------------------------------ *)
+(* Record service under load (BENCH_service.json)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The ROADMAP's deployment shape: one process recording thousands of user
+   sessions.  The corpus is every workload x every recording variant
+   (prepared once — instrument-once, record-every-run) x both execution
+   engines; sessions cycle through it with per-session scheduler seeds.
+
+   A session is a bounded recording window (LIGHT_SERVICE_STEPS
+   interpreter steps, like the epoch bench's windows) — the deployment
+   regime is thousands of short user sessions, so this bench measures
+   what the service layer amortizes (front-end, recorder allocation,
+   dispatch) rather than steady-state interpreter throughput, which the
+   interp bench already covers.
+
+   Passes, in this order (later passes must not intern new ids, so the
+   serial reference pass goes first and doubles as the deterministic
+   intern warm-up):
+   1. serial reference — the service on a 1-worker pool: every runtime
+      map-key id is assigned in program order, and the per-session log
+      digests are the identity reference for everything after;
+   2. service under load — the real measurement: default pool, bounded
+      queue, recycled recorders, sharded intern;
+   3. service without recycling — same pool, fresh recorder per session
+      (attributes the recycling share of the speedup);
+   4. naive per-session [Light.record] loop at the same LIGHT_JOBS — what
+      a deployment without the service's prepared-session cache does:
+      each session arrives as source, so every session re-parses,
+      re-validates, re-transforms, re-analyzes, re-compiles, and
+      allocates a fresh recorder.
+   Byte-identity of per-session v3 logs is checked across pass 1 vs 2
+   (worker count + recycling) and pass 1 vs 4 (the whole service stack vs
+   the naive loop).  Identity across intern shard counts is the same
+   stdout diffed under LIGHT_INTERN_SHARDS=1 vs 16 (CI does this for the
+   engine's table1; the shard axis rides on the digests printed here). *)
+
+type service_combo = {
+  svc_label : string;
+  svc_bm : Workloads.benchmark;
+  svc_pp : Light_core.Light.prepared;
+  svc_engine : Vm.engine;
+  svc_variant : Light_core.Light.variant;
+}
+
+let service_corpus () : service_combo array =
+  let variants =
+    [
+      ("basic", Light_core.Light.v_basic);
+      ("O1", Light_core.Light.v_o1);
+      ("O1+O2", Light_core.Light.v_both);
+    ]
+  in
+  let engines = [ ("tree", Vm.Tree); ("vm", Vm.Bytecode) ] in
+  Array.of_list
+    (List.concat_map
+       (fun (bm : Workloads.benchmark) ->
+         let program = Workloads.program bm in
+         List.concat_map
+           (fun (vn, variant) ->
+             let pp = Light_core.Light.prepare ~variant program in
+             List.map
+               (fun (en, engine) ->
+                 {
+                   svc_label =
+                     Printf.sprintf "%s/%s/%s" bm.Workloads.name vn en;
+                   svc_bm = bm;
+                   svc_pp = pp;
+                   svc_engine = engine;
+                   svc_variant = variant;
+                 })
+               engines)
+           variants)
+       Workloads.all)
+
+let service_sessions (corpus : service_combo array) (n : int)
+    ~(max_steps : int) : Service.session array =
+  Array.init n (fun i ->
+      let c = corpus.(i mod Array.length corpus) in
+      Service.session ~label:c.svc_label ~engine:c.svc_engine ~seed:i
+        ~max_steps
+        ~sched:(fun () -> Workloads.scheduler ~seed:(1000 + i) c.svc_bm)
+        c.svc_pp)
+
+type service_measure = {
+  sv_sessions : int;
+  sv_corpus : int;
+  sv_naive_n : int;
+  sv_steps_budget : int;  (* per-session recording window *)
+  sv_queue : int;
+  sv_workers : int;
+  sv_serial_s : float;
+  sv_service_s : float;
+  sv_norecycle_s : float;
+  sv_naive_s : float;
+  sv_prepare_s : float;
+  sv_identity_workers : bool;
+  sv_identity_naive : bool;
+  sv_done : int;
+  sv_rejected : int;
+  sv_failed : int;
+  sv_total_space : int;
+  sv_total_steps : int;
+  sv_latencies : float array;  (* pass-2 submit->finish, seconds *)
+  sv_stats : Service.stats;    (* pass-2 *)
+  sv_intern : Lang.Intern.stats;  (* pass-2 window *)
+  sv_rss_kb : int;
+}
+
+let service_measure () : service_measure =
+  let n = env_int "LIGHT_SERVICE_SESSIONS" 1008 in
+  let naive_n = min n (env_int "LIGHT_SERVICE_NAIVE" 168) in
+  let steps_budget = env_int "LIGHT_SERVICE_STEPS" 500 in
+  let queue = env_int "LIGHT_SERVICE_QUEUE" 64 in
+  let t0 = Unix.gettimeofday () in
+  let corpus = service_corpus () in
+  let prepare_s = Unix.gettimeofday () -. t0 in
+  let sessions = service_sessions corpus n ~max_steps:steps_budget in
+  let pool = Engine.Pool.get_default () in
+  (* pass 1: serial reference (and deterministic intern warm-up) *)
+  let t0 = Unix.gettimeofday () in
+  let ref_results, _ =
+    Engine.Pool.with_pool ~size:1 (fun p1 ->
+        Service.run ~pool:p1 ~queue_capacity:queue sessions)
+  in
+  let serial_s = Unix.gettimeofday () -. t0 in
+  (* pass 2: the service under load *)
+  Lang.Intern.reset_stats ();
+  let t0 = Unix.gettimeofday () in
+  let results, stats = Service.run ~pool ~queue_capacity:queue sessions in
+  let service_s = Unix.gettimeofday () -. t0 in
+  let intern = Lang.Intern.stats () in
+  (* pass 3: fresh recorder per session (recycling attribution) *)
+  let t0 = Unix.gettimeofday () in
+  let norec_results, _ =
+    Service.run ~pool ~queue_capacity:queue ~recycle:false sessions
+  in
+  let norecycle_s = Unix.gettimeofday () -. t0 in
+  (* pass 4: naive per-session Light.record at the same LIGHT_JOBS *)
+  let t0 = Unix.gettimeofday () in
+  let naive_digests =
+    Engine.Pool.map_array pool
+      ~f:(fun _ i ->
+        let c = corpus.(i mod Array.length corpus) in
+        (* the session arrives as source: the naive loop pays the whole
+           front-end per session (the service cached it in [prepare]) *)
+        let p = Workloads.program c.svc_bm in
+        let r =
+          Light_core.Light.record ~variant:c.svc_variant ~engine:c.svc_engine
+            ~sched:(Workloads.scheduler ~seed:(1000 + i) c.svc_bm)
+            ~max_steps:steps_budget ~seed:i p
+        in
+        Digest.string (Light_core.Log.to_string r.Light_core.Light.log))
+      (Array.init naive_n (fun i -> i))
+  in
+  let naive_s = Unix.gettimeofday () -. t0 in
+  let id_workers = ref true and id_naive = ref true in
+  Array.iteri
+    (fun i (r : Service.result_) ->
+      if r.Service.sr_digest <> ref_results.(i).Service.sr_digest then
+        id_workers := false;
+      ignore (norec_results.(i)))
+    results;
+  Array.iteri
+    (fun i (r : Service.result_) ->
+      if r.Service.sr_digest <> norec_results.(i).Service.sr_digest then
+        id_workers := false)
+    results;
+  Array.iteri
+    (fun i d ->
+      if d <> ref_results.(i).Service.sr_digest then id_naive := false)
+    naive_digests;
+  let total_space =
+    Array.fold_left (fun a r -> a + r.Service.sr_space_longs) 0 results
+  in
+  let total_steps =
+    Array.fold_left (fun a r -> a + r.Service.sr_steps) 0 results
+  in
+  {
+    sv_sessions = n;
+    sv_corpus = Array.length corpus;
+    sv_naive_n = naive_n;
+    sv_steps_budget = steps_budget;
+    sv_queue = queue;
+    sv_workers = stats.Service.st_workers;
+    sv_serial_s = serial_s;
+    sv_service_s = service_s;
+    sv_norecycle_s = norecycle_s;
+    sv_naive_s = naive_s;
+    sv_prepare_s = prepare_s;
+    sv_identity_workers = !id_workers;
+    sv_identity_naive = !id_naive;
+    sv_done = stats.Service.st_done;
+    sv_rejected = stats.Service.st_rejected;
+    sv_failed = stats.Service.st_failed;
+    sv_total_space = total_space;
+    sv_total_steps = total_steps;
+    sv_latencies = Service.latencies results;
+    sv_stats = stats;
+    sv_intern = intern;
+    sv_rss_kb = vm_hwm_kb ();
+  }
+
+let service_rate (sessions : int) (secs : float) : float =
+  if secs <= 0.0 then 0.0 else float_of_int sessions /. secs
+
+let service_speedup (m : service_measure) : float =
+  let sps = service_rate m.sv_sessions m.sv_service_s in
+  let nps = service_rate m.sv_naive_n m.sv_naive_s in
+  if nps <= 0.0 then 0.0 else sps /. nps
+
+let service_json (m : service_measure) : string =
+  let module J = Analysis.Lint.Json in
+  let sps = service_rate m.sv_sessions m.sv_service_s in
+  let q = m.sv_stats.Service.st_queue in
+  J.to_string
+    (J.Obj
+       [
+         ("schema", J.Str "light-service/v1");
+         ("sessions", J.Int m.sv_sessions);
+         ("corpus", J.Int m.sv_corpus);
+         ("naive_sessions", J.Int m.sv_naive_n);
+         ("steps_per_session", J.Int m.sv_steps_budget);
+         ("queue_capacity", J.Int m.sv_queue);
+         ("workers", J.Int m.sv_workers);
+         ("intern_shards", J.Int Lang.Intern.shard_count);
+         ("done", J.Int m.sv_done);
+         ("rejected", J.Int m.sv_rejected);
+         ("failed", J.Int m.sv_failed);
+         ("identity_serial_vs_service", J.Bool m.sv_identity_workers);
+         ("identity_naive_vs_service", J.Bool m.sv_identity_naive);
+         ("prepare_s", J.Float m.sv_prepare_s);
+         ("serial_s", J.Float m.sv_serial_s);
+         ("service_s", J.Float m.sv_service_s);
+         ("norecycle_s", J.Float m.sv_norecycle_s);
+         ("naive_s", J.Float m.sv_naive_s);
+         ("sessions_per_sec", J.Float sps);
+         ("serial_sessions_per_sec", J.Float (service_rate m.sv_sessions m.sv_serial_s));
+         ("norecycle_sessions_per_sec", J.Float (service_rate m.sv_sessions m.sv_norecycle_s));
+         ("naive_sessions_per_sec", J.Float (service_rate m.sv_naive_n m.sv_naive_s));
+         ("speedup_vs_naive", J.Float (service_speedup m));
+         ("p50_latency_ms", J.Float (1000. *. Service.percentile 50. m.sv_latencies));
+         ("p99_latency_ms", J.Float (1000. *. Service.percentile 99. m.sv_latencies));
+         ("peak_rss_kb", J.Int m.sv_rss_kb);
+         ("total_space_longs", J.Int m.sv_total_space);
+         ("total_steps", J.Int m.sv_total_steps);
+         ("recorders_created", J.Int m.sv_stats.Service.st_recorders_created);
+         ("inline_runs", J.Int m.sv_stats.Service.st_inline_runs);
+         ( "queue",
+           J.Obj
+             [
+               ("peak", J.Int q.Engine.Bqueue.bq_peak);
+               ("pushes", J.Int q.Engine.Bqueue.bq_pushes);
+               ("blocked_pushes", J.Int q.Engine.Bqueue.bq_blocked_pushes);
+               ("blocked_pops", J.Int q.Engine.Bqueue.bq_blocked_pops);
+             ] );
+         ( "intern",
+           J.Obj
+             [
+               ("shards", J.Int m.sv_intern.Lang.Intern.st_shards);
+               ("lookups", J.Int m.sv_intern.Lang.Intern.st_lookups);
+               ("inserts", J.Int m.sv_intern.Lang.Intern.st_inserts);
+               ("contended", J.Int m.sv_intern.Lang.Intern.st_contended);
+             ] );
+       ])
+  ^ "\n"
+
+let service_report (m : service_measure) ppf : unit =
+  Fmt.pf ppf
+    "Experiment E16: record service under load (%d sessions of <=%d steps \
+     over a %d-combo corpus: 28 workloads x 3 variants x 2 engines)@."
+    m.sv_sessions m.sv_steps_budget m.sv_corpus;
+  Fmt.pf ppf "  sessions: %d done, %d rejected, %d failed@." m.sv_done
+    m.sv_rejected m.sv_failed;
+  Fmt.pf ppf
+    "  per-session v3 log identity: serial(1 worker) vs service/no-recycle: \
+     %s; naive Light.record vs service (%d sessions): %s@."
+    (if m.sv_identity_workers then "ok" else "MISMATCH")
+    m.sv_naive_n
+    (if m.sv_identity_naive then "ok" else "MISMATCH");
+  Fmt.pf ppf "  total recorded space: %d longs over %d interpreter steps@."
+    m.sv_total_space m.sv_total_steps;
+  if show_timings () then begin
+    Fmt.pf ppf
+      "  throughput: service %.0f sessions/sec (serial %.0f, no-recycle \
+       %.0f) vs naive %.0f — speedup %.1fx (workers=%d, queue=%d)@."
+      (service_rate m.sv_sessions m.sv_service_s)
+      (service_rate m.sv_sessions m.sv_serial_s)
+      (service_rate m.sv_sessions m.sv_norecycle_s)
+      (service_rate m.sv_naive_n m.sv_naive_s)
+      (service_speedup m) m.sv_workers m.sv_queue;
+    Fmt.pf ppf "  latency: p50 %.2fms, p99 %.2fms (submit -> finish)@."
+      (1000. *. Service.percentile 50. m.sv_latencies)
+      (1000. *. Service.percentile 99. m.sv_latencies);
+    Fmt.pf ppf
+      "  recorders created: %d for %d executed sessions; queue peak %d, \
+       submitter inline runs %d; peak RSS %d kB@."
+      m.sv_stats.Service.st_recorders_created
+      (m.sv_done + m.sv_failed)
+      m.sv_stats.Service.st_queue.Engine.Bqueue.bq_peak
+      m.sv_stats.Service.st_inline_runs m.sv_rss_kb;
+    Fmt.pf ppf
+      "  intern (service pass): %d lookups, %d inserts, %d contended \
+       acquisitions across %d shards@."
+      m.sv_intern.Lang.Intern.st_lookups m.sv_intern.Lang.Intern.st_inserts
+      m.sv_intern.Lang.Intern.st_contended m.sv_intern.Lang.Intern.st_shards
+  end
+
+let service_bench ?(json_path = "BENCH_service.json") () ppf : unit =
+  let m = service_measure () in
+  service_report m ppf;
+  Out_channel.with_open_text json_path (fun oc ->
+      Out_channel.output_string oc (service_json m));
+  Fmt.pf ppf "  full measurement (with timings) written to %s@.@." json_path
+
+(* json float field, tolerating Int-typed numbers *)
+let service_scan_float (j : Analysis.Lint.Json.t) (key : string) : float option =
+  let module J = Analysis.Lint.Json in
+  match J.member key j with
+  | Some (J.Float f) -> Some f
+  | Some (J.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* CI gate: the service stack must stay >= [floor]x the naive loop (the
+   tentpole's acceptance claim — both rates come from the same process, so
+   the ratio is runner-noise tolerant), must not regress more than
+   [threshold] relative against the committed baseline's speedup, and the
+   byte-identity checks are hard failures at any budget. *)
+let service_perfcheck ?(baseline_path = "bench/BENCH_service.baseline.json")
+    ?(json_path = "BENCH_service.json") ?(threshold = 0.5) ?(floor = 2.0) ()
+    ppf : bool =
+  let m = service_measure () in
+  service_report m ppf;
+  Out_channel.with_open_text json_path (fun oc ->
+      Out_channel.output_string oc (service_json m));
+  Fmt.pf ppf "  full measurement (with timings) written to %s@." json_path;
+  let id_ok = m.sv_identity_workers && m.sv_identity_naive in
+  if not id_ok then
+    Fmt.pf ppf
+      "  servicecheck: PER-SESSION LOG MISMATCH (see identity lines above)@.";
+  let ok_failed = m.sv_failed = 0 && m.sv_rejected = 0 in
+  if not ok_failed then
+    Fmt.pf ppf "  servicecheck: %d failed / %d rejected sessions — FAIL@."
+      m.sv_failed m.sv_rejected;
+  let speedup = service_speedup m in
+  let floor_ok = speedup >= floor in
+  Fmt.pf ppf
+    "  servicecheck: speedup %.1fx vs naive per-session record loop \
+     (floor %.1fx) — %s@."
+    speedup floor
+    (if floor_ok then "ok" else "BELOW FLOOR");
+  let base_ok =
+    let module J = Analysis.Lint.Json in
+    match
+      if Sys.file_exists baseline_path then
+        match
+          J.of_string
+            (In_channel.with_open_text baseline_path In_channel.input_all)
+        with
+        | exception J.Parse_error _ -> None
+        | j -> service_scan_float j "speedup_vs_naive"
+      else None
+    with
+    | None ->
+      Fmt.pf ppf "  servicecheck: no baseline at %s — skipping comparison@.@."
+        baseline_path;
+      true
+    | Some base ->
+      let rel = (base -. speedup) /. base in
+      let ok = rel <= threshold in
+      Fmt.pf ppf
+        "  servicecheck: speedup %.1fx vs baseline %.1fx (%+.0f%%, threshold \
+         -%.0f%%) — %s@.@."
+        speedup base
+        (100. *. ((speedup -. base) /. base))
+        (100. *. threshold)
+        (if ok then "ok" else "REGRESSION");
+      ok
+  in
+  id_ok && ok_failed && floor_ok && base_ok

@@ -55,21 +55,32 @@ let field_id obj fld = { obj; fld }
 let elem obj i = { obj; fld = fld_of_elem i }
 
 (* Map keys are interned through a value-keyed cache so the steady state
-   performs no string construction at all ([Value.map_key] allocates). *)
-let mk_mutex = Mutex.create ()
-let mk_table : (Value.t, int) Hashtbl.t = Hashtbl.create 256
+   performs no string construction at all ([Value.map_key] allocates).  The
+   cache is striped by the key's structural hash: map accesses hit it on
+   every heap operation, and with the record service running thousands of
+   concurrent sessions a single cache mutex convoys exactly like the
+   pre-sharding intern lock did.  Same-key lookups always land on the same
+   stripe, so dedup needs no cross-stripe coordination. *)
+let mk_stripe_count = 16
+
+type mk_stripe = { mk_m : Mutex.t; mk_tbl : (Value.t, int) Hashtbl.t }
+
+let mk_stripes =
+  Array.init mk_stripe_count (fun _ ->
+      { mk_m = Mutex.create (); mk_tbl = Hashtbl.create 64 })
 
 let mapkey_fld (k : Value.t) : int =
-  Mutex.lock mk_mutex;
+  let st = mk_stripes.(Hashtbl.hash k land (mk_stripe_count - 1)) in
+  Mutex.lock st.mk_m;
   let i =
-    match Hashtbl.find_opt mk_table k with
+    match Hashtbl.find_opt st.mk_tbl k with
     | Some i -> i
     | None ->
       let i = Lang.Intern.id ("@" ^ Value.map_key k) in
-      Hashtbl.add mk_table k i;
+      Hashtbl.add st.mk_tbl k i;
       i
   in
-  Mutex.unlock mk_mutex;
+  Mutex.unlock st.mk_m;
   i
 
 let mapkey obj (k : Value.t) = { obj; fld = mapkey_fld k }
